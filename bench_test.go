@@ -1,0 +1,458 @@
+// Benchmarks regenerating the paper's evaluation (one per table/figure,
+// plus ablations for the design choices called out in DESIGN.md §5). The
+// replay command prints the same data as formatted tables; these report
+// machine-readable metrics.
+package switchv
+
+import (
+	"math/rand"
+	"testing"
+
+	"switchv/internal/bugdb"
+	"switchv/internal/experiments"
+	"switchv/internal/fuzzer"
+	"switchv/internal/oracle"
+	"switchv/internal/p4/constraints"
+	"switchv/internal/p4/p4info"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4rt"
+	"switchv/internal/switchsim"
+	"switchv/internal/switchv"
+	"switchv/internal/symbolic"
+	"switchv/internal/trivial"
+	"switchv/internal/workload"
+	"switchv/models"
+)
+
+// quickOpts keeps per-fault campaigns short enough to iterate over the
+// whole catalog in one benchmark run.
+var quickOpts = experiments.Options{FuzzRequests: 200, FuzzUpdates: 25, Entries: 320}
+
+// BenchmarkTable1 runs the live fault-injection campaign behind Table 1:
+// every catalogued bug with an injectable fault is hunted by both tools.
+func BenchmarkTable1(b *testing.B) {
+	for _, stack := range bugdb.Stacks() {
+		b.Run(stack, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, dets, err := experiments.Table1Live(stack, quickOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				found := 0
+				for _, r := range rows {
+					found += r.Bugs
+				}
+				b.ReportMetric(float64(found), "bugs-detected")
+				b.ReportMetric(float64(len(dets)), "bugs-injected")
+			}
+		})
+	}
+}
+
+// BenchmarkTable2 runs the trivial suite against every injected fault (the
+// "would simpler testing have caught it?" experiment).
+func BenchmarkTable2(b *testing.B) {
+	for _, stack := range bugdb.Stacks() {
+		b.Run(stack, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				counts, total, err := experiments.Table2Live(stack, quickOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(total-counts[""]), "found-by-trivial")
+				b.ReportMetric(float64(counts[""]), "not-found")
+			}
+		})
+	}
+}
+
+// table3Case describes one Table 3 row (Inst1/Inst2 at the paper's entry
+// counts).
+var table3Cases = []struct {
+	name    string
+	role    string
+	entries int
+}{
+	{"Inst1", "middleblock", 798},
+	{"Inst2", "wan", 1314},
+}
+
+// BenchmarkTable3Generation measures cold p4-symbolic test-packet
+// generation (the "Generation" column).
+func BenchmarkTable3Generation(b *testing.B) {
+	for _, c := range table3Cases {
+		b.Run(c.name, func(b *testing.B) {
+			prog := models.MustLoad(c.role)
+			entries := workload.MustEntries(prog, c.entries, 42)
+			store := pdpi.NewStore()
+			for _, e := range entries {
+				if err := store.Insert(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ex, err := symbolic.New(prog, store, symbolic.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pkts, rep, err := ex.GeneratePackets(symbolic.CoverEntries)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.Goals), "goals")
+				b.ReportMetric(float64(rep.Covered), "covered")
+				b.ReportMetric(float64(len(pkts)), "packets")
+			}
+		})
+	}
+}
+
+// BenchmarkTable3GenerationCached measures the warm-cache path (the "(w/c)"
+// column): same model and entries, packets served from the cache.
+func BenchmarkTable3GenerationCached(b *testing.B) {
+	for _, c := range table3Cases {
+		b.Run(c.name, func(b *testing.B) {
+			prog := models.MustLoad(c.role)
+			entries := workload.MustEntries(prog, c.entries, 42)
+			store := pdpi.NewStore()
+			for _, e := range entries {
+				if err := store.Insert(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cache := symbolic.NewCache()
+			fp := symbolic.Fingerprint(prog, store.All(prog), symbolic.CoverEntries)
+			ex, err := symbolic.New(prog, store, symbolic.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkts, _, err := ex.GeneratePackets(symbolic.CoverEntries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cache.Put(fp, pkts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fp2 := symbolic.Fingerprint(prog, store.All(prog), symbolic.CoverEntries)
+				if _, ok := cache.Get(fp2); !ok {
+					b.Fatal("cache miss")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Testing measures the differential execution phase (the
+// "Testing" column): run each generated packet against the switch and the
+// reference simulator's behavior set.
+func BenchmarkTable3Testing(b *testing.B) {
+	for _, c := range table3Cases {
+		b.Run(c.name, func(b *testing.B) {
+			prog := models.MustLoad(c.role)
+			info := p4info.New(prog)
+			entries := workload.MustEntries(prog, c.entries, 42)
+			cache := symbolic.NewCache()
+			// Pre-generate once so iterations measure testing only.
+			sw := switchsim.New(c.role)
+			h := switchv.New(info, sw, sw)
+			if err := h.PushPipeline(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.RunDataPlane(entries, switchv.DataPlaneOptions{Cache: cache}); err != nil {
+				b.Fatal(err)
+			}
+			sw.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw := switchsim.New(c.role)
+				h := switchv.New(info, sw, sw)
+				if err := h.PushPipeline(); err != nil {
+					b.Fatal(err)
+				}
+				rep, err := h.RunDataPlane(entries, switchv.DataPlaneOptions{Cache: cache})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.CacheHit {
+					b.Fatal("expected cached packets")
+				}
+				if n := len(rep.Incidents); n > 0 {
+					b.Fatalf("%d incidents on a clean switch: %s", n, rep.Incidents[0])
+				}
+				b.ReportMetric(rep.TestElapsed.Seconds(), "testing-s")
+				b.ReportMetric(float64(rep.Packets), "packets")
+				sw.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Fuzzer measures p4-fuzzer throughput (the "Entries/s"
+// rows of Table 3).
+func BenchmarkTable3Fuzzer(b *testing.B) {
+	for _, c := range table3Cases {
+		b.Run(c.name, func(b *testing.B) {
+			info := p4info.New(models.MustLoad(c.role))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw := switchsim.New(c.role)
+				h := switchv.New(info, sw, sw)
+				if err := h.PushPipeline(); err != nil {
+					b.Fatal(err)
+				}
+				rep, err := h.RunControlPlane(fuzzer.Options{
+					Seed: 42, NumRequests: 100, UpdatesPerRequest: 50,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Incidents) > 0 {
+					b.Fatalf("incidents on clean switch: %s", rep.Incidents[0])
+				}
+				b.ReportMetric(rep.EntriesPerSecond(), "entries/s")
+				b.ReportMetric(float64(rep.Updates), "entries")
+				sw.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7 measures the days-to-resolution aggregation and renders
+// the histogram (the data itself is catalog metadata; see DESIGN.md §2).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, unresolved := bugdb.Figure7()
+		if unresolved != 9 || len(rows) != 12 {
+			b.Fatal("histogram shape")
+		}
+		within14, within5 := bugdb.HeadlineStats()
+		b.ReportMetric(100*within14, "pct-within-14d")
+		b.ReportMetric(100*within5, "pct-within-5d")
+	}
+}
+
+// BenchmarkAblationTraceForking quantifies §5 "Trace Isolation": the
+// guarded single-pass encoding grows linearly in entries, while per-trace
+// forking would enumerate the product of per-table entry counts. We report
+// both the measured term count and the (astronomically larger) number of
+// paths a KLEE-style executor would fork.
+func BenchmarkAblationTraceForking(b *testing.B) {
+	for _, n := range []int{100, 400, 798} {
+		b.Run(byEntries(n), func(b *testing.B) {
+			prog := models.Middleblock()
+			entries := workload.MustEntries(prog, n, 42)
+			store := pdpi.NewStore()
+			for _, e := range entries {
+				if err := store.Insert(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Paths a forking executor would explore: the product over
+			// applied tables of (entries+1), capped to avoid overflow.
+			paths := 1.0
+			for _, t := range prog.Tables {
+				paths *= float64(store.TableLen(t.Name) + 1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ex, err := symbolic.New(prog, store, symbolic.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(ex.Builder().NumTerms()), "guarded-terms")
+				b.ReportMetric(paths, "forked-paths")
+			}
+		})
+	}
+}
+
+func byEntries(n int) string {
+	switch n {
+	case 100:
+		return "100entries"
+	case 400:
+		return "400entries"
+	default:
+		return "798entries"
+	}
+}
+
+// BenchmarkAblationNaiveFuzz contrasts §4.2's mutation-based generation
+// with naive random requests: the fraction of requests that get past the
+// switch's first (syntactic) check layer, i.e. how deep into the control
+// space each strategy reaches.
+func BenchmarkAblationNaiveFuzz(b *testing.B) {
+	prog := models.Middleblock()
+	info := p4info.New(prog)
+	const perIter = 2000
+
+	b.Run("naive-random", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < b.N; i++ {
+			deep := 0
+			for j := 0; j < perIter; j++ {
+				te := p4rt.TableEntry{
+					TableID:  rng.Uint32(),
+					Priority: int32(rng.Intn(100)),
+				}
+				for k := 0; k < rng.Intn(3); k++ {
+					te.Match = append(te.Match, p4rt.FieldMatch{
+						FieldID: rng.Uint32() % 16,
+						Exact:   &p4rt.ExactMatch{Value: []byte{byte(rng.Intn(255) + 1)}},
+					})
+				}
+				te.Action.Action = &p4rt.Action{ActionID: rng.Uint32()}
+				if _, err := p4rt.FromWire(info, &te); err == nil {
+					deep++
+				}
+			}
+			b.ReportMetric(100*float64(deep)/perIter, "pct-past-syntax")
+		}
+	})
+	b.Run("mutation-based", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f := fuzzer.New(info, fuzzer.Options{Seed: 9, MutateFraction: 1.0})
+			deep := 0
+			for j := 0; j < perIter; j++ {
+				gu, err := f.GenerateUpdate()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p4rt.FromWire(info, &gu.Update.Entry); err == nil {
+					deep++
+				}
+			}
+			b.ReportMetric(100*float64(deep)/perIter, "pct-past-syntax")
+		}
+	})
+}
+
+// BenchmarkAblationOracle quantifies §4.3: tracking every valid post-state
+// of a batch explodes with the number of may-reject updates (2^k states),
+// while the read-back oracle keeps exactly one.
+func BenchmarkAblationOracle(b *testing.B) {
+	prog := models.Middleblock()
+	info := p4info.New(prog)
+	vrf, _ := info.TableByName("vrf_table")
+	mkInsert := func(id byte) p4rt.Update {
+		return p4rt.Update{Type: p4rt.Insert, Entry: p4rt.TableEntry{
+			TableID: vrf.ID,
+			Match:   []p4rt.FieldMatch{{FieldID: 1, Exact: &p4rt.ExactMatch{Value: []byte{id}}}},
+			Action:  p4rt.TableAction{Action: &p4rt.Action{ActionID: prog.NoAction.ID}},
+		}}
+	}
+	for _, k := range []int{4, 8, 12} {
+		b.Run(byK(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// State-set tracking: each may-reject update forks the set.
+				states := []*pdpi.Store{pdpi.NewStore()}
+				for j := 0; j < k; j++ {
+					u := mkInsert(byte(j + 1))
+					e, err := p4rt.FromWire(info, &u.Entry)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var next []*pdpi.Store
+					for _, s := range states {
+						accepted := s.Clone()
+						if err := accepted.Insert(e.Clone()); err != nil {
+							b.Fatal(err)
+						}
+						next = append(next, accepted, s)
+					}
+					states = next
+				}
+				b.ReportMetric(float64(len(states)), "tracked-states")
+
+				// The read-back oracle: one state regardless of k.
+				orc := oracle.New(info)
+				sw := switchsim.New("middleblock")
+				h := switchv.New(info, sw, sw)
+				if err := h.PushPipeline(); err != nil {
+					b.Fatal(err)
+				}
+				var req p4rt.WriteRequest
+				for j := 0; j < k; j++ {
+					req.Updates = append(req.Updates, mkInsert(byte(j+1)))
+				}
+				resp := sw.Write(req)
+				observed, err := sw.Read(p4rt.ReadRequest{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, violations := orc.CheckBatch(req, resp, observed); len(violations) > 0 {
+					b.Fatalf("oracle violations: %v", violations)
+				}
+				b.ReportMetric(1, "oracle-states")
+				sw.Close()
+			}
+		})
+	}
+}
+
+// constraintsCheck avoids an import-name clash in the benchmark file.
+func constraintsCheck(e *pdpi.Entry) (bool, error) { return constraints.CheckEntry(e) }
+
+func byK(k int) string {
+	switch k {
+	case 4:
+		return "batch4"
+	case 8:
+		return "batch8"
+	default:
+		return "batch12"
+	}
+}
+
+// BenchmarkTrivialSuite times one full run of the §6.2 trivial suite on a
+// clean switch (the baseline SwitchV is compared against).
+func BenchmarkTrivialSuite(b *testing.B) {
+	info := p4info.New(models.Middleblock())
+	for i := 0; i < b.N; i++ {
+		sw := switchsim.New("middleblock")
+		if res := trivial.Run(info, sw, sw); res.FailedTest != "" {
+			b.Fatalf("trivial suite failed at %s: %v", res.FailedTest, res.Err)
+		}
+		sw.Close()
+	}
+}
+
+// BenchmarkAblationConstraintAware contrasts default generation ("we
+// currently do not enforce constraint compliance", §4.1) with the
+// BDD-based constraint-aware mode (§7): the fraction of intended-valid
+// entries for constrained tables that actually satisfy the
+// @entry_restriction.
+func BenchmarkAblationConstraintAware(b *testing.B) {
+	prog := models.Middleblock()
+	info := p4info.New(prog)
+	run := func(b *testing.B, aware bool) {
+		for i := 0; i < b.N; i++ {
+			f := fuzzer.New(info, fuzzer.Options{Seed: 7, ConstraintAware: aware, MutateFraction: 0.0001})
+			compliant, constrained := 0, 0
+			for j := 0; j < 3000; j++ {
+				gu, err := f.GenerateUpdate()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if gu.Mutation != "" || gu.Update.Type != p4rt.Insert {
+					continue
+				}
+				e, err := p4rt.FromWire(info, &gu.Update.Entry)
+				if err != nil || e.Table.EntryRestriction == "" {
+					continue
+				}
+				constrained++
+				if ok, err := constraintsCheck(e); err == nil && ok {
+					compliant++
+				}
+				f.NoteAccepted(gu.Update)
+			}
+			if constrained > 0 {
+				b.ReportMetric(100*float64(compliant)/float64(constrained), "pct-compliant")
+			}
+		}
+	}
+	b.Run("default", func(b *testing.B) { run(b, false) })
+	b.Run("bdd-aware", func(b *testing.B) { run(b, true) })
+}

@@ -1,0 +1,82 @@
+// Command p4fuzz runs only the control-plane fuzzing half of SwitchV
+// against a switch (in-process or remote).
+//
+//	p4fuzz -role middleblock -requests 1000 -updates 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"switchv/internal/fuzzer"
+	"switchv/internal/p4/p4info"
+	"switchv/internal/p4rt"
+	"switchv/internal/switchsim"
+	"switchv/internal/switchv"
+	"switchv/models"
+)
+
+func main() {
+	connect := flag.String("connect", "", "address of a remote switchd (empty = in-process)")
+	role := flag.String("role", "middleblock", "deployment role / model name")
+	requests := flag.Int("requests", 1000, "number of write batches")
+	updates := flag.Int("updates", 50, "updates per batch")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	prog, err := models.Load(*role)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := p4info.New(prog)
+
+	var dev p4rt.Device
+	if *connect != "" {
+		cli, err := p4rt.Dial(*connect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cli.Close()
+		dev = cli
+	} else {
+		sw := switchsim.New(*role)
+		defer sw.Close()
+		dev = sw
+	}
+
+	h := switchv.New(info, dev, nil)
+	if err := h.PushPipeline(); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := h.RunControlPlane(fuzzer.Options{
+		Seed:              *seed,
+		NumRequests:       *requests,
+		UpdatesPerRequest: *updates,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("p4-fuzzer: %d batches, %d fuzzed entries in %v (%.0f entries/s)\n",
+		rep.Batches, rep.Updates, rep.Elapsed.Round(1e6), rep.EntriesPerSecond())
+	fmt.Printf("verdicts: %d must-accept, %d must-reject, %d may-reject\n",
+		rep.MustAccept, rep.MustReject, rep.MayReject)
+	var names []string
+	for name := range rep.PerMutation {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("mutations applied:\n")
+	for _, name := range names {
+		fmt.Printf("  %-32s %d\n", name, rep.PerMutation[name])
+	}
+	fmt.Printf("incidents: %d\n", len(rep.Incidents))
+	for _, inc := range rep.Incidents {
+		fmt.Printf("  %s\n", inc)
+	}
+	if len(rep.Incidents) > 0 {
+		os.Exit(1)
+	}
+}

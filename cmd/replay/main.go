@@ -1,0 +1,134 @@
+// Command replay regenerates the paper's evaluation tables and figure:
+//
+//	replay -table 1        # bugs by component & tool (catalog + live run)
+//	replay -table 2        # trivial-suite detectability
+//	replay -table 3        # p4-symbolic / p4-fuzzer performance
+//	replay -figure 7       # days-to-resolution histogram
+//	replay -all            # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"switchv/internal/bugdb"
+	"switchv/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (1, 2, or 3)")
+	figure := flag.Int("figure", 0, "figure to regenerate (7)")
+	all := flag.Bool("all", false, "regenerate everything")
+	live := flag.Bool("live", true, "run live fault-injection campaigns (tables 1 and 2)")
+	quick := flag.Bool("quick", false, "smaller live campaigns")
+	flag.Parse()
+
+	opts := experiments.Options{}
+	if *quick {
+		opts = experiments.Options{FuzzRequests: 25, FuzzUpdates: 15, Entries: 60}
+	}
+
+	var dets map[string][]experiments.FaultDetection
+	if *live && (*all || *table == 1 || *table == 2) {
+		dets = map[string][]experiments.FaultDetection{}
+		for _, stack := range bugdb.Stacks() {
+			d, err := experiments.AllDetections(stack, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dets[stack] = d
+		}
+	}
+	if *all || *table == 1 {
+		table1(dets)
+	}
+	if *all || *table == 2 {
+		table2(dets)
+	}
+	if *all || *table == 3 {
+		table3()
+	}
+	if *all || *figure == 7 {
+		fmt.Println("=== Figure 7: days to resolution of PINS bugs ===")
+		fmt.Println()
+		fmt.Print(bugdb.RenderFigure7())
+		within14, within5 := bugdb.HeadlineStats()
+		fmt.Printf("headline: %.0f%% of resolved bugs fixed within 14 days, %.0f%% within 5 days\n\n",
+			100*within14, 100*within5)
+	}
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+	}
+}
+
+func table1(dets map[string][]experiments.FaultDetection) {
+	fmt.Println("=== Table 1: bugs found by SwitchV by component ===")
+	fmt.Println()
+	fmt.Println("-- Paper catalog (PINS: 21 months of nightly runs; Cerberus: 10-12 months) --")
+	fmt.Print(bugdb.RenderTable1("PINS", bugdb.Table1("PINS")))
+	fmt.Println()
+	fmt.Print(bugdb.RenderTable1("Cerberus", bugdb.Table1("Cerberus")))
+	fmt.Println()
+	if dets == nil {
+		return
+	}
+	for _, stack := range bugdb.Stacks() {
+		fmt.Printf("-- Live reproduction: SwitchV vs the injected-fault subset (%s) --\n", stack)
+		rows := experiments.AggregateTable1(dets[stack])
+		fmt.Print(bugdb.RenderTable1(stack+" (live)", rows))
+		fmt.Println()
+		fmt.Print(experiments.RenderDetections(dets[stack]))
+		fmt.Println()
+	}
+}
+
+func table2(dets map[string][]experiments.FaultDetection) {
+	fmt.Println("=== Table 2: which bugs the trivial test suite finds ===")
+	fmt.Println()
+	fmt.Println("-- Paper catalog --")
+	fmt.Print(bugdb.RenderTable2())
+	fmt.Println()
+	if dets == nil {
+		return
+	}
+	for _, stack := range bugdb.Stacks() {
+		counts, total := experiments.AggregateTable2(dets[stack])
+		fmt.Printf("-- Live reproduction (%s, %d injected faults) --\n", stack, total)
+		order := append([]string{}, "Set P4Info", "Table entry programming", "Read all tables",
+			"Packet-in", "Packet-out", "Packet forwarding", "")
+		for _, test := range order {
+			name := test
+			if name == "" {
+				name = "Not found by any test above"
+			}
+			fmt.Printf("%-28s %4d (%3.0f%%)\n", name, counts[test],
+				100*float64(counts[test])/float64(total))
+		}
+		fmt.Println()
+	}
+}
+
+func table3() {
+	fmt.Println("=== Table 3: time required to run p4-symbolic and p4-fuzzer ===")
+	fmt.Println()
+	rows := []experiments.Table3Row{}
+	for _, c := range []struct {
+		role    string
+		entries int
+	}{
+		{"middleblock", 798}, // Inst1
+		{"wan", 1314},        // Inst2
+	} {
+		row, err := experiments.Table3(c.role, c.entries, 1000, 50, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	fmt.Print(experiments.RenderTable3(rows))
+	fmt.Println()
+	fmt.Println("(Inst1 = middleblock, Inst2 = wan; absolute numbers are not comparable to")
+	fmt.Println("the paper's testbed — the shape is: generation >> cached lookup, testing")
+	fmt.Println("roughly constant, fuzzer throughput roughly model-independent.)")
+}

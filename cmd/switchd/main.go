@@ -1,0 +1,61 @@
+// Command switchd runs the simulated PINS-style switch as a TCP P4Runtime
+// server, optionally with injected faults, so SwitchV can validate it
+// remotely:
+//
+//	switchd -listen :9559 -role middleblock -fault asic.ttl1-no-trap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"switchv/internal/p4rt"
+	"switchv/internal/switchsim"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9559", "address to serve P4Runtime on")
+	role := flag.String("role", "middleblock", "deployment role (middleblock or wan)")
+	faultList := flag.String("fault", "", "comma-separated fault ids to inject (see -list-faults)")
+	listFaults := flag.Bool("list-faults", false, "list injectable faults and exit")
+	flag.Parse()
+
+	if *listFaults {
+		for _, f := range switchsim.AllFaults() {
+			meta, _ := switchsim.Meta(f)
+			fmt.Printf("%-36s %-20s %s\n", f, meta.Component, meta.Description)
+		}
+		return
+	}
+
+	var faults []switchsim.Fault
+	if *faultList != "" {
+		for _, name := range strings.Split(*faultList, ",") {
+			f := switchsim.Fault(strings.TrimSpace(name))
+			if _, ok := switchsim.Meta(f); !ok {
+				log.Fatalf("unknown fault %q (use -list-faults)", name)
+			}
+			faults = append(faults, f)
+		}
+	}
+
+	sw := switchsim.New(*role, faults...)
+	srv := p4rt.NewServer(sw, log.Printf)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("switchd: %s switch serving P4Runtime on %s (faults: %d)", *role, addr, len(faults))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("switchd: shutting down")
+	srv.Close()
+	sw.Close()
+}

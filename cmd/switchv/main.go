@@ -1,0 +1,133 @@
+// Command switchv validates a switch end-to-end against its P4 model: it
+// pushes the pipeline, fuzzes the control plane API, and runs symbolic
+// data-plane validation, printing an incident report.
+//
+//	switchv -role middleblock                      # in-process switch
+//	switchv -connect 127.0.0.1:9559 -role wan      # remote switchd
+//	switchv -role middleblock -fault asic.ttl1-no-trap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"switchv/internal/fuzzer"
+	"switchv/internal/p4/p4info"
+	"switchv/internal/p4rt"
+	"switchv/internal/switchsim"
+	"switchv/internal/switchv"
+	"switchv/internal/symbolic"
+	"switchv/internal/workload"
+	"switchv/models"
+)
+
+func main() {
+	connect := flag.String("connect", "", "address of a remote switchd (empty = in-process switch)")
+	role := flag.String("role", "middleblock", "deployment role / model name")
+	faultList := flag.String("fault", "", "comma-separated faults to inject (in-process only)")
+	requests := flag.Int("fuzz-requests", 100, "number of fuzz write batches")
+	updates := flag.Int("fuzz-updates", 50, "updates per batch")
+	seed := flag.Int64("seed", 1, "fuzzer seed")
+	entries := flag.Int("entries", 200, "table entries for data-plane validation")
+	branches := flag.Bool("branches", true, "use branch coverage (vs entry coverage)")
+	churn := flag.Bool("churn", false, "re-apply entries with MODIFY before testing")
+	skipFuzz := flag.Bool("skip-fuzz", false, "skip control plane fuzzing")
+	skipData := flag.Bool("skip-dataplane", false, "skip data plane validation")
+	flag.Parse()
+
+	prog, err := models.Load(*role)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := p4info.New(prog)
+
+	var dev p4rt.Device
+	var dp switchv.DataPlane
+	if *connect != "" {
+		cli, err := p4rt.Dial(*connect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cli.Close()
+		dev, dp = cli, cli
+	} else {
+		var faults []switchsim.Fault
+		if *faultList != "" {
+			for _, name := range strings.Split(*faultList, ",") {
+				f := switchsim.Fault(strings.TrimSpace(name))
+				if _, ok := switchsim.Meta(f); !ok {
+					log.Fatalf("unknown fault %q", name)
+				}
+				faults = append(faults, f)
+			}
+		}
+		sw := switchsim.New(*role, faults...)
+		defer sw.Close()
+		dev, dp = sw, sw
+	}
+
+	h := switchv.New(info, dev, dp)
+	if err := h.PushPipeline(); err != nil {
+		log.Fatalf("pushing pipeline: %v", err)
+	}
+	fmt.Printf("SwitchV: validating %s switch against model %q (%d tables)\n",
+		*role, prog.Name, len(prog.Tables))
+
+	incidents := 0
+	if !*skipFuzz {
+		rep, err := h.RunControlPlane(fuzzer.Options{
+			Seed:              *seed,
+			NumRequests:       *requests,
+			UpdatesPerRequest: *updates,
+		})
+		if err != nil {
+			log.Fatalf("control plane campaign: %v", err)
+		}
+		fmt.Printf("\n== p4-fuzzer ==\n")
+		fmt.Printf("batches: %d  updates: %d (%.0f entries/s)\n", rep.Batches, rep.Updates, rep.EntriesPerSecond())
+		fmt.Printf("verdicts: %d must-accept, %d must-reject, %d may-reject\n",
+			rep.MustAccept, rep.MustReject, rep.MayReject)
+		fmt.Printf("incidents: %d\n", len(rep.Incidents))
+		printIncidents(rep.Incidents)
+		incidents += len(rep.Incidents)
+	}
+
+	if !*skipData {
+		ents := workload.MustEntries(prog, *entries, *seed)
+		mode := symbolic.CoverEntries
+		if *branches {
+			mode = symbolic.CoverBranches
+		}
+		rep, err := h.RunDataPlane(ents, switchv.DataPlaneOptions{Coverage: mode, Churn: *churn})
+		if err != nil {
+			log.Fatalf("data plane campaign: %v", err)
+		}
+		fmt.Printf("\n== p4-symbolic ==\n")
+		fmt.Printf("entries: %d  goals: %d  covered: %d  unreachable: %d\n",
+			rep.Entries, rep.Goals, rep.Covered, rep.Unreachable)
+		fmt.Printf("generation: %v  testing: %v  packets: %d\n", rep.GenElapsed, rep.TestElapsed, rep.Packets)
+		fmt.Printf("incidents: %d\n", len(rep.Incidents))
+		printIncidents(rep.Incidents)
+		incidents += len(rep.Incidents)
+	}
+
+	if incidents > 0 {
+		fmt.Printf("\nSwitchV found %d incidents; inspect the logs above to root-cause them.\n", incidents)
+		os.Exit(1)
+	}
+	fmt.Printf("\nSwitchV found no divergence between the switch and the model.\n")
+}
+
+func printIncidents(incidents []switchv.Incident) {
+	const max = 20
+	for i, inc := range incidents {
+		if i == max {
+			fmt.Printf("  ... %d more\n", len(incidents)-max)
+			break
+		}
+		fmt.Printf("  %s\n", inc)
+	}
+}

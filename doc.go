@@ -1,0 +1,7 @@
+// Package switchv is a from-scratch Go reproduction of "SwitchV: Automated
+// SDN Switch Validation with P4 Models" (SIGCOMM 2022): a P4-16 front end,
+// a P4Runtime stack, a CDCL/QF_BV solver, the p4-fuzzer and p4-symbolic
+// engines, a reference simulator, and a fault-injectable PINS-style switch
+// to validate. See README.md for the tour and bench_test.go for the
+// benchmarks that regenerate the paper's tables and figures.
+package switchv

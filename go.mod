@@ -1,0 +1,3 @@
+module switchv
+
+go 1.22

@@ -1,0 +1,613 @@
+package bmv2
+
+import (
+	"testing"
+
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4/value"
+	"switchv/internal/packet"
+	"switchv/models"
+)
+
+// routerMAC is the MAC admitted to L3 in the test fixtures.
+var routerMAC = packet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0xaa}
+
+// middleblockFixture installs a routing fixture: VRF 1, a /8 and a /16
+// route, nexthop/neighbor/router-interface chain, and L3 admission of
+// routerMAC.
+func middleblockFixture(t *testing.T) (*Simulator, *pdpi.Store) {
+	t.Helper()
+	prog := models.Middleblock()
+	store := pdpi.NewStore()
+	add := func(e *pdpi.Entry) {
+		t.Helper()
+		if err := e.Validate(); err != nil {
+			t.Fatalf("fixture entry invalid: %v", err)
+		}
+		if err := store.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl := func(name string) *ir.Table {
+		tb, ok := prog.TableByName(name)
+		if !ok {
+			t.Fatalf("missing table %s", name)
+		}
+		return tb
+	}
+	act := func(name string) *ir.Action {
+		a, ok := prog.ActionByName(name)
+		if !ok {
+			t.Fatalf("missing action %s", name)
+		}
+		return a
+	}
+
+	add(&pdpi.Entry{
+		Table:   tbl("vrf_table"),
+		Matches: []pdpi.Match{{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(1, 10)}},
+		Action:  &pdpi.ActionInvocation{Action: prog.NoAction},
+	})
+	add(&pdpi.Entry{
+		Table:    tbl("acl_pre_ingress_table"),
+		Matches:  []pdpi.Match{{Key: "is_ipv4", Kind: ir.MatchOptional, Value: value.New(1, 1)}},
+		Priority: 1,
+		Action:   &pdpi.ActionInvocation{Action: act("set_vrf"), Args: []value.V{value.New(1, 10)}},
+	})
+	add(&pdpi.Entry{
+		Table: tbl("l3_admit_table"),
+		Matches: []pdpi.Match{{
+			Key: "dst_mac", Kind: ir.MatchTernary,
+			Value: value.New(be48(routerMAC[:]), 48), Mask: value.Ones(48),
+		}},
+		Priority: 1,
+		Action:   &pdpi.ActionInvocation{Action: act("admit_to_l3")},
+	})
+	add(&pdpi.Entry{
+		Table: tbl("ipv4_table"),
+		Matches: []pdpi.Match{
+			{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(1, 10)},
+			{Key: "ipv4_dst", Kind: ir.MatchLPM, Value: value.New(0x0a000000, 32), PrefixLen: 8},
+		},
+		Action: &pdpi.ActionInvocation{Action: act("set_nexthop_id"), Args: []value.V{value.New(1, 10)}},
+	})
+	// More specific /16 route to a different nexthop.
+	add(&pdpi.Entry{
+		Table: tbl("ipv4_table"),
+		Matches: []pdpi.Match{
+			{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(1, 10)},
+			{Key: "ipv4_dst", Kind: ir.MatchLPM, Value: value.New(0x0a630000, 32), PrefixLen: 16}, // 10.99/16
+		},
+		Action: &pdpi.ActionInvocation{Action: act("set_nexthop_id"), Args: []value.V{value.New(2, 10)}},
+	})
+	for nh, rif := range map[uint64]uint64{1: 1, 2: 2} {
+		add(&pdpi.Entry{
+			Table:   tbl("nexthop_table"),
+			Matches: []pdpi.Match{{Key: "nexthop_id", Kind: ir.MatchExact, Value: value.New(nh, 10)}},
+			Action: &pdpi.ActionInvocation{Action: act("set_nexthop"),
+				Args: []value.V{value.New(rif, 10), value.New(nh, 10)}},
+		})
+		add(&pdpi.Entry{
+			Table: tbl("neighbor_table"),
+			Matches: []pdpi.Match{
+				{Key: "router_interface_id", Kind: ir.MatchExact, Value: value.New(rif, 10)},
+				{Key: "neighbor_id", Kind: ir.MatchExact, Value: value.New(nh, 10)},
+			},
+			Action: &pdpi.ActionInvocation{Action: act("set_dst_mac"),
+				Args: []value.V{value.New(0x020000000100+nh, 48)}},
+		})
+		add(&pdpi.Entry{
+			Table:   tbl("router_interface_table"),
+			Matches: []pdpi.Match{{Key: "router_interface_id", Kind: ir.MatchExact, Value: value.New(rif, 10)}},
+			Action: &pdpi.ActionInvocation{Action: act("set_port_and_src_mac"),
+				Args: []value.V{value.New(rif+10, 16), value.New(0x0200000000aa, 48)}},
+		})
+	}
+
+	sim, err := New(prog, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, store
+}
+
+func ipv4Packet(t *testing.T, dst string, ttl uint8) []byte {
+	t.Helper()
+	ip := &packet.IPv4{
+		TTL:      ttl,
+		Protocol: packet.IPProtocolUDP,
+		SrcIP:    packet.MustParseIPv4("192.168.1.1"),
+		DstIP:    packet.MustParseIPv4(dst),
+	}
+	udp := &packet.UDP{SrcPort: 1000, DstPort: 2000}
+	udp.SetNetworkLayerForChecksum(ip.SrcIP[:], ip.DstIP[:])
+	data, err := packet.Serialize(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true},
+		&packet.Ethernet{DstMAC: routerMAC, SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, EtherType: packet.EtherTypeIPv4},
+		ip, udp, packet.Raw([]byte("payload")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestRouteAndRewrite(t *testing.T) {
+	sim, _ := middleblockFixture(t)
+	out, err := sim.Run(Input{Port: 1, Packet: ipv4Packet(t, "10.1.2.3", 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disposition != Forwarded {
+		t.Fatalf("disposition = %v", out.Disposition)
+	}
+	if out.EgressPort != 11 {
+		t.Errorf("egress port = %d, want 11", out.EgressPort)
+	}
+	p := packet.NewPacket(out.Packet, packet.LayerTypeEthernet)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("output packet: %v (%s)", p.ErrorLayer(), p)
+	}
+	if got := p.IPv4().TTL; got != 63 {
+		t.Errorf("TTL = %d, want 63", got)
+	}
+	wantDst := packet.MAC{0x02, 0, 0, 0, 0x01, 0x01}
+	if p.Ethernet().DstMAC != wantDst {
+		t.Errorf("dst mac = %v, want %v", p.Ethernet().DstMAC, wantDst)
+	}
+	if p.Ethernet().SrcMAC != (packet.MAC{0x02, 0, 0, 0, 0, 0xaa}) {
+		t.Errorf("src mac = %v", p.Ethernet().SrcMAC)
+	}
+	// IPv4 checksum of the rewritten packet must verify.
+	raw := out.Packet[14:34]
+	if cs := internetChecksumForTest(raw); cs != 0 {
+		t.Errorf("rewritten header checksum = %#04x", cs)
+	}
+}
+
+// internetChecksumForTest folds the IPv4 header checksum.
+func internetChecksumForTest(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	sim, _ := middleblockFixture(t)
+	out, err := sim.Run(Input{Port: 1, Packet: ipv4Packet(t, "10.99.0.1", 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disposition != Forwarded || out.EgressPort != 12 {
+		t.Fatalf("got %v port %d, want forwarded port 12", out.Disposition, out.EgressPort)
+	}
+	// Trace shows the /16 entry was chosen.
+	found := false
+	for _, h := range out.Trace {
+		if h.Table == "ipv4_table" && h.Action == "set_nexthop_id" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace = %+v", out.Trace)
+	}
+}
+
+func TestTTLPunt(t *testing.T) {
+	sim, _ := middleblockFixture(t)
+	for _, ttl := range []uint8{0, 1} {
+		out, err := sim.Run(Input{Port: 1, Packet: ipv4Packet(t, "10.1.2.3", ttl)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Disposition != Punted {
+			t.Errorf("ttl %d: disposition = %v, want punted", ttl, out.Disposition)
+		}
+	}
+}
+
+func TestUnroutedDropped(t *testing.T) {
+	sim, _ := middleblockFixture(t)
+	// Route miss: ipv4_table default action is drop.
+	out, err := sim.Run(Input{Port: 1, Packet: ipv4Packet(t, "192.0.2.1", 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disposition != Dropped {
+		t.Errorf("route miss: %v, want dropped", out.Disposition)
+	}
+}
+
+func TestNotAdmittedDropped(t *testing.T) {
+	sim, _ := middleblockFixture(t)
+	// Wrong destination MAC: not L3-admitted, default drop applies.
+	data := ipv4Packet(t, "10.1.2.3", 64)
+	copy(data[0:6], []byte{2, 0, 0, 0, 0, 0x77})
+	out, err := sim.Run(Input{Port: 1, Packet: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disposition != Dropped {
+		t.Errorf("disposition = %v, want dropped", out.Disposition)
+	}
+}
+
+func TestACLTrapAndCopy(t *testing.T) {
+	sim, store := middleblockFixture(t)
+	prog := sim.Program()
+	acl, _ := prog.TableByName("acl_ingress_table")
+	trap, _ := prog.ActionByName("acl_trap")
+	// Punt all TCP traffic to dst port 179 (BGP-style punt rule).
+	e := &pdpi.Entry{
+		Table: acl,
+		Matches: []pdpi.Match{
+			{Key: "l4_dst_port", Kind: ir.MatchTernary, Value: value.New(179, 16), Mask: value.Ones(16)},
+		},
+		Priority: 10,
+		Action:   &pdpi.ActionInvocation{Action: trap},
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+
+	ip := &packet.IPv4{TTL: 64, Protocol: packet.IPProtocolTCP,
+		SrcIP: packet.MustParseIPv4("10.0.0.1"), DstIP: packet.MustParseIPv4("10.1.2.3")}
+	tcp := &packet.TCP{SrcPort: 33333, DstPort: 179}
+	tcp.SetNetworkLayerForChecksum(ip.SrcIP[:], ip.DstIP[:])
+	data, err := packet.Serialize(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true},
+		&packet.Ethernet{DstMAC: routerMAC, EtherType: packet.EtherTypeIPv4}, ip, tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Run(Input{Port: 1, Packet: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disposition != Punted {
+		t.Fatalf("disposition = %v, want punted", out.Disposition)
+	}
+}
+
+func TestWCMPBehaviorSet(t *testing.T) {
+	sim, store := middleblockFixture(t)
+	prog := sim.Program()
+	ipv4, _ := prog.TableByName("ipv4_table")
+	wcmp, _ := prog.TableByName("wcmp_group_table")
+	setGroup, _ := prog.ActionByName("set_wcmp_group_id")
+	setNexthop, _ := prog.ActionByName("set_nexthop_id")
+
+	// 10.200/16 routes via WCMP group 5 with two nexthops (weights 2:1).
+	for _, e := range []*pdpi.Entry{
+		{
+			Table: ipv4,
+			Matches: []pdpi.Match{
+				{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(1, 10)},
+				{Key: "ipv4_dst", Kind: ir.MatchLPM, Value: value.New(0x0ac80000, 32), PrefixLen: 16},
+			},
+			Action: &pdpi.ActionInvocation{Action: setGroup, Args: []value.V{value.New(5, 10)}},
+		},
+		{
+			Table:   wcmp,
+			Matches: []pdpi.Match{{Key: "wcmp_group_id", Kind: ir.MatchExact, Value: value.New(5, 10)}},
+			ActionSet: []pdpi.WeightedAction{
+				{ActionInvocation: pdpi.ActionInvocation{Action: setNexthop, Args: []value.V{value.New(1, 10)}}, Weight: 2},
+				{ActionInvocation: pdpi.ActionInvocation{Action: setNexthop, Args: []value.V{value.New(2, 10)}}, Weight: 1},
+			},
+		},
+	} {
+		if err := e.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	outs, err := sim.BehaviorSet(Input{Port: 1, Packet: ipv4Packet(t, "10.200.0.9", 64)}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("behavior set size = %d, want 2", len(outs))
+	}
+	ports := map[uint16]bool{}
+	for _, o := range outs {
+		if o.Disposition != Forwarded {
+			t.Fatalf("disposition = %v", o.Disposition)
+		}
+		ports[o.EgressPort] = true
+	}
+	if !ports[11] || !ports[12] {
+		t.Errorf("ports = %v, want {11, 12}", ports)
+	}
+}
+
+func TestARPNotAdmitted(t *testing.T) {
+	sim, _ := middleblockFixture(t)
+	arp := &packet.ARP{Operation: 1, SenderIP: packet.IPv4Addr{10, 0, 0, 1}, TargetIP: packet.IPv4Addr{10, 0, 0, 2}}
+	data, err := packet.Serialize(packet.SerializeOptions{},
+		&packet.Ethernet{DstMAC: packet.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, EtherType: packet.EtherTypeARP}, arp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Run(Input{Port: 1, Packet: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disposition != Dropped {
+		t.Errorf("ARP disposition = %v, want dropped (no punt rule installed)", out.Disposition)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sim, _ := middleblockFixture(t)
+	in := Input{Port: 1, Packet: ipv4Packet(t, "10.1.2.3", 64)}
+	first, err := sim.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := sim.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Signature() != first.Signature() {
+			t.Fatalf("run %d differs:\n%s\n%s", i, again.Signature(), first.Signature())
+		}
+	}
+}
+
+func TestWANEncapDecap(t *testing.T) {
+	prog := models.WAN()
+	store := pdpi.NewStore()
+	sim, err := New(prog, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(e *pdpi.Entry) {
+		t.Helper()
+		if err := e.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl := func(name string) *ir.Table { tb, _ := prog.TableByName(name); return tb }
+	act := func(name string) *ir.Action { a, _ := prog.ActionByName(name); return a }
+
+	add(&pdpi.Entry{
+		Table:   tbl("vrf_table"),
+		Matches: []pdpi.Match{{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(1, 10)}},
+		Action:  &pdpi.ActionInvocation{Action: prog.NoAction},
+	})
+	add(&pdpi.Entry{
+		Table:    tbl("acl_pre_ingress_table"),
+		Matches:  []pdpi.Match{{Key: "is_ipv4", Kind: ir.MatchOptional, Value: value.New(1, 1)}},
+		Priority: 1,
+		Action:   &pdpi.ActionInvocation{Action: act("set_vrf"), Args: []value.V{value.New(1, 10)}},
+	})
+	add(&pdpi.Entry{
+		Table: tbl("l3_admit_table"),
+		Matches: []pdpi.Match{{Key: "dst_mac", Kind: ir.MatchTernary,
+			Value: value.New(be48(routerMAC[:]), 48), Mask: value.Ones(48)}},
+		Priority: 1,
+		Action:   &pdpi.ActionInvocation{Action: act("admit_to_l3")},
+	})
+	add(&pdpi.Entry{
+		Table: tbl("ipv4_table"),
+		Matches: []pdpi.Match{
+			{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(1, 10)},
+			{Key: "ipv4_dst", Kind: ir.MatchLPM, Value: value.New(0x0a000000, 32), PrefixLen: 8},
+		},
+		Action: &pdpi.ActionInvocation{Action: act("set_nexthop_id"), Args: []value.V{value.New(1, 10)}},
+	})
+	add(&pdpi.Entry{
+		Table:   tbl("nexthop_table"),
+		Matches: []pdpi.Match{{Key: "nexthop_id", Kind: ir.MatchExact, Value: value.New(1, 10)}},
+		Action: &pdpi.ActionInvocation{Action: act("set_nexthop_and_tunnel"),
+			Args: []value.V{value.New(1, 10), value.New(1, 10), value.New(7, 10)}},
+	})
+	add(&pdpi.Entry{
+		Table: tbl("neighbor_table"),
+		Matches: []pdpi.Match{
+			{Key: "router_interface_id", Kind: ir.MatchExact, Value: value.New(1, 10)},
+			{Key: "neighbor_id", Kind: ir.MatchExact, Value: value.New(1, 10)},
+		},
+		Action: &pdpi.ActionInvocation{Action: act("set_dst_mac"), Args: []value.V{value.New(0x020000000101, 48)}},
+	})
+	add(&pdpi.Entry{
+		Table:   tbl("router_interface_table"),
+		Matches: []pdpi.Match{{Key: "router_interface_id", Kind: ir.MatchExact, Value: value.New(1, 10)}},
+		Action: &pdpi.ActionInvocation{Action: act("set_port_and_src_mac"),
+			Args: []value.V{value.New(20, 16), value.New(0x0200000000aa, 48)}},
+	})
+	add(&pdpi.Entry{
+		Table:   tbl("tunnel_table"),
+		Matches: []pdpi.Match{{Key: "tunnel_id", Kind: ir.MatchExact, Value: value.New(7, 10)}},
+		Action: &pdpi.ActionInvocation{Action: act("encap_gre"),
+			Args: []value.V{value.New(0xc0000201, 32), value.New(0xc0000202, 32)}}, // 192.0.2.1 -> 192.0.2.2
+	})
+
+	out, err := sim.Run(Input{Port: 1, Packet: ipv4Packet(t, "10.1.2.3", 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disposition != Forwarded || out.EgressPort != 20 {
+		t.Fatalf("got %v port %d", out.Disposition, out.EgressPort)
+	}
+	p := packet.NewPacket(out.Packet, packet.LayerTypeEthernet)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("encap packet: %v (%s)", p.ErrorLayer(), p)
+	}
+	outer := p.IPv4()
+	if outer == nil || outer.Protocol != packet.IPProtocolGRE {
+		t.Fatalf("outer = %+v (%s)", outer, p)
+	}
+	if outer.SrcIP.String() != "192.0.2.1" || outer.DstIP.String() != "192.0.2.2" {
+		t.Errorf("outer addrs = %s > %s", outer.SrcIP, outer.DstIP)
+	}
+	// The inner IPv4 follows GRE, carrying the original addresses.
+	var sawGRE, sawInner bool
+	for i, l := range p.Layers() {
+		if l.LayerType() == packet.LayerTypeGRE {
+			sawGRE = true
+			inner, ok := p.Layers()[i+1].(*packet.IPv4)
+			if !ok {
+				t.Fatalf("layer after GRE = %T", p.Layers()[i+1])
+			}
+			sawInner = true
+			if inner.DstIP.String() != "10.1.2.3" {
+				t.Errorf("inner dst = %s", inner.DstIP)
+			}
+		}
+	}
+	if !sawGRE || !sawInner {
+		t.Fatalf("missing GRE/inner layers: %s", p)
+	}
+
+	// Round trip: feed the encapsulated packet back in (addressed to the
+	// router again); the pipeline decapsulates it and routes the inner
+	// destination.
+	back := append([]byte(nil), out.Packet...)
+	copy(back[0:6], routerMAC[:])
+	out2, err := sim.Run(Input{Port: 2, Packet: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Disposition != Forwarded {
+		t.Fatalf("decap disposition = %v", out2.Disposition)
+	}
+	p2 := packet.NewPacket(out2.Packet, packet.LayerTypeEthernet)
+	if p2.Layer(packet.LayerTypeGRE) == nil {
+		// Decapsulated then re-encapsulated by the same tunnel route; GRE
+		// present again is also acceptable. Just require a valid packet.
+		t.Logf("decap output: %s", p2)
+	}
+}
+
+func TestVLANAdmission(t *testing.T) {
+	prog := models.WAN()
+	store := pdpi.NewStore()
+	sim, err := New(prog, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkPacket := func(vlanID uint16) []byte {
+		t.Helper()
+		ip := &packet.IPv4{TTL: 64, Protocol: packet.IPProtocolUDP,
+			SrcIP: packet.IPv4Addr{1, 1, 1, 1}, DstIP: packet.IPv4Addr{10, 0, 0, 1}}
+		data, err := packet.Serialize(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true},
+			&packet.Ethernet{DstMAC: routerMAC, EtherType: packet.EtherTypeVLAN},
+			&packet.VLAN{VLANID: vlanID, EtherType: packet.EtherTypeIPv4},
+			ip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	// VLAN 100 unconfigured: dropped by the vlan admission check.
+	out, err := sim.Run(Input{Port: 1, Packet: mkPacket(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disposition != Dropped {
+		t.Fatalf("unconfigured vlan: %v, want dropped", out.Disposition)
+	}
+	// Admit VLAN 100; the packet then proceeds (and gets dropped at L3
+	// admission instead, which proves the exit was not taken).
+	vlanTbl, _ := prog.TableByName("vlan_table")
+	admit, _ := prog.ActionByName("vlan_admit")
+	e := &pdpi.Entry{
+		Table:   vlanTbl,
+		Matches: []pdpi.Match{{Key: "vlan_id", Kind: ir.MatchExact, Value: value.New(100, 12)}},
+		Action:  &pdpi.ActionInvocation{Action: admit},
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	out, err = sim.Run(Input{Port: 1, Packet: mkPacket(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Trace) < 2 {
+		t.Errorf("trace too short after admission: %+v", out.Trace)
+	}
+}
+
+func TestStoreSemantics(t *testing.T) {
+	prog := models.Middleblock()
+	store := pdpi.NewStore()
+	vrf, _ := prog.TableByName("vrf_table")
+	mk := func(v uint64) *pdpi.Entry {
+		return &pdpi.Entry{
+			Table:   vrf,
+			Matches: []pdpi.Match{{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(v, 10)}},
+			Action:  &pdpi.ActionInvocation{Action: prog.NoAction},
+		}
+	}
+	if err := store.Insert(mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Insert(mk(1)); err == nil {
+		t.Error("duplicate insert succeeded")
+	}
+	if err := store.Modify(mk(2)); err == nil {
+		t.Error("modify of missing entry succeeded")
+	}
+	if err := store.Modify(mk(1)); err != nil {
+		t.Errorf("modify failed: %v", err)
+	}
+	if err := store.Delete(mk(2)); err == nil {
+		t.Error("delete of missing entry succeeded")
+	}
+	if err := store.Delete(mk(1)); err != nil {
+		t.Errorf("delete failed: %v", err)
+	}
+	if store.Len() != 0 {
+		t.Errorf("Len = %d", store.Len())
+	}
+	// Clone independence (of the maps; entries are shared by design).
+	if err := store.Insert(mk(3)); err != nil {
+		t.Fatal(err)
+	}
+	cp := store.Clone()
+	if err := cp.Delete(mk(3)); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 || cp.Len() != 0 {
+		t.Errorf("clone aliases: store=%d clone=%d", store.Len(), cp.Len())
+	}
+	if err := cp.Insert(mk(4)); err != nil {
+		t.Fatal(err)
+	}
+	if store.TableLen("vrf_table") != 1 {
+		t.Error("insert into clone leaked into original")
+	}
+	// Ordering.
+	if err := store.Insert(mk(4)); err != nil {
+		t.Fatal(err)
+	}
+	es := store.Entries("vrf_table")
+	if len(es) != 2 || es[0].Matches[0].Value.Uint64() != 3 {
+		t.Errorf("Entries order: %+v", es)
+	}
+	all := store.All(prog)
+	if len(all) != 2 {
+		t.Errorf("All = %d entries", len(all))
+	}
+	store.Clear()
+	if store.Len() != 0 {
+		t.Error("Clear failed")
+	}
+}

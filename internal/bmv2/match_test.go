@@ -1,0 +1,154 @@
+package bmv2
+
+import (
+	"math/rand"
+	"testing"
+
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4/value"
+	"switchv/models"
+)
+
+// TestLPMSelectionAgainstBruteForce: random route tables and random
+// destinations; the simulator's table selection must pick the matching
+// entry with the longest prefix, cross-checked against a straightforward
+// re-implementation.
+func TestLPMSelectionAgainstBruteForce(t *testing.T) {
+	prog := models.Middleblock()
+	ipv4, _ := prog.TableByName("ipv4_table")
+	drop, _ := prog.ActionByName("drop")
+	rng := rand.New(rand.NewSource(31))
+
+	for trial := 0; trial < 60; trial++ {
+		store := pdpi.NewStore()
+		type route struct {
+			prefix uint32
+			plen   int
+		}
+		var routes []route
+		for i := 0; i < 30; i++ {
+			plen := rng.Intn(33)
+			prefix := rng.Uint32() & uint32(value.PrefixMask(plen, 32).Uint64())
+			e := &pdpi.Entry{
+				Table: ipv4,
+				Matches: []pdpi.Match{
+					{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(1, 10)},
+					{Key: "ipv4_dst", Kind: ir.MatchLPM, Value: value.New(uint64(prefix), 32), PrefixLen: plen},
+				},
+				Action: &pdpi.ActionInvocation{Action: drop},
+			}
+			if err := store.Insert(e); err != nil {
+				continue // duplicate prefix/plen
+			}
+			routes = append(routes, route{prefix, plen})
+		}
+		sim, err := New(prog, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := newFieldSpace(prog)
+		vrfF, _ := prog.FieldByName("local_metadata.vrf_id")
+		dstF, _ := prog.FieldByName("headers.ipv4.dst_addr")
+		fs[vrfF.ID] = value.New(1, 10)
+
+		for probe := 0; probe < 50; probe++ {
+			dst := rng.Uint32()
+			if probe%3 == 0 && len(routes) > 0 {
+				// Bias probes onto installed prefixes so matches happen.
+				r := routes[rng.Intn(len(routes))]
+				dst = r.prefix | rng.Uint32()&^uint32(value.PrefixMask(r.plen, 32).Uint64())
+			}
+			fs[dstF.ID] = value.New(uint64(dst), 32)
+			got := sim.selectEntry(fs, ipv4)
+
+			// Brute force: longest matching prefix.
+			bestLen := -1
+			for _, r := range routes {
+				mask := uint32(value.PrefixMask(r.plen, 32).Uint64())
+				if dst&mask == r.prefix&mask && r.plen > bestLen {
+					bestLen = r.plen
+				}
+			}
+			if bestLen < 0 {
+				if got != nil {
+					t.Fatalf("dst %08x: simulator matched %s, brute force found nothing", dst, got)
+				}
+				continue
+			}
+			if got == nil {
+				t.Fatalf("dst %08x: simulator missed a /%d match", dst, bestLen)
+			}
+			m, _ := got.Match("ipv4_dst")
+			if m.PrefixLen != bestLen {
+				t.Fatalf("dst %08x: simulator chose /%d, want /%d", dst, m.PrefixLen, bestLen)
+			}
+		}
+	}
+}
+
+// TestPrioritySelectionAgainstBruteForce: overlapping ternary ACL entries;
+// the highest-priority match must win.
+func TestPrioritySelectionAgainstBruteForce(t *testing.T) {
+	prog := models.Middleblock()
+	acl, _ := prog.TableByName("acl_ingress_table")
+	drop, _ := prog.ActionByName("acl_drop")
+	rng := rand.New(rand.NewSource(32))
+
+	for trial := 0; trial < 60; trial++ {
+		store := pdpi.NewStore()
+		type rule struct {
+			val, mask uint8
+			prio      int32
+		}
+		var rules []rule
+		for i := 0; i < 15; i++ {
+			mask := uint8(rng.Intn(255) + 1)
+			val := uint8(rng.Uint32()) & mask
+			prio := int32(1 + rng.Intn(40))
+			e := &pdpi.Entry{
+				Table: acl,
+				Matches: []pdpi.Match{
+					{Key: "ttl", Kind: ir.MatchTernary, Value: value.New(uint64(val), 8), Mask: value.New(uint64(mask), 8)},
+				},
+				Priority: prio,
+				Action:   &pdpi.ActionInvocation{Action: drop},
+			}
+			if err := store.Insert(e); err != nil {
+				continue
+			}
+			rules = append(rules, rule{val, mask, prio})
+		}
+		sim, err := New(prog, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := newFieldSpace(prog)
+		ttlF, _ := prog.FieldByName("headers.ipv4.ttl")
+
+		for probe := 0; probe < 100; probe++ {
+			ttl := uint8(rng.Uint32())
+			fs[ttlF.ID] = value.New(uint64(ttl), 8)
+			got := sim.selectEntry(fs, acl)
+
+			var best int32 = -1
+			for _, r := range rules {
+				if ttl&r.mask == r.val && r.prio > best {
+					best = r.prio
+				}
+			}
+			if best < 0 {
+				if got != nil {
+					t.Fatalf("ttl %d: unexpected match %s", ttl, got)
+				}
+				continue
+			}
+			if got == nil {
+				t.Fatalf("ttl %d: simulator missed a match with priority %d", ttl, best)
+			}
+			if got.Priority != best {
+				t.Fatalf("ttl %d: simulator chose priority %d, want %d", ttl, got.Priority, best)
+			}
+		}
+	}
+}

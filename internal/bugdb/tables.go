@@ -1,0 +1,183 @@
+package bugdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1Row is one row of the bugs-by-component table.
+type Table1Row struct {
+	Component string
+	Bugs      int
+	Fuzzer    int
+	Symbolic  int
+}
+
+// Table1 aggregates the catalog by component, in the paper's row order.
+func Table1(stack string) []Table1Row {
+	var order []string
+	seen := map[string]int{}
+	var rows []Table1Row
+	for _, b := range Bugs(stack) {
+		i, ok := seen[b.Component]
+		if !ok {
+			i = len(rows)
+			seen[b.Component] = i
+			order = append(order, b.Component)
+			rows = append(rows, Table1Row{Component: b.Component})
+		}
+		rows[i].Bugs++
+		switch b.Tool {
+		case "p4-fuzzer":
+			rows[i].Fuzzer++
+		case "p4-symbolic":
+			rows[i].Symbolic++
+		}
+	}
+	_ = order
+	return rows
+}
+
+// RenderTable1 prints the table like the paper's Table 1.
+func RenderTable1(stack string, rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %6s %10s %12s\n", stack+" Component", "Bugs", "p4-fuzzer", "p4-symbolic")
+	total := Table1Row{Component: "Total"}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %6d %10d %12d\n", r.Component, r.Bugs, r.Fuzzer, r.Symbolic)
+		total.Bugs += r.Bugs
+		total.Fuzzer += r.Fuzzer
+		total.Symbolic += r.Symbolic
+	}
+	fmt.Fprintf(&b, "%-22s %6d %10d %12d\n", "Total", total.Bugs, total.Fuzzer, total.Symbolic)
+	return b.String()
+}
+
+// Table2Row is one row of the trivial-suite detectability table.
+type Table2Row struct {
+	Test    string
+	Count   int
+	Percent float64
+}
+
+// Table2 aggregates bugs by the first trivial test that finds them, in
+// suite order (the paper's Table 2); the "" test is the last row.
+func Table2(stack string) []Table2Row {
+	order := []string{"Set P4Info", "Table entry programming", "Read all tables",
+		"Packet-in", "Packet-out", "Packet forwarding", ""}
+	counts := map[string]int{}
+	total := 0
+	for _, b := range Bugs(stack) {
+		counts[b.TrivialTest]++
+		total++
+	}
+	var rows []Table2Row
+	for _, test := range order {
+		rows = append(rows, Table2Row{
+			Test:    test,
+			Count:   counts[test],
+			Percent: 100 * float64(counts[test]) / float64(total),
+		})
+	}
+	return rows
+}
+
+// RenderTable2 prints PINS and Cerberus side by side, like Table 2.
+func RenderTable2() string {
+	pins := Table2("PINS")
+	cer := Table2("Cerberus")
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %16s %16s\n", "Test", "PINS", "Cerberus")
+	for i := range pins {
+		name := pins[i].Test
+		if name == "" {
+			name = "Not found by any test above"
+		}
+		fmt.Fprintf(&b, "%-28s %8d (%3.0f%%) %8d (%3.0f%%)\n",
+			name, pins[i].Count, pins[i].Percent, cer[i].Count, cer[i].Percent)
+	}
+	return b.String()
+}
+
+// Figure7Row is one histogram bucket of days-to-resolution.
+type Figure7Row struct {
+	Label    string
+	Total    int
+	Fuzzer   int
+	Symbolic int
+}
+
+// Figure7 builds the PINS days-to-resolution histogram by tool.
+func Figure7() (rows []Figure7Row, unresolved int) {
+	for _, bucket := range fig7Buckets {
+		rows = append(rows, Figure7Row{Label: bucket.Label})
+	}
+	for _, b := range Bugs("PINS") {
+		if b.DaysToResolution < 0 {
+			unresolved++
+			continue
+		}
+		for i, bucket := range fig7Buckets {
+			inside := b.DaysToResolution >= bucket.Lo &&
+				(bucket.Hi < 0 || b.DaysToResolution < bucket.Hi)
+			if !inside {
+				continue
+			}
+			rows[i].Total++
+			if b.Tool == "p4-fuzzer" {
+				rows[i].Fuzzer++
+			} else {
+				rows[i].Symbolic++
+			}
+			break
+		}
+	}
+	return rows, unresolved
+}
+
+// RenderFigure7 prints an ASCII histogram of the distribution.
+func RenderFigure7() string {
+	rows, unresolved := Figure7()
+	var b strings.Builder
+	b.WriteString("Days to resolution of PINS bugs (F = p4-fuzzer, S = p4-symbolic)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8s | %s%s (%d)\n", r.Label,
+			strings.Repeat("F", r.Fuzzer), strings.Repeat("S", r.Symbolic), r.Total)
+	}
+	fmt.Fprintf(&b, "%d bugs have not been resolved.\n", unresolved)
+	return b.String()
+}
+
+// HeadlineStats returns the paper's headline resolution statistics: the
+// fraction of resolved PINS bugs fixed within 14 days and within 5 days.
+func HeadlineStats() (within14, within5 float64) {
+	resolved, le14, le5 := 0, 0, 0
+	for _, b := range Bugs("PINS") {
+		if b.DaysToResolution < 0 {
+			continue
+		}
+		resolved++
+		if b.DaysToResolution <= 14 {
+			le14++
+		}
+		if b.DaysToResolution <= 5 {
+			le5++
+		}
+	}
+	if resolved == 0 {
+		return 0, 0
+	}
+	return float64(le14) / float64(resolved), float64(le5) / float64(resolved)
+}
+
+// LiveFaults returns the catalog bugs that link to an injectable fault in
+// the switch simulator, i.e. the subset reproduced live.
+func LiveFaults(stack string) []Bug {
+	var out []Bug
+	for _, b := range Bugs(stack) {
+		if b.Fault != "" {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+// Package experiments implements the paper's evaluation experiments
+// (Tables 1-3 and Figure 7) on top of the simulated switch stacks, so the
+// replay command and the benchmark harness share one implementation.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"switchv/internal/bugdb"
+	"switchv/internal/fuzzer"
+	"switchv/internal/p4/p4info"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/switchsim"
+	"switchv/internal/switchv"
+	"switchv/internal/symbolic"
+	"switchv/internal/trivial"
+	"switchv/internal/workload"
+	"switchv/models"
+)
+
+// stackRole maps the paper's stacks to the model each was validated with.
+func stackRole(stack string) string {
+	if stack == "Cerberus" {
+		return "wan"
+	}
+	return "middleblock"
+}
+
+// FaultDetection is the live result for one injected fault.
+type FaultDetection struct {
+	Fault     switchsim.Fault
+	Component string
+	// DetectedBy lists the tools whose campaign produced incidents.
+	DetectedBy []string
+	// TrivialTest is the first trivial-suite test that failed ("" = none).
+	TrivialTest string
+	// CatalogTool is the catalog's attribution (set by AllDetections).
+	CatalogTool string
+}
+
+// Options tunes the live campaigns (smaller = faster).
+type Options struct {
+	FuzzRequests int
+	FuzzUpdates  int
+	Entries      int
+	Seed         int64
+}
+
+func (o *Options) setDefaults() {
+	if o.FuzzRequests == 0 {
+		o.FuzzRequests = 250
+	}
+	if o.FuzzUpdates == 0 {
+		o.FuzzUpdates = 25
+	}
+	if o.Entries == 0 {
+		o.Entries = 320
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// RunFaultCampaign validates one switch-with-fault using both tools and
+// the trivial suite, reporting what detected it.
+func RunFaultCampaign(stack string, fault switchsim.Fault, opts Options) (FaultDetection, error) {
+	opts.setDefaults()
+	role := stackRole(stack)
+	meta, _ := switchsim.Meta(fault)
+	det := FaultDetection{Fault: fault, Component: meta.Component}
+
+	prog := models.MustLoad(role)
+	info := p4info.New(prog)
+
+	// p4-fuzzer campaign on a fresh switch.
+	{
+		sw := switchsim.New(role, fault)
+		h := switchv.New(info, sw, sw)
+		if err := h.PushPipeline(); err == nil {
+			rep, err := h.RunControlPlane(fuzzer.Options{
+				Seed:               opts.Seed,
+				NumRequests:        opts.FuzzRequests,
+				UpdatesPerRequest:  opts.FuzzUpdates,
+				StopAfterIncidents: 1, // bug hunting: first incident suffices
+			})
+			if err != nil {
+				return det, err
+			}
+			if len(rep.Incidents) > 0 {
+				det.DetectedBy = append(det.DetectedBy, "p4-fuzzer")
+			}
+		}
+		sw.Close()
+	}
+
+	// p4-symbolic campaign on a fresh switch.
+	{
+		sw := switchsim.New(role, fault)
+		h := switchv.New(info, sw, sw)
+		if err := h.PushPipeline(); err == nil {
+			entries := workload.MustEntries(prog, opts.Entries, opts.Seed)
+			rep, err := h.RunDataPlane(entries, switchv.DataPlaneOptions{
+				Coverage: symbolic.CoverBranches,
+				Churn:    true,
+			})
+			if err != nil {
+				return det, err
+			}
+			if len(rep.Incidents) > 0 {
+				det.DetectedBy = append(det.DetectedBy, "p4-symbolic")
+			}
+		} else {
+			// A broken pipeline push is itself a p4-symbolic-visible bug
+			// (validation cannot even start).
+			det.DetectedBy = append(det.DetectedBy, "p4-symbolic")
+		}
+		sw.Close()
+	}
+
+	// Trivial suite on a fresh switch.
+	{
+		sw := switchsim.New(role, fault)
+		res := trivial.Run(info, sw, sw)
+		det.TrivialTest = res.FailedTest
+		sw.Close()
+	}
+	return det, nil
+}
+
+// AllDetections runs the fault campaign for every live-injectable bug of a
+// stack once; Table1Live and Table2Live aggregate the result.
+func AllDetections(stack string, opts Options) ([]FaultDetection, error) {
+	var detections []FaultDetection
+	for _, bug := range bugdb.LiveFaults(stack) {
+		det, err := RunFaultCampaign(stack, bug.Fault, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fault %s: %w", bug.Fault, err)
+		}
+		det.CatalogTool = bug.Tool
+		detections = append(detections, det)
+	}
+	return detections, nil
+}
+
+// Table1Live runs the fault campaigns for every live-injectable bug of a
+// stack and aggregates detections by component and tool.
+func Table1Live(stack string, opts Options) ([]bugdb.Table1Row, []FaultDetection, error) {
+	detections, err := AllDetections(stack, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return AggregateTable1(detections), detections, nil
+}
+
+// AggregateTable1 folds detections into Table 1 rows.
+func AggregateTable1(detections []FaultDetection) []bugdb.Table1Row {
+	byComponent := map[string]*bugdb.Table1Row{}
+	var order []string
+	for _, det := range detections {
+		row, ok := byComponent[det.Component]
+		if !ok {
+			row = &bugdb.Table1Row{Component: det.Component}
+			byComponent[det.Component] = row
+			order = append(order, det.Component)
+		}
+		if len(det.DetectedBy) > 0 {
+			row.Bugs++
+			// Attribute to the catalog's tool when both found it, else to
+			// the tool that did.
+			tool := det.CatalogTool
+			if len(det.DetectedBy) == 1 {
+				tool = det.DetectedBy[0]
+			}
+			if tool == "p4-fuzzer" {
+				row.Fuzzer++
+			} else {
+				row.Symbolic++
+			}
+		}
+	}
+	var rows []bugdb.Table1Row
+	for _, c := range order {
+		rows = append(rows, *byComponent[c])
+	}
+	return rows
+}
+
+// Table2Live runs the trivial suite for every live fault and aggregates by
+// first failing test.
+func Table2Live(stack string, opts Options) (map[string]int, int, error) {
+	detections, err := AllDetections(stack, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	counts, total := AggregateTable2(detections)
+	return counts, total, nil
+}
+
+// AggregateTable2 folds detections into trivial-suite counts.
+func AggregateTable2(detections []FaultDetection) (map[string]int, int) {
+	counts := map[string]int{}
+	for _, det := range detections {
+		counts[det.TrivialTest]++
+	}
+	return counts, len(detections)
+}
+
+// Table3Row is one measurement row of Table 3.
+type Table3Row struct {
+	Model        string
+	Entries      int
+	Generation   time.Duration // cold SMT generation ("Generation")
+	WithCache    time.Duration // warm-cache lookup ("(w/c)")
+	Testing      time.Duration // differential execution ("Testing")
+	Goals        int
+	Covered      int
+	FuzzEntries  int
+	FuzzElapsed  time.Duration
+	FuzzPerSec   float64
+	FuzzRequests int
+}
+
+// Table3 measures p4-symbolic generation (cold and cached) and testing
+// time plus p4-fuzzer throughput for one model at the paper's scale.
+func Table3(role string, entries, fuzzRequests, fuzzUpdates int, seed int64) (Table3Row, error) {
+	prog := models.MustLoad(role)
+	info := p4info.New(prog)
+	ents := workload.MustEntries(prog, entries, seed)
+	row := Table3Row{Model: role, Entries: len(ents), FuzzRequests: fuzzRequests}
+
+	cache := symbolic.NewCache()
+
+	// Cold generation + differential testing.
+	sw := switchsim.New(role)
+	h := switchv.New(info, sw, sw)
+	if err := h.PushPipeline(); err != nil {
+		return row, err
+	}
+	rep, err := h.RunDataPlane(ents, switchv.DataPlaneOptions{Cache: cache})
+	if err != nil {
+		return row, err
+	}
+	sw.Close()
+	row.Generation = rep.GenElapsed
+	row.Testing = rep.TestElapsed
+	row.Goals = rep.Goals
+	row.Covered = rep.Covered
+
+	// Warm cache on a fresh switch.
+	sw2 := switchsim.New(role)
+	h2 := switchv.New(info, sw2, sw2)
+	if err := h2.PushPipeline(); err != nil {
+		return row, err
+	}
+	rep2, err := h2.RunDataPlane(ents, switchv.DataPlaneOptions{Cache: cache})
+	if err != nil {
+		return row, err
+	}
+	sw2.Close()
+	if !rep2.CacheHit {
+		return row, fmt.Errorf("second run missed the cache")
+	}
+	row.WithCache = rep2.GenElapsed
+
+	// Fuzzer throughput.
+	sw3 := switchsim.New(role)
+	h3 := switchv.New(info, sw3, sw3)
+	if err := h3.PushPipeline(); err != nil {
+		return row, err
+	}
+	frep, err := h3.RunControlPlane(fuzzer.Options{
+		Seed:              seed,
+		NumRequests:       fuzzRequests,
+		UpdatesPerRequest: fuzzUpdates,
+	})
+	if err != nil {
+		return row, err
+	}
+	sw3.Close()
+	if len(frep.Incidents) > 0 {
+		return row, fmt.Errorf("clean switch produced %d incidents", len(frep.Incidents))
+	}
+	row.FuzzEntries = frep.Updates
+	row.FuzzElapsed = frep.Elapsed
+	row.FuzzPerSec = frep.EntriesPerSecond()
+	return row, nil
+}
+
+// RenderTable3 prints the rows like the paper's Table 3.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %18s %10s\n", "P4 Prog.", "Entries", "Generation (w/c)", "Testing")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8d %10s (%s) %10s\n", r.Model, r.Entries,
+			r.Generation.Round(time.Millisecond), r.WithCache.Round(time.Microsecond),
+			r.Testing.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "\n%-12s %16s %10s\n", "P4 Prog.", "Fuzzed Entries", "Entries/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %16d %10.0f\n", r.Model, r.FuzzEntries, r.FuzzPerSec)
+	}
+	return b.String()
+}
+
+// RenderDetections summarizes the live fault campaigns.
+func RenderDetections(dets []FaultDetection) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-38s %-22s %-26s %s\n", "Fault", "Component", "Detected by", "Trivial test")
+	sort.Slice(dets, func(i, j int) bool { return dets[i].Fault < dets[j].Fault })
+	for _, d := range dets {
+		by := strings.Join(d.DetectedBy, ", ")
+		if by == "" {
+			by = "NOT DETECTED"
+		}
+		tt := d.TrivialTest
+		if tt == "" {
+			tt = "-"
+		}
+		fmt.Fprintf(&b, "%-38s %-22s %-26s %s\n", d.Fault, d.Component, by, tt)
+	}
+	return b.String()
+}
+
+// Entries re-exports the workload generator for the replay command.
+func Entries(role string, n int, seed int64) []*pdpi.Entry {
+	return workload.MustEntries(models.MustLoad(role), n, seed)
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"switchv/internal/bugdb"
+	"switchv/internal/switchsim"
+)
+
+var tinyOpts = Options{FuzzRequests: 20, FuzzUpdates: 15, Entries: 200}
+
+func TestRunFaultCampaign(t *testing.T) {
+	det, err := RunFaultCampaign("PINS", switchsim.FaultTTL1NoTrap, tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Component != switchsim.CompHardware {
+		t.Errorf("component = %q", det.Component)
+	}
+	found := false
+	for _, tool := range det.DetectedBy {
+		if tool == "p4-symbolic" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("TTL trap fault not found by p4-symbolic: %v", det.DetectedBy)
+	}
+}
+
+func TestAggregations(t *testing.T) {
+	dets := []FaultDetection{
+		{Fault: "a", Component: "X", DetectedBy: []string{"p4-fuzzer"}, CatalogTool: "p4-fuzzer"},
+		{Fault: "b", Component: "X", DetectedBy: []string{"p4-symbolic"}, CatalogTool: "p4-symbolic", TrivialTest: "Packet-in"},
+		{Fault: "c", Component: "Y", DetectedBy: nil, CatalogTool: "p4-fuzzer"},
+		{Fault: "d", Component: "Y", DetectedBy: []string{"p4-fuzzer", "p4-symbolic"}, CatalogTool: "p4-symbolic"},
+	}
+	rows := AggregateTable1(dets)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Component != "X" || rows[0].Bugs != 2 || rows[0].Fuzzer != 1 || rows[0].Symbolic != 1 {
+		t.Errorf("row X = %+v", rows[0])
+	}
+	if rows[1].Bugs != 1 || rows[1].Symbolic != 1 {
+		t.Errorf("row Y = %+v", rows[1])
+	}
+	counts, total := AggregateTable2(dets)
+	if total != 4 || counts["Packet-in"] != 1 || counts[""] != 3 {
+		t.Errorf("table2 = %v / %d", counts, total)
+	}
+	out := RenderDetections(dets)
+	if !strings.Contains(out, "NOT DETECTED") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestTable3Small(t *testing.T) {
+	row, err := Table3("middleblock", 200, 10, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Goals == 0 || row.Covered == 0 {
+		t.Errorf("row = %+v", row)
+	}
+	if row.WithCache >= row.Generation {
+		t.Errorf("cache (%v) not faster than generation (%v)", row.WithCache, row.Generation)
+	}
+	if row.FuzzPerSec <= 0 {
+		t.Errorf("fuzz rate = %f", row.FuzzPerSec)
+	}
+	out := RenderTable3([]Table3Row{row})
+	for _, want := range []string{"Generation (w/c)", "Entries/s", "middleblock"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEntriesHelper(t *testing.T) {
+	if len(Entries("middleblock", 300, 1)) == 0 {
+		t.Error("no entries")
+	}
+}
+
+func TestStackRoles(t *testing.T) {
+	if stackRole("PINS") != "middleblock" || stackRole("Cerberus") != "wan" {
+		t.Error("stack role mapping")
+	}
+	for _, s := range bugdb.Stacks() {
+		if len(bugdb.LiveFaults(s)) == 0 {
+			t.Errorf("no live faults for %s", s)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package fuzzer
+
+import (
+	"switchv/internal/p4/constraints"
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4/value"
+	"switchv/internal/p4rt"
+)
+
+// Constraint-aware generation (§7 "Fuzzing", the BDD mechanism the paper
+// describes as ongoing work): each table's @entry_restriction is compiled
+// to a BDD over the referenced key bits. Sampling the BDD makes intended-
+// valid entries constraint-compliant; sampling its complement yields the
+// ConstraintViolation mutation — entries that are invalid *only* because
+// of the constraint, exercising the switch's semantic validation layer
+// precisely.
+
+// tableBDD caches a table's compiled restriction.
+type tableBDD struct {
+	form *constraints.BDDForm
+	bad  bool // compilation failed or no restriction: fall back
+}
+
+func (f *Fuzzer) bddFor(t *ir.Table) *tableBDD {
+	if f.bdds == nil {
+		f.bdds = map[string]*tableBDD{}
+	}
+	if tb, ok := f.bdds[t.Name]; ok {
+		return tb
+	}
+	tb := &tableBDD{}
+	form, err := constraints.CompileTableBDD(t)
+	if err != nil || form == nil {
+		tb.bad = true
+	} else {
+		tb.form = form
+	}
+	f.bdds[t.Name] = tb
+	return tb
+}
+
+// applyAssignment overwrites the constrained parts of an entry with a BDD
+// assignment. Keys carrying @refers_to are left alone (their values come
+// from the reference pool); the caller re-checks compliance.
+func (f *Fuzzer) applyAssignment(e *pdpi.Entry, form *constraints.BDDForm, assignment []bool) {
+	// Group the assignment per attribute.
+	type attrVal struct{ v value.V }
+	vals := map[[2]string]value.V{}
+	widths := map[[2]string]int{}
+	for i, ab := range form.Vars {
+		k := [2]string{ab.Key, ab.Field}
+		w := widths[k]
+		w++
+		widths[k] = w
+		v := vals[k]
+		v = v.WithWidth(64).Shl(1)
+		if assignment[i] {
+			v = v.Or(value.New(1, 64))
+		}
+		vals[k] = v
+	}
+	_ = attrVal{}
+
+	for _, key := range e.Table.Keys {
+		if key.RefersTo != nil {
+			continue
+		}
+		valAttr, hasVal := vals[[2]string{key.Name, "value"}]
+		maskAttr, hasMask := vals[[2]string{key.Name, "mask"}]
+		setAttr, hasSet := vals[[2]string{key.Name, "is_set"}]
+		if !hasVal && !hasMask && !hasSet {
+			continue
+		}
+		w := key.Field.Width
+
+		// Locate (or create) the match for this key.
+		idx := -1
+		for i := range e.Matches {
+			if e.Matches[i].Key == key.Name {
+				idx = i
+			}
+		}
+		present := true
+		if hasSet && setAttr.IsZero() {
+			present = false
+		}
+		if !present {
+			if idx >= 0 { // drop the match
+				e.Matches = append(e.Matches[:idx], e.Matches[idx+1:]...)
+			}
+			continue
+		}
+		if idx < 0 {
+			e.Matches = append(e.Matches, pdpi.Match{Key: key.Name, Kind: key.Match})
+			idx = len(e.Matches) - 1
+		}
+		m := &e.Matches[idx]
+		switch key.Match {
+		case ir.MatchExact, ir.MatchOptional:
+			if hasVal {
+				m.Value = valAttr.WithWidth(w)
+			}
+		case ir.MatchTernary:
+			if hasMask {
+				m.Mask = maskAttr.WithWidth(w)
+			}
+			if m.Mask.Width != w {
+				m.Mask = value.Ones(w)
+			}
+			if hasVal {
+				m.Value = valAttr.WithWidth(w)
+			}
+			if m.Mask.IsZero() {
+				// A zero ternary mask means "omit the match".
+				e.Matches = append(e.Matches[:idx], e.Matches[idx+1:]...)
+				continue
+			}
+			if m.Value.Width != w {
+				m.Value = f.randValue(w)
+			}
+			m.Value = m.Value.And(m.Mask)
+		case ir.MatchLPM:
+			if hasVal {
+				m.Value = valAttr.WithWidth(w).And(value.PrefixMask(m.PrefixLen, w))
+			}
+		}
+	}
+}
+
+// generateCompliant resamples the constrained parts of an entry until it
+// satisfies the table's @entry_restriction (bounded retries; @refers_to
+// keys keep their pool-drawn values).
+func (f *Fuzzer) generateCompliant(t *ir.Table, e *pdpi.Entry) *pdpi.Entry {
+	tb := f.bddFor(t)
+	if tb.bad {
+		return e
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		assignment, ok := tb.form.Builder.Sample(tb.form.Sat, f.rng)
+		if !ok {
+			return e // unsatisfiable restriction: nothing to do
+		}
+		f.applyAssignment(e, tb.form, assignment)
+		if ok, err := constraints.CheckEntry(e); err == nil && ok {
+			return e
+		}
+	}
+	return e
+}
+
+// mutateConstraintViolation is the ConstraintViolation mutation: an
+// otherwise-valid entry whose constrained bits are drawn from ¬C.
+func (f *Fuzzer) mutateConstraintViolation(u *p4rt.Update) bool {
+	t, ok := f.info.TableByID(u.Entry.TableID)
+	if !ok || t.EntryRestriction == "" {
+		return false
+	}
+	tb := f.bddFor(t)
+	if tb.bad {
+		return false
+	}
+	e, err := p4rt.FromWire(f.info, &u.Entry)
+	if err != nil {
+		return false
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		assignment, ok := tb.form.Builder.Sample(tb.form.Unsat, f.rng)
+		if !ok {
+			return false // the restriction is a tautology
+		}
+		f.applyAssignment(e, tb.form, assignment)
+		if e.Validate() != nil {
+			continue // keep the entry syntactically valid
+		}
+		if ok, err := constraints.CheckEntry(e); err == nil && !ok {
+			u.Entry = p4rt.ToWire(e)
+			return true
+		}
+	}
+	return false
+}

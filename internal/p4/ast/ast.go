@@ -1,0 +1,284 @@
+// Package ast defines the abstract syntax tree for the P4-16 subset used
+// by SwitchV to model fixed-function switches.
+package ast
+
+import "switchv/internal/p4/token"
+
+// Annotation is an @name or @name(args) or @name("string") annotation.
+type Annotation struct {
+	Pos  token.Pos
+	Name string // without the leading @
+	// Body is the raw argument list as tokens, excluding the surrounding
+	// parentheses. Empty for bare annotations. For string-bodied
+	// annotations like @entry_restriction("...") the single token is a
+	// String token whose Text is the constraint source.
+	Body []token.Token
+}
+
+// StringArg returns the annotation's single string argument, if it has one.
+func (a Annotation) StringArg() (string, bool) {
+	if len(a.Body) == 1 && a.Body[0].Kind == token.String {
+		return a.Body[0].Text, true
+	}
+	return "", false
+}
+
+// Annotations is an ordered annotation list.
+type Annotations []Annotation
+
+// Find returns the first annotation with the given name.
+func (as Annotations) Find(name string) (Annotation, bool) {
+	for _, a := range as {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Annotation{}, false
+}
+
+// FindAll returns every annotation with the given name.
+func (as Annotations) FindAll(name string) []Annotation {
+	var out []Annotation
+	for _, a := range as {
+		if a.Name == name {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Type is a type reference: either bit<N>, bool, or a named type.
+type Type struct {
+	Pos   token.Pos
+	Name  string // "bit", "bool", or a typedef/header/struct name
+	Width int    // for bit<N>
+}
+
+// IsBits reports whether the type is a bit<N> type.
+func (t Type) IsBits() bool { return t.Name == "bit" }
+
+// Program is a parsed P4 model.
+type Program struct {
+	Name     string // derived from @name on the first control, or ""
+	Typedefs []*Typedef
+	Consts   []*Const
+	Headers  []*Header
+	Structs  []*Struct
+	Controls []*Control
+}
+
+// Typedef aliases a bit<N> (or previously defined alias) under a new name.
+type Typedef struct {
+	Pos   token.Pos
+	Name  string
+	Type  Type
+	Annos Annotations
+}
+
+// Const is a compile-time integer constant.
+type Const struct {
+	Pos   token.Pos
+	Name  string
+	Type  Type
+	Value uint64
+}
+
+// Field is a named, typed field of a header or struct.
+type Field struct {
+	Pos   token.Pos
+	Name  string
+	Type  Type
+	Annos Annotations
+}
+
+// Header is a protocol header type with a validity bit.
+type Header struct {
+	Pos    token.Pos
+	Name   string
+	Fields []Field
+	Annos  Annotations
+}
+
+// Struct is a plain field bundle (headers_t, metadata_t).
+type Struct struct {
+	Pos    token.Pos
+	Name   string
+	Fields []Field
+	Annos  Annotations
+}
+
+// Param is a control or action parameter.
+type Param struct {
+	Pos       token.Pos
+	Direction string // "in", "out", "inout", or "" (directionless = control-plane arg)
+	Type      Type
+	Name      string
+	Annos     Annotations
+}
+
+// Control is a match-action pipeline stage.
+type Control struct {
+	Pos     token.Pos
+	Name    string
+	Params  []Param
+	Actions []*Action
+	Tables  []*Table
+	Apply   *BlockStmt
+	Annos   Annotations
+}
+
+// Action is a parameterized action. Directionless parameters are supplied
+// by the control plane when installing entries.
+type Action struct {
+	Pos    token.Pos
+	Name   string
+	Params []Param
+	Body   *BlockStmt
+	Annos  Annotations
+}
+
+// KeyElem is one element of a table key.
+type KeyElem struct {
+	Pos       token.Pos
+	Expr      Expr   // the matched expression, e.g. headers.ipv4.dst_addr
+	MatchKind string // "exact", "lpm", "ternary", "optional"
+	Annos     Annotations
+}
+
+// ActionRef names an action permitted in a table.
+type ActionRef struct {
+	Pos   token.Pos
+	Name  string
+	Annos Annotations
+}
+
+// Table is a match-action table.
+type Table struct {
+	Pos            token.Pos
+	Name           string
+	Keys           []KeyElem
+	Actions        []ActionRef
+	DefaultAction  string // "" if unspecified
+	DefaultArgs    []Expr // constant args of the default action
+	ConstDefault   bool
+	Size           Expr   // table size expression (const name or literal); nil if unset
+	Implementation string // "" or "action_selector" for one-shot selector tables
+	Annos          Annotations
+}
+
+// Statements.
+
+// Stmt is a statement in an action body or apply block.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct {
+	Pos   token.Pos
+	Stmts []Stmt
+}
+
+// AssignStmt is "lhs = rhs;".
+type AssignStmt struct {
+	Pos token.Pos
+	LHS Expr // FieldExpr or IdentExpr
+	RHS Expr
+}
+
+// CallStmt is a call used as a statement: primitives (mark_to_drop(), ...)
+// and table/header method calls (tbl.apply(), hdr.setValid()).
+type CallStmt struct {
+	Pos  token.Pos
+	Call *CallExpr
+}
+
+// IfStmt is a conditional inside apply blocks or action bodies.
+type IfStmt struct {
+	Pos  token.Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// ExitStmt terminates pipeline processing.
+type ExitStmt struct{ Pos token.Pos }
+
+// ReturnStmt terminates the enclosing control.
+type ReturnStmt struct{ Pos token.Pos }
+
+func (*BlockStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode() {}
+func (*CallStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()     {}
+func (*ExitStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode() {}
+
+// Expressions.
+
+// Expr is an expression.
+type Expr interface{ exprNode() }
+
+// IdentExpr is a bare identifier (constant, parameter, or local name).
+type IdentExpr struct {
+	Pos  token.Pos
+	Name string
+}
+
+// FieldExpr is a dotted path rooted at an identifier: a.b.c.
+type FieldExpr struct {
+	Pos  token.Pos
+	Path []string // at least two elements
+}
+
+// IntExpr is an integer literal.
+type IntExpr struct {
+	Pos   token.Pos
+	Value uint64
+	Width int // 0 if unspecified
+}
+
+// BoolExpr is true/false.
+type BoolExpr struct {
+	Pos   token.Pos
+	Value bool
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Pos  token.Pos
+	Op   token.Kind // Eq, Ne, Lt, Le, Gt, Ge, AndAnd, OrOr, And, Or, Xor, Plus, Minus, Shl, Shr
+	X, Y Expr
+}
+
+// UnaryExpr is !x, ~x, or -x.
+type UnaryExpr struct {
+	Pos token.Pos
+	Op  token.Kind
+	X   Expr
+}
+
+// CallExpr is f(args) or recv.method(args). For method calls, Recv is the
+// receiver path and Name the method ("isValid", "setValid", "setInvalid",
+// "apply"); for free calls, Recv is nil and Name the primitive name
+// ("mark_to_drop", "punt_to_cpu", "copy_to_cpu", "mirror", "hash",
+// "set_egress_port", "no_op", "encap_gre", "decap_gre").
+type CallExpr struct {
+	Pos  token.Pos
+	Recv []string
+	Name string
+	Args []Expr
+}
+
+// TernaryExpr is cond ? a : b.
+type TernaryExpr struct {
+	Pos        token.Pos
+	Cond, X, Y Expr
+}
+
+func (*IdentExpr) exprNode()   {}
+func (*FieldExpr) exprNode()   {}
+func (*IntExpr) exprNode()     {}
+func (*BoolExpr) exprNode()    {}
+func (*BinaryExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*CallExpr) exprNode()    {}
+func (*TernaryExpr) exprNode() {}

@@ -1,0 +1,279 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"switchv/internal/p4/token"
+)
+
+// Print renders a program back to P4 source in the subset grammar. The
+// output re-parses to a semantically identical program (the round-trip
+// property tested in the parser package), which also makes Print useful
+// for generating model variants programmatically.
+func Print(p *Program) string {
+	pr := &printer{}
+	for _, td := range p.Typedefs {
+		pr.annotations(td.Annos, "")
+		pr.printf("typedef %s %s;\n", typeStr(td.Type), td.Name)
+	}
+	for _, c := range p.Consts {
+		pr.printf("const %s %s = %d;\n", typeStr(c.Type), c.Name, c.Value)
+	}
+	for _, h := range p.Headers {
+		pr.annotations(h.Annos, "")
+		pr.printf("header %s {\n", h.Name)
+		pr.fields(h.Fields)
+		pr.printf("}\n")
+	}
+	for _, s := range p.Structs {
+		pr.annotations(s.Annos, "")
+		pr.printf("struct %s {\n", s.Name)
+		pr.fields(s.Fields)
+		pr.printf("}\n")
+	}
+	for _, c := range p.Controls {
+		pr.control(c)
+	}
+	return pr.b.String()
+}
+
+type printer struct {
+	b strings.Builder
+}
+
+func (pr *printer) printf(format string, args ...any) {
+	fmt.Fprintf(&pr.b, format, args...)
+}
+
+func typeStr(t Type) string {
+	if t.IsBits() {
+		return fmt.Sprintf("bit<%d>", t.Width)
+	}
+	return t.Name
+}
+
+func (pr *printer) fields(fs []Field) {
+	for _, f := range fs {
+		pr.annotations(f.Annos, "  ")
+		pr.printf("  %s %s;\n", typeStr(f.Type), f.Name)
+	}
+}
+
+func (pr *printer) annotations(as Annotations, indent string) {
+	for _, a := range as {
+		if len(a.Body) == 0 {
+			pr.printf("%s@%s\n", indent, a.Name)
+			continue
+		}
+		var parts []string
+		for _, t := range a.Body {
+			switch t.Kind {
+			case token.String:
+				parts = append(parts, fmt.Sprintf("%q", t.Text))
+			default:
+				parts = append(parts, t.String())
+			}
+		}
+		pr.printf("%s@%s(%s)\n", indent, a.Name, strings.Join(parts, " "))
+	}
+}
+
+// annotationsInline renders annotations on one line (for key elements).
+func annotationsInline(as Annotations) string {
+	var out []string
+	for _, a := range as {
+		if len(a.Body) == 0 {
+			out = append(out, "@"+a.Name)
+			continue
+		}
+		var parts []string
+		for _, t := range a.Body {
+			switch t.Kind {
+			case token.String:
+				parts = append(parts, fmt.Sprintf("%q", t.Text))
+			default:
+				parts = append(parts, t.String())
+			}
+		}
+		out = append(out, fmt.Sprintf("@%s(%s)", a.Name, strings.Join(parts, " ")))
+	}
+	return strings.Join(out, " ")
+}
+
+func (pr *printer) control(c *Control) {
+	pr.annotations(c.Annos, "")
+	var params []string
+	for _, p := range c.Params {
+		s := typeStr(p.Type) + " " + p.Name
+		if p.Direction != "" {
+			s = p.Direction + " " + s
+		}
+		params = append(params, s)
+	}
+	pr.printf("control %s(%s) {\n", c.Name, strings.Join(params, ", "))
+	for _, a := range c.Actions {
+		pr.action(a)
+	}
+	for _, t := range c.Tables {
+		pr.table(t)
+	}
+	pr.printf("  apply ")
+	pr.block(c.Apply, "  ")
+	pr.printf("\n}\n")
+}
+
+func (pr *printer) action(a *Action) {
+	pr.annotations(a.Annos, "  ")
+	var params []string
+	for _, p := range a.Params {
+		s := typeStr(p.Type) + " " + p.Name
+		if an := annotationsInline(p.Annos); an != "" {
+			s = an + " " + s
+		}
+		params = append(params, s)
+	}
+	pr.printf("  action %s(%s) ", a.Name, strings.Join(params, ", "))
+	pr.block(a.Body, "  ")
+	pr.printf("\n")
+}
+
+func (pr *printer) table(t *Table) {
+	pr.annotations(t.Annos, "  ")
+	pr.printf("  table %s {\n", t.Name)
+	if len(t.Keys) > 0 {
+		pr.printf("    key = {\n")
+		for _, k := range t.Keys {
+			line := fmt.Sprintf("      %s : %s", ExprString(k.Expr), k.MatchKind)
+			if an := annotationsInline(k.Annos); an != "" {
+				line += " " + an
+			}
+			pr.printf("%s;\n", line)
+		}
+		pr.printf("    }\n")
+	}
+	if len(t.Actions) > 0 {
+		pr.printf("    actions = {\n")
+		for _, a := range t.Actions {
+			line := "      "
+			if an := annotationsInline(a.Annos); an != "" {
+				line += an + " "
+			}
+			pr.printf("%s%s;\n", line, a.Name)
+		}
+		pr.printf("    }\n")
+	}
+	if t.DefaultAction != "" {
+		kw := "default_action"
+		if t.ConstDefault {
+			kw = "const default_action"
+		}
+		args := ""
+		if len(t.DefaultArgs) > 0 {
+			var parts []string
+			for _, a := range t.DefaultArgs {
+				parts = append(parts, ExprString(a))
+			}
+			args = "(" + strings.Join(parts, ", ") + ")"
+		}
+		pr.printf("    %s = %s%s;\n", kw, t.DefaultAction, args)
+	}
+	if t.Size != nil {
+		pr.printf("    size = %s;\n", ExprString(t.Size))
+	}
+	if t.Implementation != "" {
+		pr.printf("    implementation = %s;\n", t.Implementation)
+	}
+	pr.printf("  }\n")
+}
+
+func (pr *printer) block(b *BlockStmt, indent string) {
+	pr.printf("{\n")
+	inner := indent + "  "
+	for _, st := range b.Stmts {
+		pr.stmt(st, inner)
+	}
+	pr.printf("%s}", indent)
+}
+
+func (pr *printer) stmt(st Stmt, indent string) {
+	switch x := st.(type) {
+	case *BlockStmt:
+		pr.printf("%s", indent)
+		pr.block(x, indent)
+		pr.printf("\n")
+	case *AssignStmt:
+		pr.printf("%s%s = %s;\n", indent, ExprString(x.LHS), ExprString(x.RHS))
+	case *CallStmt:
+		pr.printf("%s%s;\n", indent, ExprString(x.Call))
+	case *ExitStmt:
+		pr.printf("%sexit;\n", indent)
+	case *ReturnStmt:
+		pr.printf("%sreturn;\n", indent)
+	case *IfStmt:
+		pr.printf("%sif (%s) ", indent, ExprString(x.Cond))
+		pr.block(x.Then, indent)
+		switch e := x.Else.(type) {
+		case nil:
+			pr.printf("\n")
+		case *BlockStmt:
+			pr.printf(" else ")
+			pr.block(e, indent)
+			pr.printf("\n")
+		case *IfStmt:
+			pr.printf(" else {\n")
+			pr.stmt(e, indent+"  ")
+			pr.printf("%s}\n", indent)
+		}
+	}
+}
+
+// ExprString renders an expression. Every composite sub-expression is
+// parenthesized, so operator precedence survives the round trip.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *IdentExpr:
+		return x.Name
+	case *FieldExpr:
+		return strings.Join(x.Path, ".")
+	case *IntExpr:
+		if x.Width > 0 {
+			return fmt.Sprintf("%dw%d", x.Width, x.Value)
+		}
+		return fmt.Sprintf("%d", x.Value)
+	case *BoolExpr:
+		if x.Value {
+			return "true"
+		}
+		return "false"
+	case *UnaryExpr:
+		return opText(x.Op) + parens(x.X)
+	case *BinaryExpr:
+		return parens(x.X) + " " + opText(x.Op) + " " + parens(x.Y)
+	case *TernaryExpr:
+		return parens(x.Cond) + " ? " + parens(x.X) + " : " + parens(x.Y)
+	case *CallExpr:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, ExprString(a))
+		}
+		name := x.Name
+		if len(x.Recv) > 0 {
+			name = strings.Join(x.Recv, ".") + "." + name
+		}
+		return name + "(" + strings.Join(args, ", ") + ")"
+	default:
+		return fmt.Sprintf("/*?%T*/", e)
+	}
+}
+
+func parens(e Expr) string {
+	switch e.(type) {
+	case *BinaryExpr, *TernaryExpr, *UnaryExpr:
+		return "(" + ExprString(e) + ")"
+	default:
+		return ExprString(e)
+	}
+}
+
+func opText(k token.Kind) string { return k.String() }

@@ -1,0 +1,241 @@
+package constraints
+
+import (
+	"fmt"
+
+	"switchv/internal/bdd"
+	"switchv/internal/p4/ir"
+)
+
+// AttrBit names one BDD variable: bit Bit (0 = most significant) of a key
+// attribute ("value", "mask", or "is_set").
+type AttrBit struct {
+	Key   string
+	Field string
+	Bit   int
+}
+
+// attrKey identifies an attribute.
+type attrKey struct {
+	key   string
+	field string
+}
+
+// BDDForm is a constraint compiled to a BDD over the referenced key bits
+// (§7 "Fuzzing": the basis of constraint-aware generation).
+type BDDForm struct {
+	Builder *bdd.Builder
+	// Sat is the set of compliant assignments, Unsat its complement.
+	Sat, Unsat bdd.Node
+	// Vars maps BDD variable indices to attribute bits, MSB first per
+	// attribute.
+	Vars []AttrBit
+	// bitIndex locates an attribute's bit range.
+	bitIndex map[attrKey][]int
+}
+
+// AttrBits returns the BDD variable indices of an attribute (MSB first),
+// or nil if the constraint does not mention it.
+func (f *BDDForm) AttrBits(key, field string) []int {
+	return f.bitIndex[attrKey{key, field}]
+}
+
+// CompileBDD lowers the constraint to a BDD. It fails on shapes the
+// bit-level encoding does not support (comparisons between two attributes,
+// ::prefix_length, attributes wider than 64 bits).
+func (c *Constraint) CompileBDD() (*BDDForm, error) {
+	// Collect referenced attributes with their widths.
+	var attrs []attrKey
+	widths := map[attrKey]int{}
+	var collect func(n node) error
+	collect = func(n node) error {
+		switch x := n.(type) {
+		case attr:
+			k := attrKey{x.key.Name, x.field}
+			if _, seen := widths[k]; seen {
+				return nil
+			}
+			w := x.key.Field.Width
+			switch x.field {
+			case "is_set":
+				w = 1
+			case "prefix_length":
+				return fmt.Errorf("constraints: ::prefix_length is not BDD-encodable")
+			}
+			if w > 64 {
+				return fmt.Errorf("constraints: attribute %s::%s is wider than 64 bits", x.key.Name, x.field)
+			}
+			widths[k] = w
+			attrs = append(attrs, k)
+		case *cmp:
+			if err := collect(x.x); err != nil {
+				return err
+			}
+			return collect(x.y)
+		case *logic:
+			if err := collect(x.x); err != nil {
+				return err
+			}
+			if x.y != nil {
+				return collect(x.y)
+			}
+		}
+		return nil
+	}
+	if err := collect(c.root); err != nil {
+		return nil, err
+	}
+
+	form := &BDDForm{bitIndex: map[attrKey][]int{}}
+	total := 0
+	for _, a := range attrs {
+		w := widths[a]
+		bits := make([]int, w)
+		for i := 0; i < w; i++ {
+			bits[i] = total + i
+			form.Vars = append(form.Vars, AttrBit{Key: a.key, Field: a.field, Bit: i})
+		}
+		form.bitIndex[a] = bits
+		total += w
+	}
+	form.Builder = bdd.New(total)
+
+	root, err := c.toBDD(form, c.root)
+	if err != nil {
+		return nil, err
+	}
+	form.Sat = root
+	form.Unsat = form.Builder.Not(root)
+	return form, nil
+}
+
+func (c *Constraint) toBDD(form *BDDForm, n node) (bdd.Node, error) {
+	b := form.Builder
+	switch x := n.(type) {
+	case boolLit:
+		return b.Const(bool(x)), nil
+	case *logic:
+		l, err := c.toBDD(form, x.x)
+		if err != nil {
+			return 0, err
+		}
+		if x.op == "!" {
+			return b.Not(l), nil
+		}
+		r, err := c.toBDD(form, x.y)
+		if err != nil {
+			return 0, err
+		}
+		switch x.op {
+		case "&&":
+			return b.And(l, r), nil
+		case "||":
+			return b.Or(l, r), nil
+		case "->":
+			return b.Implies(l, r), nil
+		}
+		return 0, fmt.Errorf("constraints: operator %q", x.op)
+	case *cmp:
+		// Normalize to attr OP literal.
+		a, aIsAttr := x.x.(attr)
+		lv, lIsLit := x.y.(numLit)
+		op := x.op
+		if !aIsAttr {
+			if a2, ok := x.y.(attr); ok {
+				if l2, ok := x.x.(numLit); ok {
+					a, lv = a2, l2
+					op = flipCmp(op)
+					aIsAttr, lIsLit = true, true
+				}
+			}
+		}
+		if !aIsAttr || !lIsLit {
+			// literal-vs-literal folds; attr-vs-attr is unsupported.
+			if l1, ok1 := x.x.(numLit); ok1 {
+				if l2, ok2 := x.y.(numLit); ok2 {
+					return b.Const(cmpLits(op, l1.v, l2.v)), nil
+				}
+			}
+			return 0, fmt.Errorf("constraints: comparison between two attributes is not BDD-encodable")
+		}
+		field := a.field
+		width := a.key.Field.Width
+		if field == "is_set" {
+			width = 1
+		}
+		bits := form.AttrBits(a.key.Name, field)
+		v := lv.v
+		// Literals outside the attribute's range fold.
+		if width < 64 && v >= 1<<uint(width) {
+			switch op {
+			case "==", ">", ">=":
+				return bdd.False, nil
+			case "!=", "<", "<=":
+				return bdd.True, nil
+			}
+		}
+		switch op {
+		case "==":
+			return b.EqConst(bits, v), nil
+		case "!=":
+			return b.Not(b.EqConst(bits, v)), nil
+		case "<":
+			return b.LtConst(bits, v), nil
+		case "<=":
+			return b.Or(b.LtConst(bits, v), b.EqConst(bits, v)), nil
+		case ">":
+			return b.GtConst(bits, v), nil
+		case ">=":
+			return b.Not(b.LtConst(bits, v)), nil
+		}
+		return 0, fmt.Errorf("constraints: comparison %q", op)
+	default:
+		return 0, fmt.Errorf("constraints: node %T is not BDD-encodable", n)
+	}
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op // == and != are symmetric
+	}
+}
+
+func cmpLits(op string, a, b uint64) bool {
+	switch op {
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+// CompileTableBDD compiles a table's @entry_restriction to a BDD; a table
+// without a restriction returns (nil, nil).
+func CompileTableBDD(t *ir.Table) (*BDDForm, error) {
+	if t.EntryRestriction == "" {
+		return nil, nil
+	}
+	c, err := cached(t)
+	if err != nil {
+		return nil, err
+	}
+	return c.CompileBDD()
+}

@@ -1,0 +1,468 @@
+// Package constraints implements the P4-constraints extension (§3
+// "P4-Constraints"): a boolean expression language over table keys,
+// attached to tables via @entry_restriction annotations, used to decide
+// the semantic validity of control-plane requests.
+//
+// The language supports the accessors of the open-source p4-constraints
+// project that the paper's models need:
+//
+//	vrf_id != 0                       // exact/optional/lpm value
+//	ttl::mask != 0 -> is_ipv4 == 1    // ternary value/mask, implication
+//	dst::prefix_length >= 16          // lpm prefix length
+//	present::is_set == 1              // optional presence
+//
+// Multiple constraints separated by ';' are a conjunction.
+package constraints
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4/value"
+)
+
+// Constraint is a compiled entry restriction for a specific table.
+type Constraint struct {
+	Source string
+	table  *ir.Table
+	root   node
+}
+
+// node is an expression node. Numeric nodes evaluate to value.V; boolean
+// nodes to bool.
+type node interface{ isNode() }
+
+type boolLit bool
+
+type numLit struct {
+	v uint64
+}
+
+// attr reads an attribute of a key's match in the entry under evaluation.
+type attr struct {
+	key   ir.KeyField
+	field string // "value", "mask", "prefix_length", "is_set"
+}
+
+type cmp struct {
+	op   string // == != < <= > >=
+	x, y node   // numeric
+}
+
+type logic struct {
+	op   string // && || -> !
+	x, y node   // boolean; y nil for !
+}
+
+func (boolLit) isNode() {}
+func (numLit) isNode()  {}
+func (attr) isNode()    {}
+func (*cmp) isNode()    {}
+func (*logic) isNode()  {}
+
+// Compile parses and resolves a constraint expression against a table's
+// key schema.
+func Compile(src string, t *ir.Table) (*Constraint, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &cparser{src: src, toks: toks, table: t}
+	root, err := p.parseConjunction()
+	if err != nil {
+		return nil, err
+	}
+	if !isBool(root) {
+		return nil, fmt.Errorf("constraints: %q: top-level expression is not boolean", src)
+	}
+	return &Constraint{Source: src, table: t, root: root}, nil
+}
+
+func isBool(n node) bool {
+	switch n.(type) {
+	case boolLit, *cmp, *logic:
+		return true
+	default:
+		return false
+	}
+}
+
+// Eval evaluates the constraint against an entry. The entry must belong to
+// the constraint's table and be syntactically valid.
+func (c *Constraint) Eval(e *pdpi.Entry) bool {
+	return c.evalBool(c.root, e)
+}
+
+func (c *Constraint) evalBool(n node, e *pdpi.Entry) bool {
+	switch x := n.(type) {
+	case boolLit:
+		return bool(x)
+	case *logic:
+		switch x.op {
+		case "!":
+			return !c.evalBool(x.x, e)
+		case "&&":
+			return c.evalBool(x.x, e) && c.evalBool(x.y, e)
+		case "||":
+			return c.evalBool(x.x, e) || c.evalBool(x.y, e)
+		case "->":
+			return !c.evalBool(x.x, e) || c.evalBool(x.y, e)
+		}
+	case *cmp:
+		a, aw := c.evalNum(x.x, e)
+		b, bw := c.evalNum(x.y, e)
+		// Width-align: literals adopt the other side's width.
+		w := aw
+		if w == 0 {
+			w = bw
+		}
+		if w == 0 {
+			w = 64
+		}
+		av := value.New128(a.Hi, a.Lo, w)
+		bv := value.New128(b.Hi, b.Lo, w)
+		switch x.op {
+		case "==":
+			return av.Equal(bv)
+		case "!=":
+			return !av.Equal(bv)
+		case "<":
+			return av.Less(bv)
+		case "<=":
+			return !bv.Less(av)
+		case ">":
+			return bv.Less(av)
+		case ">=":
+			return !av.Less(bv)
+		}
+	}
+	return false
+}
+
+// evalNum returns the numeric value of a node and its natural width (0 for
+// width-agnostic literals).
+func (c *Constraint) evalNum(n node, e *pdpi.Entry) (value.V, int) {
+	switch x := n.(type) {
+	case numLit:
+		return value.New(x.v, 64), 0
+	case attr:
+		w := x.key.Field.Width
+		m, present := e.Match(x.key.Name)
+		switch x.field {
+		case "is_set":
+			if present {
+				return value.New(1, 1), 1
+			}
+			return value.Zero(1), 1
+		case "prefix_length":
+			if !present {
+				return value.Zero(16), 16
+			}
+			return value.New(uint64(m.PrefixLen), 16), 16
+		case "mask":
+			if !present {
+				return value.Zero(w), w
+			}
+			if x.key.Match == ir.MatchLPM {
+				return value.PrefixMask(m.PrefixLen, w), w
+			}
+			if x.key.Match == ir.MatchOptional || x.key.Match == ir.MatchExact {
+				return value.Ones(w), w
+			}
+			return m.Mask, w
+		default: // value
+			if !present {
+				return value.Zero(w), w
+			}
+			return m.Value, w
+		}
+	}
+	return value.V{}, 0
+}
+
+// CheckEntry evaluates the table's @entry_restriction (if any) against the
+// entry, compiling and caching the constraint on first use. A table with
+// no restriction accepts everything.
+func CheckEntry(e *pdpi.Entry) (bool, error) {
+	t := e.Table
+	if t.EntryRestriction == "" {
+		return true, nil
+	}
+	c, err := cached(t)
+	if err != nil {
+		return false, err
+	}
+	return c.Eval(e), nil
+}
+
+var cache sync.Map // *ir.Table -> *Constraint
+
+func cached(t *ir.Table) (*Constraint, error) {
+	if c, ok := cache.Load(t); ok {
+		return c.(*Constraint), nil
+	}
+	c, err := Compile(t.EntryRestriction, t)
+	if err != nil {
+		return nil, fmt.Errorf("constraints: table %s: %w", t.Name, err)
+	}
+	cache.Store(t, c)
+	return c, nil
+}
+
+// Lexer.
+
+type ctok struct {
+	kind string // "ident", "num", or the operator itself
+	text string
+	num  uint64
+}
+
+func lex(src string) ([]ctok, error) {
+	var toks []ctok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			j := i
+			for j < len(src) && (src[j] == '_' || src[j] >= 'a' && src[j] <= 'z' ||
+				src[j] >= 'A' && src[j] <= 'Z' || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			toks = append(toks, ctok{kind: "ident", text: src[i:j]})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' ||
+				src[j] >= 'a' && src[j] <= 'f' || src[j] >= 'A' && src[j] <= 'F' ||
+				src[j] == 'x' || src[j] == 'X' || src[j] == 'b' || src[j] == 'B') {
+				j++
+			}
+			text := src[i:j]
+			v, err := strconv.ParseUint(text, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("constraints: bad literal %q", text)
+			}
+			toks = append(toks, ctok{kind: "num", text: text, num: v})
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "::", "->", "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, ctok{kind: two})
+				i += 2
+				continue
+			}
+			switch c {
+			case '<', '>', '!', '(', ')', ';':
+				toks = append(toks, ctok{kind: string(c)})
+				i++
+			default:
+				return nil, fmt.Errorf("constraints: unexpected character %q in %q", c, src)
+			}
+		}
+	}
+	toks = append(toks, ctok{kind: "eof"})
+	return toks, nil
+}
+
+// Parser.
+
+type cparser struct {
+	src   string
+	toks  []ctok
+	pos   int
+	table *ir.Table
+}
+
+func (p *cparser) cur() ctok { return p.toks[p.pos] }
+
+func (p *cparser) accept(kind string) bool {
+	if p.cur().kind == kind {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *cparser) errf(format string, args ...any) error {
+	return fmt.Errorf("constraints: %q: %s", p.src, fmt.Sprintf(format, args...))
+}
+
+// parseConjunction parses "expr (';' expr)*".
+func (p *cparser) parseConjunction() (node, error) {
+	root, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(";") {
+		if p.cur().kind == "eof" {
+			break // trailing semicolon
+		}
+		next, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		if !isBool(root) || !isBool(next) {
+			return nil, p.errf("';' joins boolean expressions")
+		}
+		root = &logic{op: "&&", x: root, y: next}
+	}
+	if p.cur().kind != "eof" {
+		return nil, p.errf("unexpected %q", p.cur().kind)
+	}
+	return root, nil
+}
+
+func (p *cparser) parseImplies() (node, error) {
+	lhs, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("->") {
+		rhs, err := p.parseImplies() // right associative
+		if err != nil {
+			return nil, err
+		}
+		if !isBool(lhs) || !isBool(rhs) {
+			return nil, p.errf("'->' requires boolean operands")
+		}
+		return &logic{op: "->", x: lhs, y: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *cparser) parseOr() (node, error) {
+	lhs, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		if !isBool(lhs) || !isBool(rhs) {
+			return nil, p.errf("'||' requires boolean operands")
+		}
+		lhs = &logic{op: "||", x: lhs, y: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *cparser) parseAnd() (node, error) {
+	lhs, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		rhs, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		if !isBool(lhs) || !isBool(rhs) {
+			return nil, p.errf("'&&' requires boolean operands")
+		}
+		lhs = &logic{op: "&&", x: lhs, y: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *cparser) parseNot() (node, error) {
+	if p.accept("!") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		if !isBool(x) {
+			return nil, p.errf("'!' requires a boolean operand")
+		}
+		return &logic{op: "!", x: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *cparser) parseCmp() (node, error) {
+	lhs, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(op) {
+			rhs, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			if isBool(lhs) || isBool(rhs) {
+				return nil, p.errf("%q compares numeric values", op)
+			}
+			return &cmp{op: op, x: lhs, y: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *cparser) parseAtom() (node, error) {
+	t := p.cur()
+	switch t.kind {
+	case "(":
+		p.pos++
+		e, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, p.errf("missing )")
+		}
+		return e, nil
+	case "num":
+		p.pos++
+		return numLit{v: t.num}, nil
+	case "ident":
+		p.pos++
+		switch t.text {
+		case "true":
+			return boolLit(true), nil
+		case "false":
+			return boolLit(false), nil
+		}
+		key, ok := p.table.KeyByName(t.text)
+		if !ok {
+			return nil, p.errf("table %s has no key %q", p.table.Name, t.text)
+		}
+		field := "value"
+		if p.accept("::") {
+			ft := p.cur()
+			if ft.kind != "ident" {
+				return nil, p.errf("expected accessor after ::")
+			}
+			p.pos++
+			field = ft.text
+		}
+		switch field {
+		case "value":
+		case "mask":
+		case "prefix_length":
+			if key.Match != ir.MatchLPM {
+				return nil, p.errf("::prefix_length requires an lpm key, %q is %s", t.text, key.Match)
+			}
+		case "is_set":
+			if key.Match != ir.MatchOptional && key.Match != ir.MatchTernary {
+				return nil, p.errf("::is_set requires an optional or ternary key")
+			}
+		default:
+			return nil, p.errf("unknown accessor ::%s", field)
+		}
+		return attr{key: key, field: field}, nil
+	default:
+		return nil, p.errf("unexpected %q", t.kind)
+	}
+}

@@ -1,0 +1,262 @@
+package constraints
+
+import (
+	"strings"
+	"testing"
+
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4/value"
+	"switchv/models"
+)
+
+func vrfEntry(v uint64) *pdpi.Entry {
+	p := models.Middleblock()
+	tbl, _ := p.TableByName("vrf_table")
+	return &pdpi.Entry{
+		Table:   tbl,
+		Matches: []pdpi.Match{{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(v, 10)}},
+		Action:  &pdpi.ActionInvocation{Action: p.NoAction},
+	}
+}
+
+func aclEntry(matches ...pdpi.Match) *pdpi.Entry {
+	p := models.Middleblock()
+	tbl, _ := p.TableByName("acl_ingress_table")
+	drop, _ := p.ActionByName("acl_drop")
+	return &pdpi.Entry{
+		Table:    tbl,
+		Matches:  matches,
+		Priority: 1,
+		Action:   &pdpi.ActionInvocation{Action: drop},
+	}
+}
+
+func TestVrfRestriction(t *testing.T) {
+	// vrf_table: "(vrf_id != 0)". Entry v2 of the paper's Figure 3 (vrf 0)
+	// is invalid.
+	ok, err := CheckEntry(vrfEntry(1))
+	if err != nil || !ok {
+		t.Errorf("vrf 1: ok=%v err=%v", ok, err)
+	}
+	ok, err = CheckEntry(vrfEntry(0))
+	if err != nil || ok {
+		t.Errorf("vrf 0: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestImplication(t *testing.T) {
+	// acl_ingress: ttl::mask != 0 -> (is_ipv4 == 1 || is_ipv6 == 1).
+	ttl := pdpi.Match{Key: "ttl", Kind: ir.MatchTernary, Value: value.New(1, 8), Mask: value.New(0xff, 8)}
+	isIPv4 := pdpi.Match{Key: "is_ipv4", Kind: ir.MatchOptional, Value: value.New(1, 1)}
+
+	ok, err := CheckEntry(aclEntry(ttl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("ttl match without ip match accepted")
+	}
+	ok, err = CheckEntry(aclEntry(ttl, isIPv4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("ttl match with is_ipv4 rejected")
+	}
+	// No ttl match: vacuously true.
+	ok, err = CheckEntry(aclEntry())
+	if err != nil || !ok {
+		t.Errorf("empty acl entry: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestIcmpProtocolConstraint(t *testing.T) {
+	// icmp_type::mask != 0 -> ip_protocol::value == 1.
+	icmp := pdpi.Match{Key: "icmp_type", Kind: ir.MatchTernary, Value: value.New(8, 8), Mask: value.New(0xff, 8)}
+	protoICMP := pdpi.Match{Key: "ip_protocol", Kind: ir.MatchTernary, Value: value.New(1, 8), Mask: value.New(0xff, 8)}
+	protoTCP := pdpi.Match{Key: "ip_protocol", Kind: ir.MatchTernary, Value: value.New(6, 8), Mask: value.New(0xff, 8)}
+	ipv4 := pdpi.Match{Key: "is_ipv4", Kind: ir.MatchOptional, Value: value.New(1, 1)}
+
+	if ok, _ := CheckEntry(aclEntry(icmp, protoICMP, ipv4)); !ok {
+		t.Error("icmp+proto1 rejected")
+	}
+	if ok, _ := CheckEntry(aclEntry(icmp, protoTCP, ipv4)); ok {
+		t.Error("icmp+proto6 accepted")
+	}
+	if ok, _ := CheckEntry(aclEntry(icmp, ipv4)); ok {
+		t.Error("icmp without protocol match accepted")
+	}
+}
+
+func compileTbl(t *testing.T, src string) *Constraint {
+	t.Helper()
+	p := models.Middleblock()
+	tbl, _ := p.TableByName("acl_ingress_table")
+	c, err := Compile(src, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOperators(t *testing.T) {
+	ttl := func(v uint64) *pdpi.Entry {
+		return aclEntry(
+			pdpi.Match{Key: "ttl", Kind: ir.MatchTernary, Value: value.New(v, 8), Mask: value.New(0xff, 8)},
+			pdpi.Match{Key: "is_ipv4", Kind: ir.MatchOptional, Value: value.New(1, 1)},
+		)
+	}
+	cases := []struct {
+		src  string
+		v    uint64
+		want bool
+	}{
+		{"ttl::value == 5", 5, true},
+		{"ttl::value != 5", 5, false},
+		{"ttl::value < 5", 4, true},
+		{"ttl::value <= 5", 5, true},
+		{"ttl::value > 5", 6, true},
+		{"ttl::value >= 5", 4, false},
+		{"!(ttl::value == 5)", 5, false},
+		{"ttl::value == 5 || ttl::value == 6", 6, true},
+		{"ttl::value == 5 && ttl::value == 6", 5, false},
+		{"true", 0, true},
+		{"false || ttl::value == 1", 1, true},
+		{"ttl::value == 0x10", 16, true},
+		{"ttl::is_set == 1", 9, true},
+		{"is_ipv6::is_set == 1", 9, false},
+		{"ttl::mask == 0xff", 1, true},
+		{"is_ipv4::mask == 1", 1, true}, // optional present: full mask
+	}
+	for _, c := range cases {
+		got := compileTbl(t, c.src).Eval(ttl(c.v))
+		if got != c.want {
+			t.Errorf("%q on ttl=%d = %v, want %v", c.src, c.v, got, c.want)
+		}
+	}
+}
+
+func TestLPMAccessors(t *testing.T) {
+	p := models.Middleblock()
+	tbl, _ := p.TableByName("ipv4_table")
+	c, err := Compile("ipv4_dst::prefix_length >= 8 && ipv4_dst::mask != 0", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &pdpi.Entry{
+		Table: tbl,
+		Matches: []pdpi.Match{
+			{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(1, 10)},
+			{Key: "ipv4_dst", Kind: ir.MatchLPM, Value: value.New(0x0a000000, 32), PrefixLen: 8},
+		},
+	}
+	if !c.Eval(e) {
+		t.Error("plen 8 rejected")
+	}
+	e.Matches[1].PrefixLen = 4
+	if c.Eval(e) {
+		t.Error("plen 4 accepted")
+	}
+}
+
+func TestSemicolonConjunction(t *testing.T) {
+	p := models.WAN()
+	tbl, _ := p.TableByName("vlan_table")
+	mk := func(v uint64) *pdpi.Entry {
+		return &pdpi.Entry{
+			Table:   tbl,
+			Matches: []pdpi.Match{{Key: "vlan_id", Kind: ir.MatchExact, Value: value.New(v, 12)}},
+		}
+	}
+	for v, want := range map[uint64]bool{0: false, 1: true, 4094: true, 4095: false} {
+		ok, err := CheckEntry(mk(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != want {
+			t.Errorf("vlan %d: ok=%v, want %v", v, ok, want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	p := models.Middleblock()
+	tbl, _ := p.TableByName("acl_ingress_table")
+	cases := []string{
+		"bogus_key == 1",
+		"ttl::bogus == 1",
+		"ttl::prefix_length == 1",            // not lpm
+		"ether_type::value ==",               // truncated
+		"ttl::value == 1 &&",                 // truncated
+		"(ttl::value == 1",                   // missing paren
+		"1 == 1 == 1",                        // cmp of bool
+		"ttl::value",                         // not boolean at top
+		"true && 5",                          // non-bool operand
+		"!5",                                 // non-bool operand
+		"true -> 5",                          // non-bool implication
+		"ttl::value == 1 @",                  // bad char
+		"ttl::value == 99999999999999999999", // overflow literal
+		"ttl::value == 1 extra",
+		"dst_mac::is_set == 1 ; ; ttl::value == 1", // double semicolon mid-expression
+	}
+	for _, src := range cases {
+		if _, err := Compile(src, tbl); err == nil {
+			t.Errorf("Compile(%q) succeeded", src)
+		}
+	}
+}
+
+func TestTrailingSemicolon(t *testing.T) {
+	c := compileTbl(t, "ttl::value == 1;")
+	e := aclEntry(
+		pdpi.Match{Key: "ttl", Kind: ir.MatchTernary, Value: value.New(1, 8), Mask: value.New(0xff, 8)},
+		pdpi.Match{Key: "is_ipv4", Kind: ir.MatchOptional, Value: value.New(1, 1)},
+	)
+	if !c.Eval(e) {
+		t.Error("trailing semicolon broke evaluation")
+	}
+}
+
+func TestNoRestrictionAcceptsAll(t *testing.T) {
+	p := models.Middleblock()
+	tbl, _ := p.TableByName("nexthop_table")
+	e := &pdpi.Entry{Table: tbl}
+	ok, err := CheckEntry(e)
+	if err != nil || !ok {
+		t.Errorf("ok=%v err=%v", ok, err)
+	}
+}
+
+func TestWideValues(t *testing.T) {
+	// 128-bit comparisons through the constraint engine.
+	p := models.WAN()
+	tbl, _ := p.TableByName("acl_pre_ingress_table")
+	c, err := Compile("dst_ipv6::mask != 0 -> is_ipv6 == 1", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &pdpi.Entry{
+		Table:    tbl,
+		Priority: 1,
+		Matches: []pdpi.Match{
+			{Key: "dst_ipv6", Kind: ir.MatchTernary, Value: value.New128(0x20010db800000000, 0, 128), Mask: value.PrefixMask(32, 128)},
+		},
+	}
+	if c.Eval(e) {
+		t.Error("ipv6 ternary without is_ipv6 accepted")
+	}
+	e.Matches = append(e.Matches, pdpi.Match{Key: "is_ipv6", Kind: ir.MatchOptional, Value: value.New(1, 1)})
+	if !c.Eval(e) {
+		t.Error("ipv6 ternary with is_ipv6 rejected")
+	}
+}
+
+func TestErrorMentionsTable(t *testing.T) {
+	p := models.Middleblock()
+	tbl, _ := p.TableByName("vrf_table")
+	// Corrupt the cached path by compiling a bad source directly.
+	if _, err := Compile("nope == 1", tbl); err == nil || !strings.Contains(err.Error(), "vrf_table") {
+		t.Errorf("error = %v", err)
+	}
+}

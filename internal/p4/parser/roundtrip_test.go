@@ -1,0 +1,78 @@
+package parser_test
+
+import (
+	"testing"
+
+	"switchv/internal/p4/ast"
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/p4info"
+	"switchv/internal/p4/parser"
+	"switchv/models"
+)
+
+// TestModelRoundTrip: printing a parsed model and re-parsing it yields a
+// semantically identical program (same control-plane API, table for table,
+// field for field).
+func TestModelRoundTrip(t *testing.T) {
+	for _, name := range models.Names() {
+		t.Run(name, func(t *testing.T) {
+			src, err := models.Source(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig, err := parser.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			printed := ast.Print(orig)
+			back, err := parser.Parse(printed)
+			if err != nil {
+				t.Fatalf("re-parsing printed model: %v\n--- printed ---\n%s", err, printed)
+			}
+
+			progA, err := ir.Compile(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			progB, err := ir.Compile(back)
+			if err != nil {
+				t.Fatalf("compiling printed model: %v", err)
+			}
+			a := p4info.New(progA).Text()
+			b := p4info.New(progB).Text()
+			if a != b {
+				t.Errorf("control-plane APIs differ after round trip:\n--- original ---\n%s\n--- reprinted ---\n%s", a, b)
+			}
+			// The flattened field spaces agree too.
+			fa := progA.SortedFieldNames()
+			fb := progB.SortedFieldNames()
+			if len(fa) != len(fb) {
+				t.Fatalf("field counts differ: %d vs %d", len(fa), len(fb))
+			}
+			for i := range fa {
+				if fa[i] != fb[i] {
+					t.Fatalf("field %d differs: %s vs %s", i, fa[i], fb[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPrintedModelIsStable: printing is idempotent (Print(parser.Parse(Print)) ==
+// Print).
+func TestPrintedModelIsStable(t *testing.T) {
+	src, _ := models.Source("middleblock")
+	p1, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := ast.Print(p1)
+	p2, err := parser.Parse(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice := ast.Print(p2)
+	if once != twice {
+		t.Error("Print is not a fixed point after one round trip")
+	}
+}

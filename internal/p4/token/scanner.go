@@ -1,0 +1,284 @@
+package token
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Scanner tokenizes P4 source text.
+type Scanner struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewScanner returns a scanner over src.
+func NewScanner(src string) *Scanner {
+	return &Scanner{src: src, line: 1, col: 1}
+}
+
+// ScanAll tokenizes the whole input, ending with an EOF token.
+func ScanAll(src string) ([]Token, error) {
+	s := NewScanner(src)
+	var toks []Token
+	for {
+		t, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (s *Scanner) errf(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("p4: %s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (s *Scanner) peek() byte {
+	if s.off >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off]
+}
+
+func (s *Scanner) peek2() byte {
+	if s.off+1 >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off+1]
+}
+
+func (s *Scanner) advance() byte {
+	c := s.src[s.off]
+	s.off++
+	if c == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return c
+}
+
+func (s *Scanner) skipSpaceAndComments() error {
+	for s.off < len(s.src) {
+		switch c := s.peek(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			s.advance()
+		case c == '/' && s.peek2() == '/':
+			for s.off < len(s.src) && s.peek() != '\n' {
+				s.advance()
+			}
+		case c == '/' && s.peek2() == '*':
+			pos := s.pos()
+			s.advance()
+			s.advance()
+			for {
+				if s.off >= len(s.src) {
+					return s.errf(pos, "unterminated block comment")
+				}
+				if s.peek() == '*' && s.peek2() == '/' {
+					s.advance()
+					s.advance()
+					break
+				}
+				s.advance()
+			}
+		case c == '#':
+			// Preprocessor-style lines (e.g. #define leftovers) are not
+			// supported; reject them loudly rather than mis-lexing.
+			return s.errf(s.pos(), "preprocessor directives are not supported")
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (s *Scanner) pos() Pos { return Pos{Line: s.line, Col: s.col} }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (s *Scanner) Next() (Token, error) {
+	if err := s.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := s.pos()
+	if s.off >= len(s.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := s.peek()
+	switch {
+	case isIdentStart(c):
+		start := s.off
+		for s.off < len(s.src) && isIdentCont(s.peek()) {
+			s.advance()
+		}
+		text := s.src[start:s.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Pos: pos, Text: text}, nil
+		}
+		return Token{Kind: Ident, Pos: pos, Text: text}, nil
+	case isDigit(c):
+		return s.scanNumber(pos)
+	case c == '"':
+		s.advance()
+		var sb strings.Builder
+		for {
+			if s.off >= len(s.src) {
+				return Token{}, s.errf(pos, "unterminated string literal")
+			}
+			ch := s.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if s.off >= len(s.src) {
+					return Token{}, s.errf(pos, "unterminated string literal")
+				}
+				esc := s.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"', '\\':
+					sb.WriteByte(esc)
+				default:
+					return Token{}, s.errf(pos, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: String, Pos: pos, Text: sb.String()}, nil
+	}
+	s.advance()
+	two := func(k Kind) (Token, error) {
+		s.advance()
+		return Token{Kind: k, Pos: pos}, nil
+	}
+	switch c {
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBracket, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semicolon, Pos: pos}, nil
+	case ':':
+		return Token{Kind: Colon, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case '.':
+		return Token{Kind: Dot, Pos: pos}, nil
+	case '@':
+		return Token{Kind: At, Pos: pos}, nil
+	case '?':
+		return Token{Kind: Question, Pos: pos}, nil
+	case '~':
+		return Token{Kind: Tilde, Pos: pos}, nil
+	case '+':
+		return Token{Kind: Plus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: Minus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: Star, Pos: pos}, nil
+	case '/':
+		return Token{Kind: Slash, Pos: pos}, nil
+	case '^':
+		return Token{Kind: Xor, Pos: pos}, nil
+	case '=':
+		if s.peek() == '=' {
+			return two(Eq)
+		}
+		return Token{Kind: Assign, Pos: pos}, nil
+	case '!':
+		if s.peek() == '=' {
+			return two(Ne)
+		}
+		return Token{Kind: Not, Pos: pos}, nil
+	case '<':
+		if s.peek() == '=' {
+			return two(Le)
+		}
+		if s.peek() == '<' {
+			return two(Shl)
+		}
+		return Token{Kind: Lt, Pos: pos}, nil
+	case '>':
+		if s.peek() == '=' {
+			return two(Ge)
+		}
+		if s.peek() == '>' {
+			return two(Shr)
+		}
+		return Token{Kind: Gt, Pos: pos}, nil
+	case '&':
+		if s.peek() == '&' {
+			return two(AndAnd)
+		}
+		return Token{Kind: And, Pos: pos}, nil
+	case '|':
+		if s.peek() == '|' {
+			return two(OrOr)
+		}
+		return Token{Kind: Or, Pos: pos}, nil
+	}
+	return Token{}, s.errf(pos, "unexpected character %q", c)
+}
+
+// scanNumber lexes decimal, hex (0x...), binary (0b...) and width-prefixed
+// (8w255, 4w0xF) integer literals.
+func (s *Scanner) scanNumber(pos Pos) (Token, error) {
+	start := s.off
+	for s.off < len(s.src) && (isIdentCont(s.peek())) {
+		s.advance()
+	}
+	text := s.src[start:s.off]
+	width := 0
+	numPart := text
+	if i := strings.IndexByte(text, 'w'); i > 0 {
+		w, err := strconv.Atoi(text[:i])
+		if err != nil || w <= 0 || w > 128 {
+			return Token{}, s.errf(pos, "invalid width prefix in literal %q", text)
+		}
+		width = w
+		numPart = text[i+1:]
+	}
+	base := 10
+	switch {
+	case strings.HasPrefix(numPart, "0x") || strings.HasPrefix(numPart, "0X"):
+		base = 16
+		numPart = numPart[2:]
+	case strings.HasPrefix(numPart, "0b") || strings.HasPrefix(numPart, "0B"):
+		base = 2
+		numPart = numPart[2:]
+	}
+	v, err := strconv.ParseUint(strings.ReplaceAll(numPart, "_", ""), base, 64)
+	if err != nil {
+		return Token{}, s.errf(pos, "invalid integer literal %q", text)
+	}
+	return Token{Kind: Int, Pos: pos, Text: text, Value: v, Width: width}, nil
+}

@@ -1,0 +1,125 @@
+package token
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestScanBasic(t *testing.T) {
+	toks, err := ScanAll(`table ipv4_tbl { key = { x : lpm; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwTable, Ident, LBrace, KwKey, Assign, LBrace, Ident, Colon, KwLpm, Semicolon, RBrace, RBrace, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanNumbers(t *testing.T) {
+	cases := []struct {
+		src   string
+		value uint64
+		width int
+	}{
+		{"42", 42, 0},
+		{"0x2e", 0x2e, 0},
+		{"0b101", 5, 0},
+		{"8w255", 255, 8},
+		{"4w0xF", 15, 4},
+		{"16w0b1010", 10, 16},
+	}
+	for _, c := range cases {
+		toks, err := ScanAll(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if toks[0].Kind != Int || toks[0].Value != c.value || toks[0].Width != c.width {
+			t.Errorf("%q = %+v, want value %d width %d", c.src, toks[0], c.value, c.width)
+		}
+	}
+	for _, bad := range []string{"0w1", "300w1", "0xzz", "8wzz"} {
+		if _, err := ScanAll(bad); err == nil {
+			t.Errorf("ScanAll(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestScanOperators(t *testing.T) {
+	toks, err := ScanAll(`== != <= >= << >> && || ! ~ & | ^ < > = -> ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{Eq, Ne, Le, Ge, Shl, Shr, AndAnd, OrOr, Not, Tilde, And, Or, Xor, Lt, Gt, Assign, Minus, Gt, Question, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanComments(t *testing.T) {
+	toks, err := ScanAll("a // line\n /* block\nmore */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("toks = %v", toks)
+	}
+	if toks[1].Pos.Line != 3 {
+		t.Errorf("b at line %d, want 3", toks[1].Pos.Line)
+	}
+	if _, err := ScanAll("/* unterminated"); err == nil {
+		t.Error("unterminated comment scanned")
+	}
+}
+
+func TestScanStrings(t *testing.T) {
+	toks, err := ScanAll(`"hello \"p4\"\n"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != String || toks[0].Text != "hello \"p4\"\n" {
+		t.Fatalf("tok = %+v", toks[0])
+	}
+	for _, bad := range []string{`"unterminated`, `"bad \q escape"`} {
+		if _, err := ScanAll(bad); err == nil {
+			t.Errorf("ScanAll(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestScanRejectsPreprocessor(t *testing.T) {
+	if _, err := ScanAll("#define FOO 1"); err == nil {
+		t.Error("preprocessor directive scanned")
+	}
+}
+
+func TestScanUnexpectedChar(t *testing.T) {
+	if _, err := ScanAll("a $ b"); err == nil {
+		t.Error("scanned $")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := ScanAll(`foo 12 "s" ;`)
+	if toks[0].String() != "foo" || toks[1].String() != "12" || toks[2].String() != `"s"` || toks[3].String() != ";" {
+		t.Errorf("String() = %v %v %v %v", toks[0], toks[1], toks[2], toks[3])
+	}
+}

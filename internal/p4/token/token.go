@@ -1,0 +1,150 @@
+// Package token defines lexical tokens for the P4-16 subset used to model
+// fixed-function switches, and a scanner producing them.
+//
+// The subset covers what the SwitchV paper needs (§3 "P4 Language
+// Features"): headers, structs, typedefs, constants, controls with tables,
+// actions and apply blocks, and annotations. Header stacks, unions,
+// registers and generic parsers are intentionally not part of the language.
+package token
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Int    // integer literal, possibly width-prefixed (8w255) or hex
+	String // double-quoted string literal
+
+	// Punctuation and operators.
+	LBrace    // {
+	RBrace    // }
+	LParen    // (
+	RParen    // )
+	LBracket  // [
+	RBracket  // ]
+	Semicolon // ;
+	Colon     // :
+	Comma     // ,
+	Dot       // .
+	Assign    // =
+	At        // @
+	Lt        // <
+	Gt        // >
+	Le        // <=
+	Ge        // >=
+	Eq        // ==
+	Ne        // !=
+	Not       // !
+	AndAnd    // &&
+	OrOr      // ||
+	And       // &
+	Or        // |
+	Xor       // ^
+	Tilde     // ~
+	Plus      // +
+	Minus     // -
+	Star      // *
+	Slash     // /
+	Shl       // <<
+	Shr       // >>
+	Question  // ?
+
+	// Keywords.
+	KwControl
+	KwTable
+	KwKey
+	KwActions
+	KwAction
+	KwConst
+	KwDefaultAction
+	KwSize
+	KwImplementation
+	KwApply
+	KwIf
+	KwElse
+	KwHeader
+	KwStruct
+	KwTypedef
+	KwBit
+	KwBool
+	KwTrue
+	KwFalse
+	KwExact
+	KwLpm
+	KwTernary
+	KwOptional
+	KwIn
+	KwOut
+	KwInout
+	KwReturn
+	KwExit
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Int: "integer", String: "string",
+	LBrace: "{", RBrace: "}", LParen: "(", RParen: ")", LBracket: "[", RBracket: "]",
+	Semicolon: ";", Colon: ":", Comma: ",", Dot: ".", Assign: "=", At: "@",
+	Lt: "<", Gt: ">", Le: "<=", Ge: ">=", Eq: "==", Ne: "!=", Not: "!",
+	AndAnd: "&&", OrOr: "||", And: "&", Or: "|", Xor: "^", Tilde: "~",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Shl: "<<", Shr: ">>", Question: "?",
+	KwControl: "control", KwTable: "table", KwKey: "key", KwActions: "actions",
+	KwAction: "action", KwConst: "const", KwDefaultAction: "default_action",
+	KwSize: "size", KwImplementation: "implementation", KwApply: "apply",
+	KwIf: "if", KwElse: "else", KwHeader: "header", KwStruct: "struct",
+	KwTypedef: "typedef", KwBit: "bit", KwBool: "bool", KwTrue: "true",
+	KwFalse: "false", KwExact: "exact", KwLpm: "lpm", KwTernary: "ternary",
+	KwOptional: "optional", KwIn: "in", KwOut: "out", KwInout: "inout",
+	KwReturn: "return", KwExit: "exit",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"control": KwControl, "table": KwTable, "key": KwKey, "actions": KwActions,
+	"action": KwAction, "const": KwConst, "default_action": KwDefaultAction,
+	"size": KwSize, "implementation": KwImplementation, "apply": KwApply,
+	"if": KwIf, "else": KwElse, "header": KwHeader, "struct": KwStruct,
+	"typedef": KwTypedef, "bit": KwBit, "bool": KwBool, "true": KwTrue,
+	"false": KwFalse, "exact": KwExact, "lpm": KwLpm, "ternary": KwTernary,
+	"optional": KwOptional, "in": KwIn, "out": KwOut, "inout": KwInout,
+	"return": KwReturn, "exit": KwExit,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // literal text for Ident/Int/String (string without quotes)
+
+	// For Int tokens: the parsed value and, if width-prefixed (e.g. 8w42),
+	// the declared width; Width is 0 for unprefixed literals.
+	Value uint64
+	Width int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Int:
+		return t.Text
+	case String:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,62 @@
+package p4rt
+
+import (
+	"bytes"
+	"fmt"
+
+	"switchv/internal/p4/value"
+)
+
+// The P4Runtime specification requires binary values in messages to be in
+// canonical form: the shortest byte string that represents the value, with
+// no redundant leading zero octets; the value zero is a single zero octet.
+// A correct P4Runtime server must accept only canonical strings for exact
+// matches and emit canonical strings in reads. (Mishandling of leading
+// zero bytes is one of the real toolchain bugs the paper lists.)
+
+// Canonicalize returns the canonical form of a big-endian byte string.
+func Canonicalize(b []byte) []byte {
+	i := 0
+	for i < len(b)-1 && b[i] == 0 {
+		i++
+	}
+	if len(b) == 0 {
+		return []byte{0}
+	}
+	return b[i:]
+}
+
+// IsCanonical reports whether b is in canonical form.
+func IsCanonical(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	if len(b) == 1 {
+		return true
+	}
+	return b[0] != 0
+}
+
+// EncodeValue encodes a bitvector value as a canonical byte string.
+func EncodeValue(v value.V) []byte {
+	return Canonicalize(v.Bytes())
+}
+
+// DecodeValue decodes a canonical byte string into a value of the given
+// bit width. It rejects non-canonical strings and values that overflow the
+// width, per the specification.
+func DecodeValue(b []byte, width int) (value.V, error) {
+	if !IsCanonical(b) {
+		return value.V{}, fmt.Errorf("p4rt: byte string %x is not canonical", b)
+	}
+	v, err := value.FromBytes(b, width)
+	if err != nil {
+		return value.V{}, fmt.Errorf("p4rt: %x overflows %d bits", b, width)
+	}
+	return v, nil
+}
+
+// EqualBytes compares two canonical byte strings for value equality.
+func EqualBytes(a, b []byte) bool {
+	return bytes.Equal(Canonicalize(a), Canonicalize(b))
+}

@@ -1,0 +1,186 @@
+package p4rt
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a P4Runtime client over TCP. It implements Device, so code
+// written against an in-process switch runs unchanged against a remote
+// one.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan frame
+	closed  bool
+
+	packetIns chan PacketIn
+	// DroppedPacketIns counts packet-ins discarded because the consumer
+	// fell behind; read it only after Close.
+	DroppedPacketIns int
+
+	timeout time.Duration
+}
+
+var _ Device = (*Client)(nil)
+
+// Dial connects to a P4Runtime server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("p4rt: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:      conn,
+		pending:   map[uint64]chan frame{},
+		packetIns: make(chan PacketIn, 1024),
+		timeout:   30 * time.Second,
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer func() {
+		c.mu.Lock()
+		c.closed = true
+		for _, ch := range c.pending {
+			close(ch)
+		}
+		c.pending = map[uint64]chan frame{}
+		c.mu.Unlock()
+		close(c.packetIns)
+	}()
+	for {
+		f, err := readFrame(c.conn)
+		if err != nil {
+			return
+		}
+		switch f.kind {
+		case kindResponse:
+			c.mu.Lock()
+			ch, ok := c.pending[f.id]
+			if ok {
+				delete(c.pending, f.id)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- f
+			}
+		case kindPacketIn:
+			pin, err := decodePacketIn(f.payload)
+			if err != nil {
+				continue
+			}
+			select {
+			case c.packetIns <- pin:
+			default:
+				c.DroppedPacketIns++
+			}
+		}
+	}
+}
+
+// call sends a request and waits for its response payload.
+func (c *Client) call(kind msgKind, payload []byte) (Status, []byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Status{}, nil, errors.New("p4rt: client is closed")
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan frame, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, frame{kind: kind, id: id, payload: payload})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Status{}, nil, fmt.Errorf("p4rt: send: %w", err)
+	}
+
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return Status{}, nil, errors.New("p4rt: connection closed")
+		}
+		st, body, err := decodeStatus(f.payload)
+		if err != nil {
+			return Status{}, nil, err
+		}
+		return st, body, nil
+	case <-time.After(c.timeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Status{}, nil, errors.New("p4rt: RPC timeout")
+	}
+}
+
+// SetForwardingPipelineConfig implements Device.
+func (c *Client) SetForwardingPipelineConfig(cfg ForwardingPipelineConfig) error {
+	st, _, err := c.call(kindSetPipeline, encodePipelineConfig(&cfg))
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// Write implements Device. Transport errors surface as a single INTERNAL
+// status covering the whole batch.
+func (c *Client) Write(req WriteRequest) WriteResponse {
+	st, body, err := c.call(kindWrite, encodeWriteRequest(&req))
+	if err != nil {
+		return WriteResponse{Statuses: []Status{Statusf(Internal, "transport: %v", err)}}
+	}
+	if st.Code != OK {
+		return WriteResponse{Statuses: []Status{st}}
+	}
+	resp, err := decodeWriteResponse(body)
+	if err != nil {
+		return WriteResponse{Statuses: []Status{Statusf(Internal, "decode: %v", err)}}
+	}
+	return resp
+}
+
+// Read implements Device.
+func (c *Client) Read(req ReadRequest) (ReadResponse, error) {
+	st, body, err := c.call(kindRead, encodeReadRequest(&req))
+	if err != nil {
+		return ReadResponse{}, err
+	}
+	if err := st.Err(); err != nil {
+		return ReadResponse{}, err
+	}
+	return decodeReadResponse(body)
+}
+
+// PacketOut implements Device.
+func (c *Client) PacketOut(p PacketOut) error {
+	st, _, err := c.call(kindPacketOut, encodePacketOut(&p))
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// PacketIns implements Device.
+func (c *Client) PacketIns() <-chan PacketIn { return c.packetIns }
+
+// SetTimeout adjusts the per-RPC timeout.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Close tears down the connection; pending calls fail.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,341 @@
+package p4rt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary message codec. All integers are big-endian fixed width; byte
+// strings and strings are length-prefixed with a u32. The encoding is
+// deterministic, which the oracle relies on when comparing read-backs.
+
+type enc struct{ buf []byte }
+
+func (e *enc) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *enc) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *enc) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *enc) i32(v int32)  { e.u32(uint32(v)) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+func (e *enc) str(s string) { e.bytes([]byte(s)) }
+
+type dec struct {
+	buf []byte
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("p4rt: truncated message reading %s", what)
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail("u8")
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if d.err != nil || len(d.buf) < 2 {
+		d.fail("u16")
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf)
+	d.buf = d.buf[2:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.buf) < 4 {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *dec) i32() int32 { return int32(d.u32()) }
+
+func (d *dec) bool() bool { return d.u8() != 0 }
+
+func (d *dec) bytes() []byte {
+	n := d.u32()
+	if d.err != nil || uint32(len(d.buf)) < n {
+		d.fail("bytes")
+		return nil
+	}
+	v := append([]byte(nil), d.buf[:n]...)
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+
+// Table entries.
+
+func encodeFieldMatch(e *enc, m *FieldMatch) {
+	e.u32(m.FieldID)
+	var kind uint8
+	switch {
+	case m.Exact != nil:
+		kind = 1
+	case m.LPM != nil:
+		kind = 2
+	case m.Ternary != nil:
+		kind = 3
+	case m.Optional != nil:
+		kind = 4
+	}
+	// A FieldMatch with several kinds set is not encodable on the real
+	// wire; for fuzzing we encode every populated kind and let the decoder
+	// deliver them all, preserving the "duplicate match kind" badness.
+	e.u8(kind)
+	switch kind {
+	case 1:
+		e.bytes(m.Exact.Value)
+	case 2:
+		e.bytes(m.LPM.Value)
+		e.i32(m.LPM.PrefixLen)
+	case 3:
+		e.bytes(m.Ternary.Value)
+		e.bytes(m.Ternary.Mask)
+	case 4:
+		e.bytes(m.Optional.Value)
+	}
+}
+
+func decodeFieldMatch(d *dec) FieldMatch {
+	m := FieldMatch{FieldID: d.u32()}
+	switch d.u8() {
+	case 1:
+		m.Exact = &ExactMatch{Value: d.bytes()}
+	case 2:
+		m.LPM = &LPMMatch{Value: d.bytes(), PrefixLen: d.i32()}
+	case 3:
+		m.Ternary = &TernaryMatch{Value: d.bytes(), Mask: d.bytes()}
+	case 4:
+		m.Optional = &OptionalMatch{Value: d.bytes()}
+	default:
+		// kind 0: no match populated; keep all nil.
+	}
+	return m
+}
+
+func encodeAction(e *enc, a *Action) {
+	e.u32(a.ActionID)
+	e.u32(uint32(len(a.Params)))
+	for _, p := range a.Params {
+		e.u32(p.ParamID)
+		e.bytes(p.Value)
+	}
+}
+
+func decodeAction(d *dec) Action {
+	a := Action{ActionID: d.u32()}
+	n := d.u32()
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		a.Params = append(a.Params, ActionParam{ParamID: d.u32(), Value: d.bytes()})
+	}
+	return a
+}
+
+func encodeTableEntry(e *enc, t *TableEntry) {
+	e.u32(t.TableID)
+	e.i32(t.Priority)
+	e.u32(uint32(len(t.Match)))
+	for i := range t.Match {
+		encodeFieldMatch(e, &t.Match[i])
+	}
+	switch {
+	case t.Action.Action != nil:
+		e.u8(1)
+		encodeAction(e, t.Action.Action)
+	case t.Action.HasActionSet || len(t.Action.ActionSet) > 0:
+		e.u8(2)
+		e.u32(uint32(len(t.Action.ActionSet)))
+		for _, pa := range t.Action.ActionSet {
+			encodeAction(e, &pa.Action)
+			e.i32(pa.Weight)
+		}
+	default:
+		e.u8(0)
+	}
+}
+
+func decodeTableEntry(d *dec) TableEntry {
+	t := TableEntry{TableID: d.u32(), Priority: d.i32()}
+	n := d.u32()
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		t.Match = append(t.Match, decodeFieldMatch(d))
+	}
+	switch d.u8() {
+	case 1:
+		a := decodeAction(d)
+		t.Action.Action = &a
+	case 2:
+		t.Action.HasActionSet = true
+		m := d.u32()
+		for i := uint32(0); i < m && d.err == nil; i++ {
+			a := decodeAction(d)
+			t.Action.ActionSet = append(t.Action.ActionSet, ActionProfileAction{Action: a, Weight: d.i32()})
+		}
+	}
+	return t
+}
+
+// RPC payloads.
+
+func encodeWriteRequest(r *WriteRequest) []byte {
+	e := &enc{}
+	e.u64(r.DeviceID)
+	e.u32(uint32(len(r.Updates)))
+	for i := range r.Updates {
+		e.u8(uint8(r.Updates[i].Type))
+		encodeTableEntry(e, &r.Updates[i].Entry)
+	}
+	return e.buf
+}
+
+func decodeWriteRequest(b []byte) (WriteRequest, error) {
+	d := &dec{buf: b}
+	r := WriteRequest{DeviceID: d.u64()}
+	n := d.u32()
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		u := Update{Type: UpdateType(d.u8())}
+		u.Entry = decodeTableEntry(d)
+		r.Updates = append(r.Updates, u)
+	}
+	return r, d.err
+}
+
+func encodeWriteResponse(r *WriteResponse) []byte {
+	e := &enc{}
+	e.u32(uint32(len(r.Statuses)))
+	for _, s := range r.Statuses {
+		e.u32(uint32(s.Code))
+		e.str(s.Message)
+	}
+	return e.buf
+}
+
+func decodeWriteResponse(b []byte) (WriteResponse, error) {
+	d := &dec{buf: b}
+	var r WriteResponse
+	n := d.u32()
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		r.Statuses = append(r.Statuses, Status{Code: Code(d.u32()), Message: d.str()})
+	}
+	return r, d.err
+}
+
+func encodeReadRequest(r *ReadRequest) []byte {
+	e := &enc{}
+	e.u64(r.DeviceID)
+	e.u32(r.TableID)
+	return e.buf
+}
+
+func decodeReadRequest(b []byte) (ReadRequest, error) {
+	d := &dec{buf: b}
+	r := ReadRequest{DeviceID: d.u64(), TableID: d.u32()}
+	return r, d.err
+}
+
+func encodeReadResponse(r *ReadResponse) []byte {
+	e := &enc{}
+	e.u32(uint32(len(r.Entries)))
+	for i := range r.Entries {
+		encodeTableEntry(e, &r.Entries[i])
+	}
+	return e.buf
+}
+
+func decodeReadResponse(b []byte) (ReadResponse, error) {
+	d := &dec{buf: b}
+	var r ReadResponse
+	n := d.u32()
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		r.Entries = append(r.Entries, decodeTableEntry(d))
+	}
+	return r, d.err
+}
+
+func encodePipelineConfig(c *ForwardingPipelineConfig) []byte {
+	e := &enc{}
+	e.str(c.P4Info)
+	e.u64(c.Cookie)
+	return e.buf
+}
+
+func decodePipelineConfig(b []byte) (ForwardingPipelineConfig, error) {
+	d := &dec{buf: b}
+	c := ForwardingPipelineConfig{P4Info: d.str(), Cookie: d.u64()}
+	return c, d.err
+}
+
+func encodePacketOut(p *PacketOut) []byte {
+	e := &enc{}
+	e.bytes(p.Payload)
+	e.u16(p.EgressPort)
+	e.bool(p.SubmitToIngress)
+	return e.buf
+}
+
+func decodePacketOut(b []byte) (PacketOut, error) {
+	d := &dec{buf: b}
+	p := PacketOut{Payload: d.bytes(), EgressPort: d.u16(), SubmitToIngress: d.bool()}
+	return p, d.err
+}
+
+func encodePacketIn(p *PacketIn) []byte {
+	e := &enc{}
+	e.bytes(p.Payload)
+	e.u16(p.IngressPort)
+	e.bool(p.IsCopy)
+	return e.buf
+}
+
+func decodePacketIn(b []byte) (PacketIn, error) {
+	d := &dec{buf: b}
+	p := PacketIn{Payload: d.bytes(), IngressPort: d.u16(), IsCopy: d.bool()}
+	return p, d.err
+}
+
+func encodeStatus(s Status) []byte {
+	e := &enc{}
+	e.u32(uint32(s.Code))
+	e.str(s.Message)
+	return e.buf
+}
+
+func decodeStatus(b []byte) (Status, []byte, error) {
+	d := &dec{buf: b}
+	s := Status{Code: Code(d.u32()), Message: d.str()}
+	return s, d.buf, d.err
+}

@@ -1,0 +1,167 @@
+package p4rt
+
+import (
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/p4info"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4/value"
+)
+
+// FromWire translates a wire-level table entry into the semantic PDPI
+// representation, performing the full syntactic validation of §4: IDs must
+// resolve, match kinds must agree with the schema, values must be
+// canonical and in range, mandatory fields must be present exactly once,
+// the priority discipline must hold, and the action shape must fit the
+// table. Violations return a *StatusError with INVALID_ARGUMENT (or
+// NOT_FOUND for unknown IDs), mirroring how a conformant P4Runtime server
+// must reject the request.
+func FromWire(info *p4info.Info, te *TableEntry) (*pdpi.Entry, error) {
+	t, ok := info.TableByID(te.TableID)
+	if !ok {
+		return nil, Statusf(NotFound, "unknown table id %#x", te.TableID).Err()
+	}
+	e := &pdpi.Entry{Table: t, Priority: te.Priority}
+	seen := map[uint32]bool{}
+	for i := range te.Match {
+		fm := &te.Match[i]
+		if seen[fm.FieldID] {
+			return nil, Statusf(InvalidArgument, "table %s: duplicate match on field id %d", t.Name, fm.FieldID).Err()
+		}
+		seen[fm.FieldID] = true
+		k, ok := info.MatchFieldByID(t, int(fm.FieldID))
+		if !ok {
+			return nil, Statusf(NotFound, "table %s: unknown match field id %d", t.Name, fm.FieldID).Err()
+		}
+		if n := fm.KindCount(); n != 1 {
+			return nil, Statusf(InvalidArgument, "table %s field %s: %d match kinds populated", t.Name, k.Name, n).Err()
+		}
+		m := pdpi.Match{Key: k.Name, Kind: k.Match}
+		w := k.Field.Width
+		var err error
+		switch {
+		case fm.Exact != nil:
+			if k.Match != ir.MatchExact {
+				return nil, Statusf(InvalidArgument, "table %s field %s: exact match on %s key", t.Name, k.Name, k.Match).Err()
+			}
+			m.Value, err = DecodeValue(fm.Exact.Value, w)
+		case fm.LPM != nil:
+			if k.Match != ir.MatchLPM {
+				return nil, Statusf(InvalidArgument, "table %s field %s: lpm match on %s key", t.Name, k.Name, k.Match).Err()
+			}
+			m.Value, err = DecodeValue(fm.LPM.Value, w)
+			m.PrefixLen = int(fm.LPM.PrefixLen)
+		case fm.Ternary != nil:
+			if k.Match != ir.MatchTernary {
+				return nil, Statusf(InvalidArgument, "table %s field %s: ternary match on %s key", t.Name, k.Name, k.Match).Err()
+			}
+			m.Value, err = DecodeValue(fm.Ternary.Value, w)
+			if err == nil {
+				m.Mask, err = DecodeValue(fm.Ternary.Mask, w)
+			}
+		case fm.Optional != nil:
+			if k.Match != ir.MatchOptional {
+				return nil, Statusf(InvalidArgument, "table %s field %s: optional match on %s key", t.Name, k.Name, k.Match).Err()
+			}
+			m.Value, err = DecodeValue(fm.Optional.Value, w)
+		}
+		if err != nil {
+			return nil, Statusf(InvalidArgument, "table %s field %s: %v", t.Name, k.Name, err).Err()
+		}
+		e.Matches = append(e.Matches, m)
+	}
+
+	switch {
+	case te.Action.Action != nil:
+		inv, err := invocationFromWire(info, t, te.Action.Action)
+		if err != nil {
+			return nil, err
+		}
+		e.Action = inv
+	case te.Action.HasActionSet || len(te.Action.ActionSet) > 0:
+		for _, pa := range te.Action.ActionSet {
+			inv, err := invocationFromWire(info, t, &pa.Action)
+			if err != nil {
+				return nil, err
+			}
+			e.ActionSet = append(e.ActionSet, pdpi.WeightedAction{ActionInvocation: *inv, Weight: int(pa.Weight)})
+		}
+	}
+
+	if err := e.Validate(); err != nil {
+		return nil, Statusf(InvalidArgument, "%v", err).Err()
+	}
+	return e, nil
+}
+
+func invocationFromWire(info *p4info.Info, t *ir.Table, a *Action) (*pdpi.ActionInvocation, error) {
+	act, ok := info.ActionByID(a.ActionID)
+	if !ok {
+		return nil, Statusf(NotFound, "unknown action id %#x", a.ActionID).Err()
+	}
+	inv := &pdpi.ActionInvocation{Action: act}
+	if len(a.Params) != len(act.Params) {
+		return nil, Statusf(InvalidArgument, "action %s takes %d params, got %d", act.Name, len(act.Params), len(a.Params)).Err()
+	}
+	// Params may arrive in any order; place them by id.
+	inv.Args = make([]value.V, len(act.Params))
+	seen := map[uint32]bool{}
+	for _, p := range a.Params {
+		if seen[p.ParamID] {
+			return nil, Statusf(InvalidArgument, "action %s: duplicate param id %d", act.Name, p.ParamID).Err()
+		}
+		seen[p.ParamID] = true
+		ap, ok := info.ParamByID(act, int(p.ParamID))
+		if !ok {
+			return nil, Statusf(NotFound, "action %s: unknown param id %d", act.Name, p.ParamID).Err()
+		}
+		v, err := DecodeValue(p.Value, ap.Width)
+		if err != nil {
+			return nil, Statusf(InvalidArgument, "action %s param %s: %v", act.Name, ap.Name, err).Err()
+		}
+		inv.Args[p.ParamID-1] = v
+	}
+	return inv, nil
+}
+
+// ToWire translates a semantic entry into its wire representation with
+// canonical byte strings.
+func ToWire(e *pdpi.Entry) TableEntry {
+	te := TableEntry{TableID: e.Table.ID, Priority: e.Priority}
+	for _, m := range e.Matches {
+		k, _ := e.Table.KeyByName(m.Key)
+		fm := FieldMatch{FieldID: uint32(k.Index)}
+		switch m.Kind {
+		case ir.MatchExact:
+			fm.Exact = &ExactMatch{Value: EncodeValue(m.Value)}
+		case ir.MatchLPM:
+			fm.LPM = &LPMMatch{Value: EncodeValue(m.Value), PrefixLen: int32(m.PrefixLen)}
+		case ir.MatchTernary:
+			fm.Ternary = &TernaryMatch{Value: EncodeValue(m.Value), Mask: EncodeValue(m.Mask)}
+		case ir.MatchOptional:
+			fm.Optional = &OptionalMatch{Value: EncodeValue(m.Value)}
+		}
+		te.Match = append(te.Match, fm)
+	}
+	switch {
+	case e.Action != nil:
+		a := invocationToWire(e.Action)
+		te.Action.Action = &a
+	case len(e.ActionSet) > 0:
+		te.Action.HasActionSet = true
+		for _, wa := range e.ActionSet {
+			te.Action.ActionSet = append(te.Action.ActionSet, ActionProfileAction{
+				Action: invocationToWire(&wa.ActionInvocation),
+				Weight: int32(wa.Weight),
+			})
+		}
+	}
+	return te
+}
+
+func invocationToWire(inv *pdpi.ActionInvocation) Action {
+	a := Action{ActionID: inv.Action.ID}
+	for i, arg := range inv.Args {
+		a.Params = append(a.Params, ActionParam{ParamID: uint32(i + 1), Value: EncodeValue(arg)})
+	}
+	return a
+}

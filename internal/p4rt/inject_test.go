@@ -1,0 +1,96 @@
+package p4rt_test
+
+import (
+	"testing"
+
+	"switchv/internal/p4/p4info"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4rt"
+	"switchv/internal/switchsim"
+	"switchv/internal/testutil"
+	"switchv/models"
+)
+
+// TestInjectOverTCP exercises the data-plane extension end to end: a
+// simulated switch behind the TCP server, frames injected through the
+// client.
+func TestInjectOverTCP(t *testing.T) {
+	sw := switchsim.New("middleblock")
+	defer sw.Close()
+	info := p4info.New(models.Middleblock())
+	if err := sw.SetForwardingPipelineConfig(p4rt.ForwardingPipelineConfig{P4Info: info.Text()}); err != nil {
+		t.Fatal(err)
+	}
+	store := pdpi.NewStore()
+	testutil.RoutingFixture(info.Program(), store)
+	for _, e := range testutil.InstallOrder(info, store) {
+		if resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: p4rt.ToWire(e)}}}); !resp.OK() {
+			t.Fatalf("install: %s", resp.String())
+		}
+	}
+
+	srv := p4rt.NewServer(sw, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := p4rt.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	res, err := cli.InjectFrame(p4rt.InjectRequest{Port: 1, Frame: testutil.IPv4UDP("10.1.2.3", 64, 2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped || res.Punted || res.EgressPort != 11 {
+		t.Errorf("result = %+v", res)
+	}
+	if len(res.Frame) == 0 {
+		t.Error("no output frame")
+	}
+
+	// A punted packet round-trips too.
+	res, err = cli.InjectFrame(p4rt.InjectRequest{Port: 1, Frame: testutil.IPv4UDP("10.1.2.3", 1, 2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Punted {
+		t.Errorf("TTL-1 result = %+v, want punt", res)
+	}
+}
+
+// TestInjectUnsupportedDevice: the server reports UNIMPLEMENTED for devices
+// without a data plane.
+func TestInjectUnsupportedDevice(t *testing.T) {
+	dev := &cpOnlyDevice{packetIns: make(chan p4rt.PacketIn)}
+	defer close(dev.packetIns)
+	srv := p4rt.NewServer(dev, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := p4rt.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.InjectFrame(p4rt.InjectRequest{Port: 1, Frame: []byte{1}}); err == nil {
+		t.Error("inject on a control-plane-only device succeeded")
+	}
+}
+
+type cpOnlyDevice struct{ packetIns chan p4rt.PacketIn }
+
+func (d *cpOnlyDevice) SetForwardingPipelineConfig(p4rt.ForwardingPipelineConfig) error { return nil }
+func (d *cpOnlyDevice) Write(req p4rt.WriteRequest) p4rt.WriteResponse {
+	return p4rt.WriteResponse{Statuses: make([]p4rt.Status, len(req.Updates))}
+}
+func (d *cpOnlyDevice) Read(p4rt.ReadRequest) (p4rt.ReadResponse, error) {
+	return p4rt.ReadResponse{}, nil
+}
+func (d *cpOnlyDevice) PacketOut(p4rt.PacketOut) error  { return nil }
+func (d *cpOnlyDevice) PacketIns() <-chan p4rt.PacketIn { return d.packetIns }

@@ -1,0 +1,196 @@
+package p4rt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeDevice is a scripted in-memory Device for transport tests.
+type fakeDevice struct {
+	mu        sync.Mutex
+	pipeline  ForwardingPipelineConfig
+	entries   []TableEntry
+	packetIns chan PacketIn
+	outs      []PacketOut
+}
+
+func newFakeDevice() *fakeDevice {
+	return &fakeDevice{packetIns: make(chan PacketIn, 16)}
+}
+
+func (d *fakeDevice) SetForwardingPipelineConfig(cfg ForwardingPipelineConfig) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cfg.P4Info == "" {
+		return Statusf(InvalidArgument, "empty p4info").Err()
+	}
+	d.pipeline = cfg
+	return nil
+}
+
+func (d *fakeDevice) Write(req WriteRequest) WriteResponse {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	resp := WriteResponse{}
+	for _, u := range req.Updates {
+		if u.Type == Insert {
+			d.entries = append(d.entries, u.Entry)
+			resp.Statuses = append(resp.Statuses, OKStatus)
+		} else {
+			resp.Statuses = append(resp.Statuses, Statusf(Unimplemented, "only INSERT"))
+		}
+	}
+	return resp
+}
+
+func (d *fakeDevice) Read(req ReadRequest) (ReadResponse, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var resp ReadResponse
+	for _, e := range d.entries {
+		if req.TableID == 0 || e.TableID == req.TableID {
+			resp.Entries = append(resp.Entries, e)
+		}
+	}
+	return resp, nil
+}
+
+func (d *fakeDevice) PacketOut(p PacketOut) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.outs = append(d.outs, p)
+	// Echo the packet back as a packet-in, as a loopback switch would.
+	select {
+	case d.packetIns <- PacketIn{Payload: p.Payload, IngressPort: p.EgressPort}:
+	default:
+	}
+	return nil
+}
+
+func (d *fakeDevice) PacketIns() <-chan PacketIn { return d.packetIns }
+
+func startPair(t *testing.T) (*Client, *fakeDevice, func()) {
+	t.Helper()
+	dev := newFakeDevice()
+	srv := NewServer(dev, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(addr.String())
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	return cli, dev, func() {
+		cli.Close()
+		srv.Close()
+		close(dev.packetIns)
+	}
+}
+
+func TestClientServerRPCs(t *testing.T) {
+	cli, _, stop := startPair(t)
+	defer stop()
+
+	if err := cli.SetForwardingPipelineConfig(ForwardingPipelineConfig{P4Info: "x", Cookie: 1}); err != nil {
+		t.Fatalf("SetForwardingPipelineConfig: %v", err)
+	}
+	// Server-side rejection surfaces as a status error.
+	if err := cli.SetForwardingPipelineConfig(ForwardingPipelineConfig{}); err == nil {
+		t.Error("empty p4info accepted")
+	}
+
+	wr := sampleWriteRequest()
+	resp := cli.Write(wr)
+	if len(resp.Statuses) != 2 {
+		t.Fatalf("statuses = %+v", resp)
+	}
+	if resp.Statuses[0].Code != OK || resp.Statuses[1].Code != Unimplemented {
+		t.Errorf("statuses = %+v", resp.Statuses)
+	}
+
+	rr, err := cli.Read(ReadRequest{TableID: 0x02000001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Entries) != 1 || rr.Entries[0].TableID != 0x02000001 {
+		t.Errorf("read = %+v", rr)
+	}
+
+	if err := cli.PacketOut(PacketOut{Payload: []byte("pkt"), EgressPort: 3}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pin := <-cli.PacketIns():
+		if string(pin.Payload) != "pkt" || pin.IngressPort != 3 {
+			t.Errorf("packet-in = %+v", pin)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no packet-in received")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	cli, _, stop := startPair(t)
+	defer stop()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				req := WriteRequest{Updates: []Update{{Type: Insert, Entry: TableEntry{TableID: uint32(i*10 + j)}}}}
+				if resp := cli.Write(req); !resp.OK() {
+					errs <- fmt.Errorf("write %d/%d: %s", i, j, resp.String())
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	rr, err := cli.Read(ReadRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Entries) != 50 {
+		t.Errorf("entries = %d, want 50", len(rr.Entries))
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	cli, _, stop := startPair(t)
+	stop()
+	time.Sleep(20 * time.Millisecond) // let the read loop observe the close
+	if resp := cli.Write(WriteRequest{Updates: []Update{{}}}); resp.OK() {
+		t.Error("write on closed client succeeded")
+	}
+	if _, err := cli.Read(ReadRequest{}); err == nil {
+		t.Error("read on closed client succeeded")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	dev := newFakeDevice()
+	srv := NewServer(dev, nil)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Error("Listen after Close succeeded")
+	}
+	close(dev.packetIns)
+}

@@ -1,0 +1,200 @@
+package p4rt
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// Server exposes a Device over TCP to remote P4Runtime clients.
+type Server struct {
+	device Device
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]*connWriter
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (cw *connWriter) send(f frame) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return writeFrame(cw.conn, f)
+}
+
+// NewServer wraps a device. The optional logf receives connection errors;
+// nil discards them.
+func NewServer(device Device, logf func(format string, args ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{device: device, logf: logf, conns: map[net.Conn]*connWriter{}}
+}
+
+// Listen starts serving on addr and returns the bound address (useful with
+// ":0"). Serving proceeds on background goroutines until Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("p4rt: server is closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(2)
+	go s.acceptLoop(ln)
+	go s.packetInLoop()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		cw := &connWriter{conn: conn}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = cw
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn, cw)
+	}
+}
+
+// packetInLoop fans punted packets out to every connected client.
+func (s *Server) packetInLoop() {
+	defer s.wg.Done()
+	for pin := range s.device.PacketIns() {
+		payload := encodePacketIn(&pin)
+		s.mu.Lock()
+		writers := make([]*connWriter, 0, len(s.conns))
+		for _, cw := range s.conns {
+			writers = append(writers, cw)
+		}
+		s.mu.Unlock()
+		for _, cw := range writers {
+			if err := cw.send(frame{kind: kindPacketIn, payload: payload}); err != nil {
+				s.logf("p4rt: packet-in send: %v", err)
+			}
+		}
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn, cw *connWriter) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		resp := s.dispatch(f)
+		if err := cw.send(resp); err != nil {
+			s.logf("p4rt: response send: %v", err)
+			return
+		}
+	}
+}
+
+// dispatch handles one request frame and builds the response frame.
+func (s *Server) dispatch(f frame) frame {
+	respond := func(st Status, body []byte) frame {
+		payload := encodeStatus(st)
+		payload = append(payload, body...)
+		return frame{kind: kindResponse, id: f.id, payload: payload}
+	}
+	switch f.kind {
+	case kindSetPipeline:
+		cfg, err := decodePipelineConfig(f.payload)
+		if err != nil {
+			return respond(Statusf(InvalidArgument, "%v", err), nil)
+		}
+		return respond(StatusFromError(s.device.SetForwardingPipelineConfig(cfg)), nil)
+	case kindWrite:
+		req, err := decodeWriteRequest(f.payload)
+		if err != nil {
+			return respond(Statusf(InvalidArgument, "%v", err), nil)
+		}
+		resp := s.device.Write(req)
+		return respond(OKStatus, encodeWriteResponse(&resp))
+	case kindRead:
+		req, err := decodeReadRequest(f.payload)
+		if err != nil {
+			return respond(Statusf(InvalidArgument, "%v", err), nil)
+		}
+		resp, err := s.device.Read(req)
+		if err != nil {
+			return respond(StatusFromError(err), nil)
+		}
+		return respond(OKStatus, encodeReadResponse(&resp))
+	case kindPacketOut:
+		p, err := decodePacketOut(f.payload)
+		if err != nil {
+			return respond(Statusf(InvalidArgument, "%v", err), nil)
+		}
+		return respond(StatusFromError(s.device.PacketOut(p)), nil)
+	case kindInject:
+		dp, ok := s.device.(DataPlaneDevice)
+		if !ok {
+			return respond(Statusf(Unimplemented, "device has no data-plane injection"), nil)
+		}
+		req, err := decodeInjectRequest(f.payload)
+		if err != nil {
+			return respond(Statusf(InvalidArgument, "%v", err), nil)
+		}
+		res, err := dp.InjectFrame(req)
+		if err != nil {
+			return respond(StatusFromError(err), nil)
+		}
+		return respond(OKStatus, encodeInjectResult(&res))
+	default:
+		return respond(Statusf(Unimplemented, "unknown message kind %d", f.kind), nil)
+	}
+}
+
+// Close stops the listener and all connections, then waits for the
+// serving goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// Note: the packetInLoop goroutine exits when the device closes its
+	// packet-in channel; shutdown does not block on it.
+	return nil
+}

@@ -1,0 +1,98 @@
+// Package p4rt implements the P4Runtime protocol surface that SwitchV
+// exercises: the Write/Read/SetForwardingPipelineConfig RPCs, the
+// packet-in/packet-out stream, canonical bytestring encoding, and a
+// binary framing over TCP (substituting for gRPC+protobuf; the protocol
+// semantics — message vocabulary, status codes, batch behavior,
+// under-specification — match the P4Runtime specification).
+package p4rt
+
+import "fmt"
+
+// Code is a gRPC-style canonical status code, as used by the P4Runtime
+// specification to report per-update outcomes.
+type Code int
+
+// Canonical status codes.
+const (
+	OK Code = iota
+	Cancelled
+	Unknown
+	InvalidArgument
+	DeadlineExceeded
+	NotFound
+	AlreadyExists
+	PermissionDenied
+	ResourceExhausted
+	FailedPrecondition
+	Aborted
+	OutOfRange
+	Unimplemented
+	Internal
+	Unavailable
+	DataLoss
+	Unauthenticated
+)
+
+var codeNames = map[Code]string{
+	OK: "OK", Cancelled: "CANCELLED", Unknown: "UNKNOWN",
+	InvalidArgument: "INVALID_ARGUMENT", DeadlineExceeded: "DEADLINE_EXCEEDED",
+	NotFound: "NOT_FOUND", AlreadyExists: "ALREADY_EXISTS",
+	PermissionDenied: "PERMISSION_DENIED", ResourceExhausted: "RESOURCE_EXHAUSTED",
+	FailedPrecondition: "FAILED_PRECONDITION", Aborted: "ABORTED",
+	OutOfRange: "OUT_OF_RANGE", Unimplemented: "UNIMPLEMENTED",
+	Internal: "INTERNAL", Unavailable: "UNAVAILABLE", DataLoss: "DATA_LOSS",
+	Unauthenticated: "UNAUTHENTICATED",
+}
+
+func (c Code) String() string {
+	if s, ok := codeNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Code(%d)", int(c))
+}
+
+// Status is a per-update or per-RPC outcome.
+type Status struct {
+	Code    Code
+	Message string
+}
+
+// OKStatus is the zero-value success status.
+var OKStatus = Status{}
+
+// Statusf builds a Status with a formatted message.
+func Statusf(code Code, format string, args ...any) Status {
+	return Status{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Err converts a non-OK status into an error (nil for OK).
+func (s Status) Err() error {
+	if s.Code == OK {
+		return nil
+	}
+	return &StatusError{Status: s}
+}
+
+func (s Status) String() string {
+	if s.Code == OK {
+		return "OK"
+	}
+	return fmt.Sprintf("%s: %s", s.Code, s.Message)
+}
+
+// StatusError wraps a Status as an error.
+type StatusError struct{ Status Status }
+
+func (e *StatusError) Error() string { return "p4rt: " + e.Status.String() }
+
+// StatusFromError extracts a Status from an error produced by Err, or
+// wraps an arbitrary error as UNKNOWN.
+func StatusFromError(err error) Status {
+	if err == nil {
+		return OKStatus
+	}
+	if se, ok := err.(*StatusError); ok {
+		return se.Status
+	}
+	return Status{Code: Unknown, Message: err.Error()}
+}

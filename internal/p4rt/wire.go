@@ -1,0 +1,58 @@
+package p4rt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame layout: u32 payload length | u8 kind | u64 request id | payload.
+// Request ids pair responses with requests; pushes (packet-in) use id 0.
+
+type msgKind uint8
+
+const (
+	kindSetPipeline msgKind = 1
+	kindWrite       msgKind = 2
+	kindRead        msgKind = 3
+	kindPacketOut   msgKind = 4
+	kindPacketIn    msgKind = 5
+	kindResponse    msgKind = 6
+)
+
+const maxFrameSize = 64 << 20 // 64 MiB guards against corrupt length prefixes
+
+type frame struct {
+	kind    msgKind
+	id      uint64
+	payload []byte
+}
+
+func writeFrame(w io.Writer, f frame) error {
+	hdr := make([]byte, 4+1+8)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(f.payload)))
+	hdr[4] = byte(f.kind)
+	binary.BigEndian.PutUint64(hdr[5:13], f.id)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(f.payload)
+	return err
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	hdr := make([]byte, 4+1+8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > maxFrameSize {
+		return frame{}, fmt.Errorf("p4rt: frame of %d bytes exceeds limit", n)
+	}
+	f := frame{kind: msgKind(hdr[4]), id: binary.BigEndian.Uint64(hdr[5:13])}
+	f.payload = make([]byte, n)
+	if _, err := io.ReadFull(r, f.payload); err != nil {
+		return frame{}, err
+	}
+	return f, nil
+}

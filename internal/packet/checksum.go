@@ -1,0 +1,36 @@
+package packet
+
+import "encoding/binary"
+
+// internetChecksum computes the RFC 1071 internet checksum over data with an
+// initial partial sum. The returned value is the final folded, complemented
+// 16-bit checksum.
+func internetChecksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	for len(data) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(data))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the partial checksum of an IPv4/IPv6 pseudo
+// header for the given transport protocol and length.
+func pseudoHeaderSum(src, dst []byte, proto uint8, length int) uint32 {
+	var sum uint32
+	for i := 0; i+1 < len(src); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(src[i:]))
+	}
+	for i := 0; i+1 < len(dst); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(dst[i:]))
+	}
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}

@@ -1,0 +1,154 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MAC is a 48-bit Ethernet address. A fixed-size array keeps it comparable
+// and usable as a map key.
+type MAC [6]byte
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// ParseMAC parses a colon-separated MAC address.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	n, err := fmt.Sscanf(s, "%02x:%02x:%02x:%02x:%02x:%02x", &m[0], &m[1], &m[2], &m[3], &m[4], &m[5])
+	if err != nil || n != 6 {
+		return MAC{}, fmt.Errorf("packet: invalid MAC address %q", s)
+	}
+	return m, nil
+}
+
+// IsMulticast reports whether the address has the group bit set.
+func (m MAC) IsMulticast() bool { return m[0]&1 == 1 }
+
+// Ethernet is a IEEE 802.3 Ethernet II frame header.
+type Ethernet struct {
+	DstMAC    MAC
+	SrcMAC    MAC
+	EtherType uint16
+}
+
+// LayerType implements Layer.
+func (*Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// NextLayerType implements Layer.
+func (e *Ethernet) NextLayerType() LayerType { return layerTypeForEtherType(e.EtherType) }
+
+// DecodeFromBytes implements Layer.
+func (e *Ethernet) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 14 {
+		return nil, fmt.Errorf("packet: Ethernet header truncated: %d bytes", len(data))
+	}
+	copy(e.DstMAC[:], data[0:6])
+	copy(e.SrcMAC[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	return data[14:], nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (e *Ethernet) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	hdr := b.PrependBytes(14)
+	copy(hdr[0:6], e.DstMAC[:])
+	copy(hdr[6:12], e.SrcMAC[:])
+	binary.BigEndian.PutUint16(hdr[12:14], e.EtherType)
+	return nil
+}
+
+// VLAN is an 802.1Q tag.
+type VLAN struct {
+	Priority  uint8 // 3 bits
+	DropElig  bool
+	VLANID    uint16 // 12 bits
+	EtherType uint16
+}
+
+// LayerType implements Layer.
+func (*VLAN) LayerType() LayerType { return LayerTypeVLAN }
+
+// NextLayerType implements Layer.
+func (v *VLAN) NextLayerType() LayerType { return layerTypeForEtherType(v.EtherType) }
+
+// DecodeFromBytes implements Layer.
+func (v *VLAN) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("packet: VLAN tag truncated: %d bytes", len(data))
+	}
+	tci := binary.BigEndian.Uint16(data[0:2])
+	v.Priority = uint8(tci >> 13)
+	v.DropElig = tci&0x1000 != 0
+	v.VLANID = tci & 0x0fff
+	v.EtherType = binary.BigEndian.Uint16(data[2:4])
+	return data[4:], nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (v *VLAN) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	if v.Priority > 7 {
+		return fmt.Errorf("packet: VLAN priority %d out of range", v.Priority)
+	}
+	if v.VLANID > 0x0fff {
+		return fmt.Errorf("packet: VLAN ID %d out of range", v.VLANID)
+	}
+	hdr := b.PrependBytes(4)
+	tci := uint16(v.Priority)<<13 | v.VLANID
+	if v.DropElig {
+		tci |= 0x1000
+	}
+	binary.BigEndian.PutUint16(hdr[0:2], tci)
+	binary.BigEndian.PutUint16(hdr[2:4], v.EtherType)
+	return nil
+}
+
+// ARP is an Address Resolution Protocol message for Ethernet/IPv4.
+type ARP struct {
+	Operation uint16 // 1 = request, 2 = reply
+	SenderMAC MAC
+	SenderIP  IPv4Addr
+	TargetMAC MAC
+	TargetIP  IPv4Addr
+}
+
+// LayerType implements Layer.
+func (*ARP) LayerType() LayerType { return LayerTypeARP }
+
+// NextLayerType implements Layer.
+func (*ARP) NextLayerType() LayerType { return LayerTypePayload }
+
+// DecodeFromBytes implements Layer.
+func (a *ARP) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 28 {
+		return nil, fmt.Errorf("packet: ARP message truncated: %d bytes", len(data))
+	}
+	if htype := binary.BigEndian.Uint16(data[0:2]); htype != 1 {
+		return nil, fmt.Errorf("packet: unsupported ARP hardware type %d", htype)
+	}
+	if ptype := binary.BigEndian.Uint16(data[2:4]); ptype != EtherTypeIPv4 {
+		return nil, fmt.Errorf("packet: unsupported ARP protocol type %#04x", ptype)
+	}
+	a.Operation = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderMAC[:], data[8:14])
+	copy(a.SenderIP[:], data[14:18])
+	copy(a.TargetMAC[:], data[18:24])
+	copy(a.TargetIP[:], data[24:28])
+	return data[28:], nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (a *ARP) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	hdr := b.PrependBytes(28)
+	binary.BigEndian.PutUint16(hdr[0:2], 1) // Ethernet
+	binary.BigEndian.PutUint16(hdr[2:4], EtherTypeIPv4)
+	hdr[4] = 6 // hardware address length
+	hdr[5] = 4 // protocol address length
+	binary.BigEndian.PutUint16(hdr[6:8], a.Operation)
+	copy(hdr[8:14], a.SenderMAC[:])
+	copy(hdr[14:18], a.SenderIP[:])
+	copy(hdr[18:24], a.TargetMAC[:])
+	copy(hdr[24:28], a.TargetIP[:])
+	return nil
+}

@@ -1,0 +1,317 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv4Addr is a 32-bit IPv4 address.
+type IPv4Addr [4]byte
+
+func (a IPv4Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Uint32 returns the address as a big-endian integer.
+func (a IPv4Addr) Uint32() uint32 { return binary.BigEndian.Uint32(a[:]) }
+
+// IPv4AddrFromUint32 builds an address from a big-endian integer.
+func IPv4AddrFromUint32(v uint32) IPv4Addr {
+	var a IPv4Addr
+	binary.BigEndian.PutUint32(a[:], v)
+	return a
+}
+
+// ParseIPv4 parses dotted-quad notation.
+func ParseIPv4(s string) (IPv4Addr, error) {
+	var a IPv4Addr
+	bad := func() (IPv4Addr, error) {
+		return IPv4Addr{}, fmt.Errorf("packet: invalid IPv4 address %q", s)
+	}
+	octet := 0
+	val, digits := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			val = val*10 + int(c-'0')
+			digits++
+			if digits > 3 || val > 255 {
+				return bad()
+			}
+		case c == '.':
+			if digits == 0 || octet == 3 {
+				return bad()
+			}
+			a[octet] = byte(val)
+			octet++
+			val, digits = 0, 0
+		default:
+			return bad()
+		}
+	}
+	if octet != 3 || digits == 0 {
+		return bad()
+	}
+	a[3] = byte(val)
+	return a, nil
+}
+
+// MustParseIPv4 is ParseIPv4 for tests and static data; it panics on error.
+func MustParseIPv4(s string) IPv4Addr {
+	a, err := ParseIPv4(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// IPv4 is an IPv4 header without options.
+type IPv4 struct {
+	TOS        uint8 // DSCP (6 bits) + ECN (2 bits)
+	Length     uint16
+	ID         uint16
+	Flags      uint8 // 3 bits
+	FragOffset uint16
+	TTL        uint8
+	Protocol   uint8
+	Checksum   uint16
+	SrcIP      IPv4Addr
+	DstIP      IPv4Addr
+}
+
+// DSCP returns the 6-bit differentiated services codepoint.
+func (ip *IPv4) DSCP() uint8 { return ip.TOS >> 2 }
+
+// SetDSCP sets the 6-bit DSCP, preserving ECN.
+func (ip *IPv4) SetDSCP(d uint8) { ip.TOS = d<<2 | ip.TOS&0x3 }
+
+// LayerType implements Layer.
+func (*IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// NextLayerType implements Layer.
+func (ip *IPv4) NextLayerType() LayerType { return layerTypeForIPProtocol(ip.Protocol) }
+
+// DecodeFromBytes implements Layer.
+func (ip *IPv4) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("packet: IPv4 header truncated: %d bytes", len(data))
+	}
+	if v := data[0] >> 4; v != 4 {
+		return nil, fmt.Errorf("packet: IPv4 version field is %d", v)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < 20 || len(data) < ihl {
+		return nil, fmt.Errorf("packet: IPv4 IHL %d invalid for %d bytes", ihl, len(data))
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	flagsFrag := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(flagsFrag >> 13)
+	ip.FragOffset = flagsFrag & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.SrcIP[:], data[12:16])
+	copy(ip.DstIP[:], data[16:20])
+	if int(ip.Length) >= ihl && int(ip.Length) <= len(data) {
+		return data[ihl:ip.Length], nil
+	}
+	return data[ihl:], nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (ip *IPv4) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	payloadLen := len(b.Bytes())
+	hdr := b.PrependBytes(20)
+	if opts.FixLengths {
+		ip.Length = uint16(20 + payloadLen)
+	}
+	hdr[0] = 4<<4 | 5 // version 4, IHL 5 words
+	hdr[1] = ip.TOS
+	binary.BigEndian.PutUint16(hdr[2:4], ip.Length)
+	binary.BigEndian.PutUint16(hdr[4:6], ip.ID)
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(ip.Flags)<<13|ip.FragOffset&0x1fff)
+	hdr[8] = ip.TTL
+	hdr[9] = ip.Protocol
+	binary.BigEndian.PutUint16(hdr[10:12], 0)
+	copy(hdr[12:16], ip.SrcIP[:])
+	copy(hdr[16:20], ip.DstIP[:])
+	if opts.ComputeChecksums {
+		ip.Checksum = internetChecksum(hdr, 0)
+	}
+	binary.BigEndian.PutUint16(hdr[10:12], ip.Checksum)
+	return nil
+}
+
+// IPv6Addr is a 128-bit IPv6 address.
+type IPv6Addr [16]byte
+
+func (a IPv6Addr) String() string {
+	out := ""
+	for i := 0; i < 16; i += 2 {
+		if i > 0 {
+			out += ":"
+		}
+		out += fmt.Sprintf("%x", binary.BigEndian.Uint16(a[i:]))
+	}
+	return out
+}
+
+// ParseIPv6 parses the full 8-group colon-separated form, with "::"
+// supported for a single run of zero groups.
+func ParseIPv6(s string) (IPv6Addr, error) {
+	var a IPv6Addr
+	groups, err := splitIPv6Groups(s)
+	if err != nil {
+		return IPv6Addr{}, err
+	}
+	for i, g := range groups {
+		binary.BigEndian.PutUint16(a[i*2:], g)
+	}
+	return a, nil
+}
+
+// MustParseIPv6 is ParseIPv6 for tests and static data; it panics on error.
+func MustParseIPv6(s string) IPv6Addr {
+	a, err := ParseIPv6(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func splitIPv6Groups(s string) ([8]uint16, error) {
+	var groups [8]uint16
+	parseGroup := func(g string) (uint16, error) {
+		if g == "" || len(g) > 4 {
+			return 0, fmt.Errorf("packet: invalid IPv6 group %q in %q", g, s)
+		}
+		var v uint16
+		for _, c := range g {
+			var d uint16
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint16(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint16(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint16(c-'A') + 10
+			default:
+				return 0, fmt.Errorf("packet: invalid IPv6 group %q in %q", g, s)
+			}
+			v = v<<4 | d
+		}
+		return v, nil
+	}
+	split := func(part string) ([]string, error) {
+		if part == "" {
+			return nil, nil
+		}
+		var out []string
+		start := 0
+		for i := 0; i <= len(part); i++ {
+			if i == len(part) || part[i] == ':' {
+				out = append(out, part[start:i])
+				start = i + 1
+			}
+		}
+		return out, nil
+	}
+	// Handle "::" compression.
+	var left, right []string
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == ':' && s[i+1] == ':' {
+			l, _ := split(s[:i])
+			r, _ := split(s[i+2:])
+			left, right = l, r
+			if len(left)+len(right) >= 8 {
+				return groups, fmt.Errorf("packet: invalid IPv6 address %q", s)
+			}
+			goto parse
+		}
+	}
+	{
+		parts, _ := split(s)
+		if len(parts) != 8 {
+			return groups, fmt.Errorf("packet: invalid IPv6 address %q", s)
+		}
+		left, right = parts, nil
+	}
+parse:
+	for i, g := range left {
+		v, err := parseGroup(g)
+		if err != nil {
+			return groups, err
+		}
+		groups[i] = v
+	}
+	for i, g := range right {
+		v, err := parseGroup(g)
+		if err != nil {
+			return groups, err
+		}
+		groups[8-len(right)+i] = v
+	}
+	return groups, nil
+}
+
+// IPv6 is an IPv6 fixed header.
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	Length       uint16 // payload length
+	NextHeader   uint8
+	HopLimit     uint8
+	SrcIP        IPv6Addr
+	DstIP        IPv6Addr
+}
+
+// DSCP returns the 6-bit differentiated services codepoint.
+func (ip *IPv6) DSCP() uint8 { return ip.TrafficClass >> 2 }
+
+// LayerType implements Layer.
+func (*IPv6) LayerType() LayerType { return LayerTypeIPv6 }
+
+// NextLayerType implements Layer.
+func (ip *IPv6) NextLayerType() LayerType { return layerTypeForIPProtocol(ip.NextHeader) }
+
+// DecodeFromBytes implements Layer.
+func (ip *IPv6) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 40 {
+		return nil, fmt.Errorf("packet: IPv6 header truncated: %d bytes", len(data))
+	}
+	if v := data[0] >> 4; v != 6 {
+		return nil, fmt.Errorf("packet: IPv6 version field is %d", v)
+	}
+	ip.TrafficClass = data[0]<<4 | data[1]>>4
+	ip.FlowLabel = uint32(data[1]&0x0f)<<16 | uint32(data[2])<<8 | uint32(data[3])
+	ip.Length = binary.BigEndian.Uint16(data[4:6])
+	ip.NextHeader = data[6]
+	ip.HopLimit = data[7]
+	copy(ip.SrcIP[:], data[8:24])
+	copy(ip.DstIP[:], data[24:40])
+	if int(ip.Length) <= len(data)-40 {
+		return data[40 : 40+ip.Length], nil
+	}
+	return data[40:], nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (ip *IPv6) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	payloadLen := len(b.Bytes())
+	hdr := b.PrependBytes(40)
+	if opts.FixLengths {
+		ip.Length = uint16(payloadLen)
+	}
+	hdr[0] = 6<<4 | ip.TrafficClass>>4
+	hdr[1] = ip.TrafficClass<<4 | uint8(ip.FlowLabel>>16)&0x0f
+	hdr[2] = uint8(ip.FlowLabel >> 8)
+	hdr[3] = uint8(ip.FlowLabel)
+	binary.BigEndian.PutUint16(hdr[4:6], ip.Length)
+	hdr[6] = ip.NextHeader
+	hdr[7] = ip.HopLimit
+	copy(hdr[8:24], ip.SrcIP[:])
+	copy(hdr[24:40], ip.DstIP[:])
+	return nil
+}

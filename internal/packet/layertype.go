@@ -1,0 +1,125 @@
+// Package packet implements decoding and serialization of the network
+// protocol layers that SwitchV's data-plane validation exercises.
+//
+// The design follows the layer-based model popularized by gopacket: a raw
+// []byte is decoded into a stack of Layers, and packets are built by
+// serializing layers in reverse order into a prepend-oriented
+// SerializeBuffer. Only the protocols needed to model SAI-style forwarding
+// pipelines are implemented: Ethernet, 802.1Q VLAN, ARP, IPv4, IPv6, TCP,
+// UDP, ICMPv4, ICMPv6, and GRE (for encap/decap pipelines).
+package packet
+
+import "fmt"
+
+// LayerType identifies a protocol layer within a packet.
+type LayerType int
+
+// Known layer types.
+const (
+	LayerTypeZero LayerType = iota
+	LayerTypeEthernet
+	LayerTypeVLAN
+	LayerTypeARP
+	LayerTypeIPv4
+	LayerTypeIPv6
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypeICMPv4
+	LayerTypeICMPv6
+	LayerTypeGRE
+	LayerTypePayload
+)
+
+var layerTypeNames = map[LayerType]string{
+	LayerTypeZero:     "Zero",
+	LayerTypeEthernet: "Ethernet",
+	LayerTypeVLAN:     "VLAN",
+	LayerTypeARP:      "ARP",
+	LayerTypeIPv4:     "IPv4",
+	LayerTypeIPv6:     "IPv6",
+	LayerTypeTCP:      "TCP",
+	LayerTypeUDP:      "UDP",
+	LayerTypeICMPv4:   "ICMPv4",
+	LayerTypeICMPv6:   "ICMPv6",
+	LayerTypeGRE:      "GRE",
+	LayerTypePayload:  "Payload",
+}
+
+func (t LayerType) String() string {
+	if s, ok := layerTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("LayerType(%d)", int(t))
+}
+
+// Layer is a single decoded protocol layer.
+type Layer interface {
+	// LayerType reports which protocol this layer represents.
+	LayerType() LayerType
+	// DecodeFromBytes parses the layer from the front of data and returns
+	// the remaining payload bytes.
+	DecodeFromBytes(data []byte) (payload []byte, err error)
+	// NextLayerType reports the type of the layer carried in the payload,
+	// or LayerTypePayload if unknown/opaque.
+	NextLayerType() LayerType
+}
+
+// SerializableLayer is a Layer that can be written into a SerializeBuffer.
+type SerializableLayer interface {
+	Layer
+	// SerializeTo prepends this layer's wire representation onto b. The
+	// current contents of b are treated as this layer's payload.
+	SerializeTo(b *SerializeBuffer, opts SerializeOptions) error
+}
+
+// EtherType values used by the pipelines we model.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+	EtherTypeVLAN uint16 = 0x8100
+	EtherTypeIPv6 uint16 = 0x86DD
+)
+
+// IP protocol numbers used by the pipelines we model.
+const (
+	IPProtocolICMPv4 uint8 = 1
+	IPProtocolTCP    uint8 = 6
+	IPProtocolUDP    uint8 = 17
+	IPProtocolGRE    uint8 = 47
+	IPProtocolICMPv6 uint8 = 58
+)
+
+// layerTypeForEtherType maps an EtherType to the layer that decodes it.
+func layerTypeForEtherType(et uint16) LayerType {
+	switch et {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeARP:
+		return LayerTypeARP
+	case EtherTypeVLAN:
+		return LayerTypeVLAN
+	case EtherTypeIPv6:
+		return LayerTypeIPv6
+	default:
+		return LayerTypePayload
+	}
+}
+
+// layerTypeForIPProtocol maps an IP protocol number to the layer that
+// decodes it.
+func layerTypeForIPProtocol(p uint8) LayerType {
+	switch p {
+	case IPProtocolICMPv4:
+		return LayerTypeICMPv4
+	case IPProtocolTCP:
+		return LayerTypeTCP
+	case IPProtocolUDP:
+		return LayerTypeUDP
+	case IPProtocolGRE:
+		return LayerTypeGRE
+	case IPProtocolICMPv6:
+		return LayerTypeICMPv6
+	default:
+		return LayerTypePayload
+	}
+}

@@ -1,0 +1,79 @@
+package packet
+
+// SerializeOptions controls layer serialization.
+type SerializeOptions struct {
+	// FixLengths recomputes length fields (IPv4 total length, UDP length,
+	// IPv6 payload length) from the actual payload sizes.
+	FixLengths bool
+	// ComputeChecksums recomputes checksums (IPv4 header, TCP, UDP,
+	// ICMPv4, ICMPv6).
+	ComputeChecksums bool
+}
+
+// SerializeBuffer accumulates packet bytes with cheap prepending, so layers
+// can be serialized innermost-first (payload, then TCP, then IP, then
+// Ethernet), each treating the current contents as its payload.
+type SerializeBuffer struct {
+	buf   []byte
+	start int
+}
+
+// NewSerializeBuffer returns an empty buffer ready for use.
+func NewSerializeBuffer() *SerializeBuffer {
+	const headroom = 128
+	return &SerializeBuffer{buf: make([]byte, headroom, headroom+64), start: headroom}
+}
+
+// Bytes returns the accumulated packet bytes.
+func (b *SerializeBuffer) Bytes() []byte { return b.buf[b.start:] }
+
+// PrependBytes reserves n bytes at the front of the buffer and returns the
+// slice to fill in.
+func (b *SerializeBuffer) PrependBytes(n int) []byte {
+	if b.start < n {
+		grow := n - b.start + 256
+		nbuf := make([]byte, len(b.buf)+grow)
+		copy(nbuf[grow:], b.buf)
+		b.buf = nbuf
+		b.start += grow
+	}
+	b.start -= n
+	return b.buf[b.start : b.start+n]
+}
+
+// AppendBytes reserves n bytes at the end of the buffer and returns the
+// slice to fill in.
+func (b *SerializeBuffer) AppendBytes(n int) []byte {
+	old := len(b.buf)
+	b.buf = append(b.buf, make([]byte, n)...)
+	return b.buf[old:]
+}
+
+// Clear resets the buffer to empty, retaining capacity.
+func (b *SerializeBuffer) Clear() {
+	b.start = len(b.buf)
+}
+
+// SerializeLayers clears b then serializes the given layers in reverse
+// order, producing a complete packet in b.
+func SerializeLayers(b *SerializeBuffer, opts SerializeOptions, layers ...SerializableLayer) error {
+	b.Clear()
+	for i := len(layers) - 1; i >= 0; i-- {
+		if err := layers[i].SerializeTo(b, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Serialize is a convenience wrapper that serializes layers into a fresh
+// buffer and returns the packet bytes.
+func Serialize(opts SerializeOptions, layers ...SerializableLayer) ([]byte, error) {
+	b := NewSerializeBuffer()
+	if err := SerializeLayers(b, opts, layers...); err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(b.Bytes()))
+	copy(out, b.Bytes())
+	return out, nil
+}

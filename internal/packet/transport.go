@@ -1,0 +1,297 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCP is a TCP header without options.
+type TCP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Seq      uint32
+	Ack      uint32
+	Flags    uint8 // FIN, SYN, RST, PSH, ACK, URG bits, low to high
+	Window   uint16
+	Checksum uint16
+	Urgent   uint16
+
+	// pseudo-header inputs, set during decode or by the enclosing IP layer
+	// during serialization.
+	srcIP, dstIP []byte
+}
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// LayerType implements Layer.
+func (*TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// NextLayerType implements Layer.
+func (*TCP) NextLayerType() LayerType { return LayerTypePayload }
+
+// SetNetworkLayerForChecksum records the IP endpoints used by the TCP/UDP
+// pseudo header when serializing with ComputeChecksums.
+func (t *TCP) SetNetworkLayerForChecksum(src, dst []byte) {
+	t.srcIP, t.dstIP = src, dst
+}
+
+// DecodeFromBytes implements Layer.
+func (t *TCP) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("packet: TCP header truncated: %d bytes", len(data))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	dataOff := int(data[12]>>4) * 4
+	if dataOff < 20 || len(data) < dataOff {
+		return nil, fmt.Errorf("packet: TCP data offset %d invalid for %d bytes", dataOff, len(data))
+	}
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	return data[dataOff:], nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (t *TCP) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	payloadLen := len(b.Bytes())
+	hdr := b.PrependBytes(20)
+	binary.BigEndian.PutUint16(hdr[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(hdr[4:8], t.Seq)
+	binary.BigEndian.PutUint32(hdr[8:12], t.Ack)
+	hdr[12] = 5 << 4 // data offset: 5 words
+	hdr[13] = t.Flags
+	binary.BigEndian.PutUint16(hdr[14:16], t.Window)
+	binary.BigEndian.PutUint16(hdr[16:18], 0)
+	binary.BigEndian.PutUint16(hdr[18:20], t.Urgent)
+	if opts.ComputeChecksums && t.srcIP != nil {
+		sum := pseudoHeaderSum(t.srcIP, t.dstIP, IPProtocolTCP, 20+payloadLen)
+		t.Checksum = internetChecksum(b.Bytes(), sum)
+	}
+	binary.BigEndian.PutUint16(hdr[16:18], t.Checksum)
+	return nil
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+
+	srcIP, dstIP []byte
+}
+
+// LayerType implements Layer.
+func (*UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// NextLayerType implements Layer.
+func (*UDP) NextLayerType() LayerType { return LayerTypePayload }
+
+// SetNetworkLayerForChecksum records the IP endpoints used by the pseudo
+// header when serializing with ComputeChecksums.
+func (u *UDP) SetNetworkLayerForChecksum(src, dst []byte) {
+	u.srcIP, u.dstIP = src, dst
+}
+
+// DecodeFromBytes implements Layer.
+func (u *UDP) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("packet: UDP header truncated: %d bytes", len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	return data[8:], nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (u *UDP) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	payloadLen := len(b.Bytes())
+	hdr := b.PrependBytes(8)
+	if opts.FixLengths {
+		u.Length = uint16(8 + payloadLen)
+	}
+	binary.BigEndian.PutUint16(hdr[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(hdr[4:6], u.Length)
+	binary.BigEndian.PutUint16(hdr[6:8], 0)
+	if opts.ComputeChecksums && u.srcIP != nil {
+		sum := pseudoHeaderSum(u.srcIP, u.dstIP, IPProtocolUDP, 8+payloadLen)
+		u.Checksum = internetChecksum(b.Bytes(), sum)
+		if u.Checksum == 0 {
+			u.Checksum = 0xffff // RFC 768: transmitted as all-ones
+		}
+	}
+	binary.BigEndian.PutUint16(hdr[6:8], u.Checksum)
+	return nil
+}
+
+// ICMPv4 is an ICMP for IPv4 header.
+type ICMPv4 struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	RestOf   uint32 // identifier/sequence or unused, type-dependent
+}
+
+// LayerType implements Layer.
+func (*ICMPv4) LayerType() LayerType { return LayerTypeICMPv4 }
+
+// NextLayerType implements Layer.
+func (*ICMPv4) NextLayerType() LayerType { return LayerTypePayload }
+
+// DecodeFromBytes implements Layer.
+func (ic *ICMPv4) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("packet: ICMPv4 header truncated: %d bytes", len(data))
+	}
+	ic.Type = data[0]
+	ic.Code = data[1]
+	ic.Checksum = binary.BigEndian.Uint16(data[2:4])
+	ic.RestOf = binary.BigEndian.Uint32(data[4:8])
+	return data[8:], nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (ic *ICMPv4) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	hdr := b.PrependBytes(8)
+	hdr[0] = ic.Type
+	hdr[1] = ic.Code
+	binary.BigEndian.PutUint16(hdr[2:4], 0)
+	binary.BigEndian.PutUint32(hdr[4:8], ic.RestOf)
+	if opts.ComputeChecksums {
+		ic.Checksum = internetChecksum(b.Bytes(), 0)
+	}
+	binary.BigEndian.PutUint16(hdr[2:4], ic.Checksum)
+	return nil
+}
+
+// ICMPv6 is an ICMPv6 header.
+type ICMPv6 struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	RestOf   uint32
+
+	srcIP, dstIP []byte
+}
+
+// ICMPv6 types used by the switch-Linux daemon simulation.
+const (
+	ICMPv6TypeRouterSolicitation  uint8 = 133
+	ICMPv6TypeRouterAdvertisement uint8 = 134
+	ICMPv6TypeNeighborSolicit     uint8 = 135
+	ICMPv6TypeNeighborAdvert      uint8 = 136
+)
+
+// LayerType implements Layer.
+func (*ICMPv6) LayerType() LayerType { return LayerTypeICMPv6 }
+
+// NextLayerType implements Layer.
+func (*ICMPv6) NextLayerType() LayerType { return LayerTypePayload }
+
+// SetNetworkLayerForChecksum records the IPv6 endpoints used by the pseudo
+// header when serializing with ComputeChecksums.
+func (ic *ICMPv6) SetNetworkLayerForChecksum(src, dst []byte) {
+	ic.srcIP, ic.dstIP = src, dst
+}
+
+// DecodeFromBytes implements Layer.
+func (ic *ICMPv6) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("packet: ICMPv6 header truncated: %d bytes", len(data))
+	}
+	ic.Type = data[0]
+	ic.Code = data[1]
+	ic.Checksum = binary.BigEndian.Uint16(data[2:4])
+	ic.RestOf = binary.BigEndian.Uint32(data[4:8])
+	return data[8:], nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (ic *ICMPv6) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	payloadLen := len(b.Bytes())
+	hdr := b.PrependBytes(8)
+	hdr[0] = ic.Type
+	hdr[1] = ic.Code
+	binary.BigEndian.PutUint16(hdr[2:4], 0)
+	binary.BigEndian.PutUint32(hdr[4:8], ic.RestOf)
+	if opts.ComputeChecksums && ic.srcIP != nil {
+		sum := pseudoHeaderSum(ic.srcIP, ic.dstIP, IPProtocolICMPv6, 8+payloadLen)
+		ic.Checksum = internetChecksum(b.Bytes(), sum)
+	}
+	binary.BigEndian.PutUint16(hdr[2:4], ic.Checksum)
+	return nil
+}
+
+// GRE is a basic GRE header (RFC 2784, no optional fields).
+type GRE struct {
+	Protocol uint16 // EtherType of the encapsulated payload
+}
+
+// LayerType implements Layer.
+func (*GRE) LayerType() LayerType { return LayerTypeGRE }
+
+// NextLayerType implements Layer.
+func (g *GRE) NextLayerType() LayerType { return layerTypeForEtherType(g.Protocol) }
+
+// DecodeFromBytes implements Layer.
+func (g *GRE) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("packet: GRE header truncated: %d bytes", len(data))
+	}
+	if flags := binary.BigEndian.Uint16(data[0:2]); flags != 0 {
+		return nil, fmt.Errorf("packet: GRE optional fields not supported (flags %#04x)", flags)
+	}
+	g.Protocol = binary.BigEndian.Uint16(data[2:4])
+	return data[4:], nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (g *GRE) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	hdr := b.PrependBytes(4)
+	binary.BigEndian.PutUint16(hdr[0:2], 0)
+	binary.BigEndian.PutUint16(hdr[2:4], g.Protocol)
+	return nil
+}
+
+// Payload is the opaque innermost application bytes.
+type Payload []byte
+
+// Raw returns a Payload layer over b, convenient for Serialize calls.
+func Raw(b []byte) *Payload {
+	p := Payload(b)
+	return &p
+}
+
+// LayerType implements Layer.
+func (*Payload) LayerType() LayerType { return LayerTypePayload }
+
+// NextLayerType implements Layer.
+func (*Payload) NextLayerType() LayerType { return LayerTypeZero }
+
+// DecodeFromBytes implements Layer.
+func (p *Payload) DecodeFromBytes(data []byte) ([]byte, error) {
+	*p = append((*p)[:0], data...)
+	return nil, nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (p *Payload) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	copy(b.PrependBytes(len(*p)), *p)
+	return nil
+}

@@ -1,0 +1,627 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver with two-watched-literal propagation, VSIDS branching, 1UIP
+// conflict analysis, phase saving, Luby restarts, and incremental solving
+// under assumptions. It is the decision engine underneath the SMT layer
+// that p4-symbolic uses in place of Z3.
+package sat
+
+import "sort"
+
+// Var is a 0-based variable index.
+type Var int32
+
+// Lit is a literal: variable times two, plus one if negated.
+type Lit int32
+
+// MkLit builds a literal from a variable and a sign.
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Result is a solver verdict.
+type Result int
+
+// Solver verdicts.
+const (
+	Unknown Result = iota
+	Sat
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+type watcher struct {
+	cref    int
+	blocker Lit
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses []int // refs of problem clauses
+	learnts []int // refs of learnt clauses
+	arena   []clause
+	free    []int // recycled arena slots
+
+	watches [][]watcher // indexed by Lit
+
+	assigns  []lbool
+	level    []int32
+	reason   []int // clause ref or -1
+	phase    []bool
+	activity []float64
+	varInc   float64
+
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	heap    []Var // binary max-heap on activity
+	heapIdx []int32
+
+	clauseInc float64
+
+	seen     []bool
+	unsatCI  bool // formula is UNSAT regardless of assumptions
+	Stats    Stats
+	maxLearn int
+}
+
+// Stats counts solver work, for benchmarking.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnt       int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{varInc: 1, clauseInc: 1, maxLearn: 4000}
+}
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.phase = append(s.phase, false)
+	s.activity = append(s.activity, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.seen = append(s.seen, false)
+	s.heapIdx = append(s.heapIdx, -1)
+	s.heapInsert(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+func (s *Solver) litValue(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		return -v
+	}
+	return v
+}
+
+// AddClause adds a problem clause. It returns false if the formula became
+// trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsatCI {
+		return false
+	}
+	// Must be called at decision level 0.
+	s.backtrackTo(0)
+	// Normalize: sort, dedupe, drop false lits, detect tautology/satisfied.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = -1
+	for _, l := range ls {
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.Not() {
+			return true // tautology
+		}
+		switch s.litValue(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue // drop
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.unsatCI = true
+		return false
+	case 1:
+		if !s.enqueue(out[0], -1) {
+			s.unsatCI = true
+			return false
+		}
+		if s.propagate() != -1 {
+			s.unsatCI = true
+			return false
+		}
+		return true
+	}
+	cref := s.allocClause(out, false)
+	s.clauses = append(s.clauses, cref)
+	s.watchClause(cref)
+	return true
+}
+
+func (s *Solver) allocClause(lits []Lit, learnt bool) int {
+	c := clause{lits: lits, learnt: learnt}
+	if n := len(s.free); n > 0 {
+		cref := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.arena[cref] = c
+		return cref
+	}
+	s.arena = append(s.arena, c)
+	return len(s.arena) - 1
+}
+
+func (s *Solver) watchClause(cref int) {
+	c := &s.arena[cref]
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{cref, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{cref, c.lits[0]})
+}
+
+// enqueue assigns a literal true with a reason clause (-1 for decisions
+// and unit facts).
+func (s *Solver) enqueue(l Lit, from int) bool {
+	switch s.litValue(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.phase[v] = !l.Neg()
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// propagate performs unit propagation; it returns the ref of a conflicting
+// clause, or -1.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.litValue(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := &s.arena[w.cref]
+			// Ensure lits[0] is the other watched literal.
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				kept = append(kept, watcher{w.cref, first})
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{w.cref, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{w.cref, first})
+			if s.litValue(first) == lFalse {
+				// Conflict: keep remaining watchers, restore list.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[p] = kept
+				s.qhead = len(s.trail)
+				return w.cref
+			}
+			s.enqueue(first, w.cref)
+		}
+		s.watches[p] = kept
+	}
+	return -1
+}
+
+// analyze performs 1UIP conflict analysis, returning the learnt clause
+// (first literal is the asserting one) and the backjump level.
+func (s *Solver) analyze(confl int) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		c := &s.arena[confl]
+		if c.learnt {
+			s.bumpClause(confl)
+		}
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.bumpVar(v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find the next seen literal on the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		confl = s.reason[v]
+		counter--
+		if counter == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Compute backjump level: max level among learnt[1:].
+	back := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		back = int(s.level[learnt[1].Var()])
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	return learnt, back
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heapFix(v)
+}
+
+func (s *Solver) bumpClause(cref int) {
+	c := &s.arena[cref]
+	c.activity += s.clauseInc
+	if c.activity > 1e20 {
+		for _, ref := range s.learnts {
+			s.arena[ref].activity *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+	s.clauseInc /= 0.999
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = lUndef
+		s.reason[v] = -1
+		if s.heapIdx[v] < 0 {
+			s.heapInsert(v)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+// pickBranchVar returns the unassigned variable with highest activity.
+func (s *Solver) pickBranchVar() Var {
+	for len(s.heap) > 0 {
+		v := s.heapPop()
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// reduceDB removes the less active half of the learnt clauses.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		return s.arena[s.learnts[i]].activity > s.arena[s.learnts[j]].activity
+	})
+	keep := s.learnts[:len(s.learnts)/2]
+	drop := s.learnts[len(s.learnts)/2:]
+	kept := keep
+	for _, cref := range drop {
+		if s.clauseLocked(cref) {
+			kept = append(kept, cref)
+			continue
+		}
+		s.detachClause(cref)
+		s.free = append(s.free, cref)
+		s.arena[cref] = clause{}
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) clauseLocked(cref int) bool {
+	c := &s.arena[cref]
+	v := c.lits[0].Var()
+	return s.reason[v] == cref && s.assigns[v] != lUndef
+}
+
+func (s *Solver) detachClause(cref int) {
+	c := &s.arena[cref]
+	for _, wl := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[wl]
+		for i, w := range ws {
+			if w.cref == cref {
+				ws[i] = ws[len(ws)-1]
+				s.watches[wl] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve determines satisfiability under the given assumption literals.
+// After Sat, Value reports the model; after Unsat under assumptions, the
+// formula itself may still be satisfiable.
+func (s *Solver) Solve(assumptions ...Lit) Result {
+	if s.unsatCI {
+		return Unsat
+	}
+	s.backtrackTo(0)
+	if s.propagate() != -1 {
+		s.unsatCI = true
+		return Unsat
+	}
+
+	var restarts int64
+	conflictBudget := int64(100) * luby(1)
+	var conflicts int64
+
+	for {
+		confl := s.propagate()
+		if confl != -1 {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.unsatCI = true
+				return Unsat
+			}
+			// Conflicts inside the assumption prefix are analyzed like any
+			// other; if an assumption itself becomes false, the decide
+			// branch below reports Unsat when it is re-reached.
+			learnt, back := s.analyze(confl)
+			s.backtrackTo(back)
+			s.addLearnt(learnt)
+			s.decayActivities()
+			if conflicts >= conflictBudget {
+				// Restart.
+				restarts++
+				s.Stats.Restarts++
+				conflicts = 0
+				conflictBudget = 100 * luby(restarts+1)
+				s.backtrackTo(0)
+			}
+			if len(s.learnts) > s.maxLearn {
+				s.reduceDB()
+			}
+			continue
+		}
+
+		// Decide: assumptions first, then VSIDS.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.litValue(a) {
+			case lTrue:
+				// Already satisfied; open an empty decision level so the
+				// index keeps advancing.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(a, -1)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			return Sat
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(MkLit(v, !s.phase[v]), -1)
+	}
+}
+
+func (s *Solver) addLearnt(learnt []Lit) {
+	s.Stats.Learnt++
+	if len(learnt) == 1 {
+		s.enqueue(learnt[0], -1)
+		return
+	}
+	cref := s.allocClause(learnt, true)
+	s.learnts = append(s.learnts, cref)
+	s.watchClause(cref)
+	s.bumpClause(cref)
+	s.enqueue(learnt[0], cref)
+}
+
+// Value reports the model value of a variable after Sat.
+func (s *Solver) Value(v Var) bool { return s.assigns[v] == lTrue }
+
+// LitValue reports the model value of a literal after Sat.
+func (s *Solver) LitValue(l Lit) bool {
+	if l.Neg() {
+		return !s.Value(l.Var())
+	}
+	return s.Value(l.Var())
+}
+
+// Binary max-heap on variable activity.
+
+func (s *Solver) heapLess(a, b Var) bool { return s.activity[a] > s.activity[b] }
+
+func (s *Solver) heapInsert(v Var) {
+	s.heapIdx[v] = int32(len(s.heap))
+	s.heap = append(s.heap, v)
+	s.heapUp(int(s.heapIdx[v]))
+}
+
+func (s *Solver) heapPop() Var {
+	v := s.heap[0]
+	last := s.heap[len(s.heap)-1]
+	s.heap = s.heap[:len(s.heap)-1]
+	s.heapIdx[v] = -1
+	if len(s.heap) > 0 {
+		s.heap[0] = last
+		s.heapIdx[last] = 0
+		s.heapDown(0)
+	}
+	return v
+}
+
+func (s *Solver) heapUp(i int) {
+	v := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapLess(v, s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		s.heapIdx[s.heap[i]] = int32(i)
+		i = parent
+	}
+	s.heap[i] = v
+	s.heapIdx[v] = int32(i)
+}
+
+func (s *Solver) heapDown(i int) {
+	v := s.heap[i]
+	for {
+		left := 2*i + 1
+		if left >= len(s.heap) {
+			break
+		}
+		child := left
+		if right := left + 1; right < len(s.heap) && s.heapLess(s.heap[right], s.heap[left]) {
+			child = right
+		}
+		if !s.heapLess(s.heap[child], v) {
+			break
+		}
+		s.heap[i] = s.heap[child]
+		s.heapIdx[s.heap[i]] = int32(i)
+		i = child
+	}
+	s.heap[i] = v
+	s.heapIdx[v] = int32(i)
+}
+
+// heapFix re-heapifies after an activity bump.
+func (s *Solver) heapFix(v Var) {
+	if s.heapIdx[v] >= 0 {
+		s.heapUp(int(s.heapIdx[v]))
+	}
+}

@@ -1,0 +1,738 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"switchv/internal/packet"
+)
+
+// The ASIC is a deliberately independent implementation of the fixed
+// forwarding pipeline the P4 models describe: its own route tables, TCAMs
+// and hash tables, its own parser (the packet package), and a hand-coded
+// per-role pipeline. SwitchV's differential comparison against the model
+// only means something because this code shares nothing with the
+// IR-interpreting reference simulator.
+
+type ternary struct {
+	val, mask uint64
+}
+
+func (t *ternary) matches(v uint64) bool {
+	if t == nil {
+		return true
+	}
+	return v&t.mask == t.val&t.mask
+}
+
+type optBit struct{ want bool }
+
+func (o *optBit) matches(v bool) bool { return o == nil || o.want == v }
+
+type aclActionKind int
+
+const (
+	aclForward aclActionKind = iota
+	aclDrop
+	aclTrap
+	aclCopy
+	aclMirror
+	aclSetVRF
+)
+
+type aclEntry struct {
+	id   string // entry key, for removal
+	prio int32
+
+	isIPv4, isIPv6, isVLAN *optBit
+	etherType              *ternary
+	dstMAC, srcMAC         *ternary
+	srcIP, dstIP           *ternary // ipv4
+	dstIPv6                *ternHi128
+	dscp, ttl, proto       *ternary
+	icmpType               *ternary
+	l4Src, l4Dst           *ternary
+	outPort                *ternary
+
+	kind          aclActionKind
+	mirrorSession uint16
+	vrf           uint16
+}
+
+// ternHi128 matches the high/low words of an IPv6 address.
+type ternHi128 struct {
+	valHi, valLo, maskHi, maskLo uint64
+}
+
+func (t *ternHi128) matches(hi, lo uint64) bool {
+	if t == nil {
+		return true
+	}
+	return hi&t.maskHi == t.valHi&t.maskHi && lo&t.maskLo == t.valLo&t.maskLo
+}
+
+type routeActionKind int
+
+const (
+	routeDrop routeActionKind = iota
+	routeNexthop
+	routeWCMP
+)
+
+type routeV4 struct {
+	prefix uint32
+	plen   int
+	kind   routeActionKind
+	id     uint16
+}
+
+type routeV6 struct {
+	prefixHi, prefixLo uint64
+	plen               int
+	kind               routeActionKind
+	id                 uint16
+}
+
+type nexthopRec struct {
+	rif, neighbor uint16
+	tunnel        uint16 // 0 = none
+}
+
+type rifRec struct {
+	port   uint16
+	srcMAC uint64
+}
+
+type wcmpMember struct {
+	nexthop uint16
+	weight  int
+}
+
+type l3AdmitEntry struct {
+	id     string
+	prio   int32
+	mac    *ternary
+	inPort *ternary
+}
+
+type tunnelRec struct {
+	src, dst uint32
+}
+
+type neighborKey struct {
+	rif, id uint16
+}
+
+// ASIC is the hardware data plane.
+type ASIC struct {
+	role  string
+	fault func(Fault) bool
+
+	vrfs      map[uint16]bool
+	v4Routes  map[uint16][]routeV4
+	v6Routes  map[uint16][]routeV6
+	nexthops  map[uint16]nexthopRec
+	neighbors map[neighborKey]uint64
+	rifs      map[uint16]rifRec
+	wcmp      map[uint16][]wcmpMember
+	rr        map[uint16]int
+	aclPre    []aclEntry
+	aclIn     []aclEntry
+	aclEg     []aclEntry
+	l3Admit   []l3AdmitEntry
+	mirrors   map[uint16]uint16
+	vlans     map[uint16]bool
+	tunnels   map[uint16]tunnelRec
+}
+
+func newASIC(role string, fault func(Fault) bool) *ASIC {
+	return &ASIC{
+		role:      role,
+		fault:     fault,
+		vrfs:      map[uint16]bool{},
+		v4Routes:  map[uint16][]routeV4{},
+		v6Routes:  map[uint16][]routeV6{},
+		nexthops:  map[uint16]nexthopRec{},
+		neighbors: map[neighborKey]uint64{},
+		rifs:      map[uint16]rifRec{},
+		wcmp:      map[uint16][]wcmpMember{},
+		rr:        map[uint16]int{},
+		mirrors:   map[uint16]uint16{},
+		vlans:     map[uint16]bool{},
+		tunnels:   map[uint16]tunnelRec{},
+	}
+}
+
+// Mirror is a cloned frame destined to a mirror session.
+type Mirror struct {
+	Session uint16
+	Frame   []byte
+}
+
+// DPResult is the observable outcome of one frame traversal.
+type DPResult struct {
+	Punted     bool
+	Dropped    bool
+	EgressPort uint16
+	Frame      []byte
+	CopyToCPU  bool
+	Mirrors    []Mirror
+	// Spontaneous holds frames the switch emitted to the controller on
+	// its own (daemon noise), not in response to the injected packet's
+	// forwarding semantics.
+	Spontaneous [][]byte
+}
+
+// parsedFrame is the ASIC's own view of a frame.
+type parsedFrame struct {
+	eth     *packet.Ethernet
+	vlan    *packet.VLAN
+	ipv4    *packet.IPv4
+	ipv6    *packet.IPv6
+	gre     *packet.GRE
+	inner   *packet.IPv4
+	tcp     *packet.TCP
+	udp     *packet.UDP
+	icmp4   *packet.ICMPv4
+	icmp6   *packet.ICMPv6
+	arp     *packet.ARP
+	payload []byte
+}
+
+func mac48(m packet.MAC) uint64 {
+	var v uint64
+	for _, b := range m {
+		v = v<<8 | uint64(b)
+	}
+	return v
+}
+
+func macFrom(v uint64) packet.MAC {
+	var m packet.MAC
+	for i := 5; i >= 0; i-- {
+		m[i] = byte(v)
+		v >>= 8
+	}
+	return m
+}
+
+// parseFrame decodes the layers the pipeline understands.
+func parseFrame(data []byte) (*parsedFrame, error) {
+	pf := &parsedFrame{eth: &packet.Ethernet{}}
+	rest, err := pf.eth.DecodeFromBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	et := pf.eth.EtherType
+	if et == packet.EtherTypeVLAN {
+		pf.vlan = &packet.VLAN{}
+		if rest, err = pf.vlan.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		et = pf.vlan.EtherType
+	}
+	switch et {
+	case packet.EtherTypeIPv4:
+		pf.ipv4 = &packet.IPv4{}
+		if rest, err = pf.ipv4.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		switch pf.ipv4.Protocol {
+		case packet.IPProtocolGRE:
+			pf.gre = &packet.GRE{}
+			if rest, err = pf.gre.DecodeFromBytes(rest); err != nil {
+				pf.gre = nil
+				break
+			}
+			if pf.gre.Protocol == packet.EtherTypeIPv4 {
+				pf.inner = &packet.IPv4{}
+				if rest, err = pf.inner.DecodeFromBytes(rest); err != nil {
+					pf.inner = nil
+				}
+			}
+		default:
+			rest = pf.parseL4(rest, pf.ipv4.Protocol)
+		}
+	case packet.EtherTypeIPv6:
+		pf.ipv6 = &packet.IPv6{}
+		if rest, err = pf.ipv6.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		rest = pf.parseL4(rest, pf.ipv6.NextHeader)
+	case packet.EtherTypeARP:
+		pf.arp = &packet.ARP{}
+		if rest, err = pf.arp.DecodeFromBytes(rest); err != nil {
+			pf.arp = nil
+		}
+	}
+	pf.payload = rest
+	return pf, nil
+}
+
+func (pf *parsedFrame) parseL4(rest []byte, proto uint8) []byte {
+	switch proto {
+	case packet.IPProtocolTCP:
+		pf.tcp = &packet.TCP{}
+		if r, err := pf.tcp.DecodeFromBytes(rest); err == nil {
+			return r
+		}
+		pf.tcp = nil
+	case packet.IPProtocolUDP:
+		pf.udp = &packet.UDP{}
+		if r, err := pf.udp.DecodeFromBytes(rest); err == nil {
+			return r
+		}
+		pf.udp = nil
+	case packet.IPProtocolICMPv4:
+		pf.icmp4 = &packet.ICMPv4{}
+		if r, err := pf.icmp4.DecodeFromBytes(rest); err == nil {
+			return r
+		}
+		pf.icmp4 = nil
+	case packet.IPProtocolICMPv6:
+		pf.icmp6 = &packet.ICMPv6{}
+		if r, err := pf.icmp6.DecodeFromBytes(rest); err == nil {
+			return r
+		}
+		pf.icmp6 = nil
+	}
+	return rest
+}
+
+// serialize re-emits the (possibly rewritten) frame.
+func (pf *parsedFrame) serialize() ([]byte, error) {
+	var layers []packet.SerializableLayer
+	layers = append(layers, pf.eth)
+	if pf.vlan != nil {
+		layers = append(layers, pf.vlan)
+	}
+	if pf.arp != nil {
+		layers = append(layers, pf.arp)
+	}
+	var ipSrc, ipDst []byte
+	if pf.ipv4 != nil {
+		layers = append(layers, pf.ipv4)
+		ipSrc, ipDst = pf.ipv4.SrcIP[:], pf.ipv4.DstIP[:]
+	}
+	if pf.gre != nil {
+		layers = append(layers, pf.gre)
+	}
+	if pf.inner != nil {
+		layers = append(layers, pf.inner)
+		ipSrc, ipDst = pf.inner.SrcIP[:], pf.inner.DstIP[:]
+	}
+	if pf.ipv6 != nil {
+		layers = append(layers, pf.ipv6)
+		ipSrc, ipDst = pf.ipv6.SrcIP[:], pf.ipv6.DstIP[:]
+	}
+	if pf.tcp != nil {
+		pf.tcp.SetNetworkLayerForChecksum(ipSrc, ipDst)
+		layers = append(layers, pf.tcp)
+	}
+	if pf.udp != nil {
+		pf.udp.SetNetworkLayerForChecksum(ipSrc, ipDst)
+		layers = append(layers, pf.udp)
+	}
+	if pf.icmp4 != nil {
+		layers = append(layers, pf.icmp4)
+	}
+	if pf.icmp6 != nil {
+		pf.icmp6.SetNetworkLayerForChecksum(ipSrc, ipDst)
+		layers = append(layers, pf.icmp6)
+	}
+	layers = append(layers, packet.Raw(pf.payload))
+	return packet.Serialize(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}, layers...)
+}
+
+// Forward runs one frame through the fixed-function pipeline.
+func (a *ASIC) Forward(inPort uint16, data []byte) (*DPResult, error) {
+	pf, err := parseFrame(data)
+	if err != nil {
+		return nil, fmt.Errorf("asic: %w", err)
+	}
+	res := &DPResult{}
+
+	// WAN role: VLAN admission.
+	if a.role == "wan" && pf.vlan != nil {
+		if !a.vlans[pf.vlan.VLANID] {
+			res.Dropped = true
+			return res, nil
+		}
+	}
+	// WAN role: GRE decapsulation of tunnel-terminated traffic.
+	if a.role == "wan" && pf.gre != nil && pf.inner != nil {
+		pf.ipv4 = pf.inner
+		pf.gre = nil
+		pf.inner = nil
+		// The L4 of the inner packet stays opaque (matches the model,
+		// which does not re-parse after decap).
+	}
+
+	// Snapshot of pre-rewrite fields for the model.acl-after-rewrite bug.
+	preDstMAC := mac48(pf.eth.DstMAC)
+
+	// Pre-ingress ACL assigns the VRF.
+	vrf := uint16(0)
+	if e := a.matchACL(a.aclPre, pf, 0); e != nil && e.kind == aclSetVRF {
+		vrf = e.vrf
+	}
+	if a.fault(FaultVRF1Conflict) && vrf == 1 {
+		// A rogue daemon owns VRF 1: lookups in it never succeed.
+		vrf = 0xffff
+	}
+
+	// L3 admission.
+	admitted := a.matchL3Admit(pf, inPort)
+
+	// The pipeline mirrors the model's flag semantics: every stage runs;
+	// at the end, punt wins over drop wins over forward.
+	punted := false
+	dropped := false
+	forwarded := false
+	var egress uint16
+
+	if a.fault(FaultModelBroadcastDrop) && pf.ipv4 != nil && pf.ipv4.DstIP == (packet.IPv4Addr{255, 255, 255, 255}) {
+		res.Dropped = true
+		return res, nil
+	}
+
+	if admitted {
+		switch {
+		case pf.ipv4 != nil:
+			if pf.ipv4.TTL <= 1 && !a.fault(FaultTTL1NoTrap) {
+				punted = true
+			} else if kind, id, ok := a.lookupV4(vrf, pf.ipv4.DstIP.Uint32()); ok {
+				forwarded, egress = a.resolveRoute(pf, kind, id, &dropped)
+			}
+		case pf.ipv6 != nil:
+			if pf.ipv6.HopLimit <= 1 && !a.fault(FaultTTL1NoTrap) {
+				punted = true
+			} else if kind, id, ok := a.lookupV6(vrf, pf.ipv6.DstIP); ok {
+				forwarded, egress = a.resolveRoute(pf, kind, id, &dropped)
+			}
+		}
+	}
+
+	// Ingress ACL. The hardware evaluates it on the rewritten headers
+	// (matching the model) unless the model-bug fault is active.
+	aclMAC := mac48(pf.eth.DstMAC)
+	if a.fault(FaultModelACLAfterRewrite) {
+		aclMAC = preDstMAC
+	}
+	var mirrorSession *uint16
+	if e := a.matchACLIngress(pf, aclMAC); e != nil {
+		switch e.kind {
+		case aclDrop:
+			dropped = true
+			forwarded = false
+		case aclTrap:
+			punted = true
+		case aclCopy:
+			res.CopyToCPU = true
+		case aclMirror:
+			s := e.mirrorSession
+			mirrorSession = &s
+		}
+	}
+
+	// Egress ACL (only observable on the forwarding path).
+	if forwarded {
+		if e := a.matchACLEgress(pf, egress); e != nil && e.kind == aclDrop {
+			dropped = true
+			forwarded = false
+		}
+	}
+
+	if forwarded && a.fault(FaultDSCPRemarkZero) && pf.ipv4 != nil {
+		pf.ipv4.SetDSCP(0)
+	}
+	if forwarded && a.fault(FaultPortSpeedDrop) && egress == 12 && !punted {
+		res.Dropped = true
+		return res, nil
+	}
+
+	frame, err := pf.serialize()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case punted:
+		res.Punted = true
+		res.Frame = frame
+	case dropped || !forwarded:
+		res.Dropped = true
+	default:
+		res.EgressPort = egress
+		res.Frame = frame
+	}
+	if mirrorSession != nil && !res.Dropped {
+		res.Mirrors = append(res.Mirrors, Mirror{Session: *mirrorSession, Frame: frame})
+	}
+	return res, nil
+}
+
+// resolveRoute follows a route action to a nexthop, rewriting the frame.
+func (a *ASIC) resolveRoute(pf *parsedFrame, kind routeActionKind, id uint16, dropped *bool) (bool, uint16) {
+	// Id 0 means "none" in the fixed-function contract (the model gates
+	// the nexthop/WCMP stages on a non-zero id).
+	if kind != routeDrop && id == 0 {
+		*dropped = true
+		return false, 0
+	}
+	switch kind {
+	case routeDrop:
+		*dropped = true
+		return false, 0
+	case routeWCMP:
+		members := a.wcmp[id]
+		if len(members) == 0 {
+			*dropped = true
+			return false, 0
+		}
+		idx := a.rr[id] % len(members)
+		a.rr[id]++
+		return a.resolveNexthop(pf, members[idx].nexthop, dropped)
+	case routeNexthop:
+		return a.resolveNexthop(pf, id, dropped)
+	}
+	*dropped = true
+	return false, 0
+}
+
+func (a *ASIC) resolveNexthop(pf *parsedFrame, nh uint16, dropped *bool) (bool, uint16) {
+	rec, ok := a.nexthops[nh]
+	if !ok {
+		*dropped = true
+		return false, 0
+	}
+	if mac, ok := a.neighbors[neighborKey{rec.rif, rec.neighbor}]; ok {
+		pf.eth.DstMAC = macFrom(mac)
+	}
+	rif, ok := a.rifs[rec.rif]
+	if !ok {
+		*dropped = true
+		return false, 0
+	}
+	pf.eth.SrcMAC = macFrom(rif.srcMAC)
+	// Tunnel encapsulation (WAN role).
+	if rec.tunnel != 0 {
+		if t, ok := a.tunnels[rec.tunnel]; ok && pf.ipv4 != nil {
+			inner := *pf.ipv4
+			pf.inner = &inner
+			dst := t.dst
+			if a.fault(FaultEncapDstReversed) {
+				dst = dst<<24 | dst<<8&0xff0000 | dst>>8&0xff00 | dst>>24
+			}
+			pf.gre = &packet.GRE{Protocol: packet.EtherTypeIPv4}
+			pf.ipv4 = &packet.IPv4{
+				TTL:      64,
+				Protocol: packet.IPProtocolGRE,
+				SrcIP:    packet.IPv4AddrFromUint32(t.src),
+				DstIP:    packet.IPv4AddrFromUint32(dst),
+				TOS:      inner.TOS,
+				ID:       inner.ID,
+			}
+			// The inner L4 headers now live under the inner IP; drop the
+			// separately parsed handles so serialization keeps raw bytes.
+		}
+	}
+	// TTL decrement.
+	if pf.ipv4 != nil && rec.tunnel == 0 {
+		pf.ipv4.TTL--
+	}
+	if pf.inner != nil && rec.tunnel != 0 {
+		// Model copies the original TTL into the inner header before the
+		// encap and decrements afterwards? The model decrements only
+		// headers.ipv4 (the outer) post-encap; our outer is fresh with
+		// TTL 64... match the model: the model sets outer ttl=64 in
+		// encap_gre, then the later decrement applies to the outer.
+		pf.ipv4.TTL = 63
+	}
+	if pf.ipv6 != nil {
+		pf.ipv6.HopLimit--
+	}
+	return true, rif.port
+}
+
+// lookupV4 picks the route for dst in vrf (longest prefix, unless the
+// tiebreak fault inverts the choice among matching prefixes).
+func (a *ASIC) lookupV4(vrf uint16, dst uint32) (routeActionKind, uint16, bool) {
+	best := -1
+	var out routeV4
+	for _, r := range a.v4Routes[vrf] {
+		mask := uint32(0xffffffff)
+		if r.plen == 0 {
+			mask = 0
+		} else {
+			mask <<= uint(32 - r.plen)
+		}
+		if dst&mask != r.prefix&mask {
+			continue
+		}
+		better := r.plen > best
+		if a.fault(FaultLPMTiebreakWrong) && best >= 0 {
+			better = r.plen < best
+		}
+		if best < 0 || better {
+			best = r.plen
+			out = r
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return out.kind, out.id, true
+}
+
+func (a *ASIC) lookupV6(vrf uint16, dst packet.IPv6Addr) (routeActionKind, uint16, bool) {
+	var hi, lo uint64
+	for i := 0; i < 8; i++ {
+		hi = hi<<8 | uint64(dst[i])
+		lo = lo<<8 | uint64(dst[i+8])
+	}
+	best := -1
+	var out routeV6
+	for _, r := range a.v6Routes[vrf] {
+		var maskHi, maskLo uint64
+		switch {
+		case r.plen >= 128:
+			maskHi, maskLo = ^uint64(0), ^uint64(0)
+		case r.plen > 64:
+			maskHi = ^uint64(0)
+			maskLo = ^uint64(0) << uint(128-r.plen)
+		case r.plen == 64:
+			maskHi = ^uint64(0)
+		case r.plen > 0:
+			maskHi = ^uint64(0) << uint(64-r.plen)
+		}
+		if hi&maskHi != r.prefixHi&maskHi || lo&maskLo != r.prefixLo&maskLo {
+			continue
+		}
+		better := r.plen > best
+		if a.fault(FaultLPMTiebreakWrong) && best >= 0 {
+			better = r.plen < best
+		}
+		if best < 0 || better {
+			best = r.plen
+			out = r
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return out.kind, out.id, true
+}
+
+// matchL3Admit consults the L3 admission TCAM.
+func (a *ASIC) matchL3Admit(pf *parsedFrame, inPort uint16) bool {
+	mac := mac48(pf.eth.DstMAC)
+	var best *l3AdmitEntry
+	for i := range a.l3Admit {
+		e := &a.l3Admit[i]
+		if !e.mac.matches(mac) || !e.inPort.matches(uint64(inPort)) {
+			continue
+		}
+		if best == nil || e.prio > best.prio {
+			best = e
+		}
+	}
+	return best != nil
+}
+
+// aclFields extracts the fields ACL stages match on.
+func (a *ASIC) aclFields(pf *parsedFrame) (isV4, isV6, isVLAN bool, dscp, ttl, proto, icmpType uint64, l4Src, l4Dst uint64, srcIP, dstIP uint64, v6Hi, v6Lo uint64) {
+	isV4 = pf.ipv4 != nil
+	isV6 = pf.ipv6 != nil
+	isVLAN = pf.vlan != nil
+	// The ACL contract exposes the IPv4 header fields only (the models'
+	// ttl/dscp/ip_protocol keys read headers.ipv4.*, which are zero for
+	// non-IPv4 packets); IPv6 contributes just its destination address.
+	if pf.ipv4 != nil {
+		dscp = uint64(pf.ipv4.DSCP())
+		ttl = uint64(pf.ipv4.TTL)
+		proto = uint64(pf.ipv4.Protocol)
+		srcIP = uint64(pf.ipv4.SrcIP.Uint32())
+		dstIP = uint64(pf.ipv4.DstIP.Uint32())
+	}
+	if pf.ipv6 != nil {
+		for i := 0; i < 8; i++ {
+			v6Hi = v6Hi<<8 | uint64(pf.ipv6.DstIP[i])
+			v6Lo = v6Lo<<8 | uint64(pf.ipv6.DstIP[i+8])
+		}
+	}
+	if pf.icmp4 != nil {
+		icmpType = uint64(pf.icmp4.Type)
+		if a.fault(FaultModelICMPWrongField) {
+			icmpType = uint64(pf.icmp4.Code)
+		}
+	}
+	if pf.icmp6 != nil {
+		icmpType = uint64(pf.icmp6.Type)
+		if a.fault(FaultModelICMPWrongField) {
+			icmpType = uint64(pf.icmp6.Code)
+		}
+	}
+	if pf.tcp != nil {
+		l4Src, l4Dst = uint64(pf.tcp.SrcPort), uint64(pf.tcp.DstPort)
+	}
+	if pf.udp != nil {
+		l4Src, l4Dst = uint64(pf.udp.SrcPort), uint64(pf.udp.DstPort)
+	}
+	return
+}
+
+// matchACL finds the winning entry of an ACL stage for the frame.
+func (a *ASIC) matchACL(stage []aclEntry, pf *parsedFrame, outPort uint16) *aclEntry {
+	isV4, isV6, isVLAN, dscp, ttl, proto, icmpType, l4Src, l4Dst, srcIP, dstIP, v6Hi, v6Lo := a.aclFields(pf)
+	dstMAC := mac48(pf.eth.DstMAC)
+	srcMAC := mac48(pf.eth.SrcMAC)
+	etherType := uint64(pf.eth.EtherType)
+	if pf.vlan != nil {
+		etherType = uint64(pf.vlan.EtherType)
+	}
+
+	var best *aclEntry
+	for i := range stage {
+		e := &stage[i]
+		if !e.isIPv4.matches(isV4) || !e.isIPv6.matches(isV6) || !e.isVLAN.matches(isVLAN) {
+			continue
+		}
+		if !e.etherType.matches(etherType) || !e.dstMAC.matches(dstMAC) || !e.srcMAC.matches(srcMAC) {
+			continue
+		}
+		if !e.srcIP.matches(srcIP) || !e.dstIP.matches(dstIP) || !e.dstIPv6.matches(v6Hi, v6Lo) {
+			continue
+		}
+		if !e.dscp.matches(dscp) || !e.ttl.matches(ttl) || !e.proto.matches(proto) || !e.icmpType.matches(icmpType) {
+			continue
+		}
+		if !e.l4Src.matches(l4Src) || !e.l4Dst.matches(l4Dst) || !e.outPort.matches(uint64(outPort)) {
+			continue
+		}
+		if best == nil {
+			best = e
+			continue
+		}
+		if a.fault(FaultACLPriorityInverted) {
+			if e.prio < best.prio {
+				best = e
+			}
+		} else if e.prio > best.prio {
+			best = e
+		}
+	}
+	return best
+}
+
+func (a *ASIC) matchACLIngress(pf *parsedFrame, aclDstMAC uint64) *aclEntry {
+	// Like matchACL but with an overridable destination MAC (for the
+	// pre/post-rewrite model-bug fault).
+	saved := pf.eth.DstMAC
+	pf.eth.DstMAC = macFrom(aclDstMAC)
+	e := a.matchACL(a.aclIn, pf, 0)
+	pf.eth.DstMAC = saved
+	return e
+}
+
+func (a *ASIC) matchACLEgress(pf *parsedFrame, outPort uint16) *aclEntry {
+	return a.matchACL(a.aclEg, pf, outPort)
+}

@@ -1,0 +1,130 @@
+// Package switchsim implements the switch under test: a PINS-like
+// software stack (P4Runtime server → orchestration agent → SyncD/SAI →
+// ASIC, plus switch-Linux daemons) over an independently implemented
+// fixed-function forwarding ASIC.
+//
+// Every layer carries a registry of injectable faults modeled on the real
+// bugs the paper reports (Table 1 and Appendix A). With no faults enabled
+// the stack is conformant: SwitchV must report zero incidents against it;
+// with a fault enabled, the corresponding layer misbehaves the way the
+// original bug did.
+package switchsim
+
+import "sort"
+
+// Fault identifies one injectable bug.
+type Fault string
+
+// Component names, matching Table 1 of the paper.
+const (
+	CompP4RT      = "P4Runtime Server"
+	CompGNMI      = "gNMI"
+	CompOrchAgent = "Orchestration Agent"
+	CompSyncD     = "SyncD Binary"
+	CompLinux     = "Switch Linux"
+	CompHardware  = "Hardware"
+	CompToolchain = "P4 Toolchain"
+	CompModel     = "Input P4 Program"
+	CompSoftware  = "Switch software" // Cerberus's coarse category
+	CompBMv2      = "BMv2 P4 Simulator"
+)
+
+// The injectable faults. Descriptions paraphrase Appendix A.
+const (
+	// P4Runtime server layer.
+	FaultBatchAbortOnDeleteMissing Fault = "p4rt.batch-abort-on-delete-missing"
+	FaultModifyKeepsOldParams      Fault = "p4rt.modify-keeps-old-params"
+	FaultAcceptInvalidReference    Fault = "p4rt.accept-invalid-reference"
+	FaultReadDropsTernary          Fault = "p4rt.read-drops-ternary"
+	FaultPacketOutPuntedBack       Fault = "p4rt.packet-out-punted-back"
+	FaultRejectACLEntries          Fault = "p4rt.reject-acl-entries"
+	FaultP4InfoPushIgnored         Fault = "p4rt.p4info-push-ignored"
+	FaultWrongDuplicateStatus      Fault = "p4rt.wrong-duplicate-status"
+	// P4 toolchain (PDPI-style conversion layer).
+	FaultZeroBytesAccepted Fault = "toolchain.zero-bytes-accepted"
+	// Orchestration agent.
+	FaultWCMPPartialCleanup    Fault = "orch.wcmp-partial-cleanup"
+	FaultWCMPRejectSameBuckets Fault = "orch.wcmp-reject-same-buckets"
+	FaultWCMPUpdateDropsMember Fault = "orch.wcmp-update-drops-members"
+	FaultVRFDeleteFails        Fault = "orch.vrf-delete-fails"
+	// SyncD / SAI.
+	FaultACLLeakExhausts      Fault = "syncd.acl-leak-exhausts"
+	FaultDSCPRemarkZero       Fault = "syncd.dscp-remark-zero"
+	FaultSubmitIngressDropped Fault = "syncd.submit-ingress-dropped"
+	FaultDefaultRouteDelete   Fault = "syncd.default-route-delete-broken"
+	// Hardware / ASIC.
+	FaultTTL1NoTrap            Fault = "asic.ttl1-no-trap"
+	FaultPortSpeedDrop         Fault = "asic.port12-drops"
+	FaultLPMTiebreakWrong      Fault = "asic.lpm-tiebreak-wrong"
+	FaultACLPriorityInverted   Fault = "asic.acl-priority-inverted"
+	FaultEncapDstReversed      Fault = "asic.encap-dst-reversed"
+	FaultVLANReservedAccepted  Fault = "asic.vlan-reserved-accepted"
+	FaultRouterInterfaceLimit8 Fault = "asic.router-interface-limit-8"
+	// Switch Linux daemons.
+	FaultLLDPPunt           Fault = "linux.lldp-punt"
+	FaultRouterSolicitNoise Fault = "linux.router-solicit-noise"
+	FaultPortSyncBreaksIO   Fault = "linux.portsync-breaks-pktio"
+	FaultVRF1Conflict       Fault = "linux.vrf1-conflict"
+	// Behaviors where the switch is right and the *model* is wrong; the
+	// divergence is attributed to the Input P4 Program at triage (§6.1).
+	FaultModelICMPWrongField  Fault = "model.icmp-wrong-field"
+	FaultModelBroadcastDrop   Fault = "model.broadcast-drop-missing"
+	FaultModelACLAfterRewrite Fault = "model.acl-after-rewrite"
+)
+
+// FaultMeta describes an injectable fault.
+type FaultMeta struct {
+	Fault       Fault
+	Component   string
+	Description string
+}
+
+var faultRegistry = map[Fault]FaultMeta{
+	FaultBatchAbortOnDeleteMissing: {FaultBatchAbortOnDeleteMissing, CompP4RT, "deleting a non-existing entry causes the entire batch to fail"},
+	FaultModifyKeepsOldParams:      {FaultModifyKeepsOldParams, CompP4RT, "MODIFY leaves old action parameters unchanged"},
+	FaultAcceptInvalidReference:    {FaultAcceptInvalidReference, CompP4RT, "entries with dangling @refers_to references are accepted"},
+	FaultReadDropsTernary:          {FaultReadDropsTernary, CompP4RT, "reading back entries omits ternary field matches"},
+	FaultPacketOutPuntedBack:       {FaultPacketOutPuntedBack, CompP4RT, "PacketOut packets incorrectly get punted back to the controller"},
+	FaultRejectACLEntries:          {FaultRejectACLEntries, CompP4RT, "an internal API rejects all ACL ingress entries"},
+	FaultP4InfoPushIgnored:         {FaultP4InfoPushIgnored, CompP4RT, "P4Info push failures are not propagated; the pipeline stays unconfigured"},
+	FaultWrongDuplicateStatus:      {FaultWrongDuplicateStatus, CompP4RT, "duplicate inserts rejected with the wrong status code"},
+	FaultZeroBytesAccepted:         {FaultZeroBytesAccepted, CompToolchain, "leading zero bytes in values are accepted and echoed back non-canonically"},
+	FaultWCMPPartialCleanup:        {FaultWCMPPartialCleanup, CompOrchAgent, "failed WCMP group creation leaves members programmed in the ASIC"},
+	FaultWCMPRejectSameBuckets:     {FaultWCMPRejectSameBuckets, CompOrchAgent, "WCMP groups with identical buckets are rejected, violating the P4RT spec"},
+	FaultWCMPUpdateDropsMember:     {FaultWCMPUpdateDropsMember, CompOrchAgent, "updating a WCMP group removes unchanged members"},
+	FaultVRFDeleteFails:            {FaultVRFDeleteFails, CompOrchAgent, "VRF deletion fails due to incorrect ALPM flag usage"},
+	FaultACLLeakExhausts:           {FaultACLLeakExhausts, CompSyncD, "rejected ACL entries leak hardware slots; inserts fail with RESOURCE_EXHAUSTED after 30"},
+	FaultDSCPRemarkZero:            {FaultDSCPRemarkZero, CompSyncD, "switch re-marks DSCP to 0 in forwarded packets"},
+	FaultSubmitIngressDropped:      {FaultSubmitIngressDropped, CompSyncD, "L3 forwarding not enabled for submit-to-ingress packets; they are dropped"},
+	FaultDefaultRouteDelete:        {FaultDefaultRouteDelete, CompSyncD, "default route deletion fails while other routes exist in the VRF"},
+	FaultTTL1NoTrap:                {FaultTTL1NoTrap, CompHardware, "chip forwards TTL<=1 packets instead of trapping them to the CPU"},
+	FaultPortSpeedDrop:             {FaultPortSpeedDrop, CompHardware, "packets on port 12 are dropped due to electrical interference"},
+	FaultLPMTiebreakWrong:          {FaultLPMTiebreakWrong, CompHardware, "LPM lookup prefers the shortest matching prefix"},
+	FaultACLPriorityInverted:       {FaultACLPriorityInverted, CompHardware, "ACL TCAM picks the lowest-priority matching entry"},
+	FaultEncapDstReversed:          {FaultEncapDstReversed, CompSoftware, "encap destination IP is byte-reversed (endianness bug)"},
+	FaultVLANReservedAccepted:      {FaultVLANReservedAccepted, CompSoftware, "reserved VLAN ids are accepted by the switch"},
+	FaultRouterInterfaceLimit8:     {FaultRouterInterfaceLimit8, CompModel, "router interface resource guarantees are unrealistically high for the chip (only 8 fit)"},
+	FaultLLDPPunt:                  {FaultLLDPPunt, CompLinux, "a traditional LLDP daemon punts LLDP frames to the controller"},
+	FaultRouterSolicitNoise:        {FaultRouterSolicitNoise, CompLinux, "the switch sends IPv6 router solicitation packets unexpectedly"},
+	FaultPortSyncBreaksIO:          {FaultPortSyncBreaksIO, CompLinux, "a port sync daemon restart breaks all packet IO"},
+	FaultVRF1Conflict:              {FaultVRF1Conflict, CompLinux, "a daemon creates conflicting VRF configuration; VRF 1 is unusable"},
+	FaultModelICMPWrongField:       {FaultModelICMPWrongField, CompModel, "the model matches on the wrong ICMP field (switch is correct)"},
+	FaultModelBroadcastDrop:        {FaultModelBroadcastDrop, CompModel, "the model does not reflect that the switch drops IPv4 broadcast"},
+	FaultModelACLAfterRewrite:      {FaultModelACLAfterRewrite, CompModel, "the model applies ACL after header rewrite; the switch applies it before"},
+}
+
+// Meta returns a fault's metadata.
+func Meta(f Fault) (FaultMeta, bool) {
+	m, ok := faultRegistry[f]
+	return m, ok
+}
+
+// AllFaults lists every injectable fault in a stable order.
+func AllFaults() []Fault {
+	out := make([]Fault, 0, len(faultRegistry))
+	for f := range faultRegistry {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

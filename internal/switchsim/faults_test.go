@@ -1,0 +1,185 @@
+package switchsim
+
+import (
+	"strings"
+	"testing"
+
+	"switchv/internal/p4rt"
+	"switchv/internal/testutil"
+)
+
+func TestFaultRegistryComplete(t *testing.T) {
+	for _, f := range AllFaults() {
+		meta, ok := Meta(f)
+		if !ok {
+			t.Errorf("fault %s has no metadata", f)
+			continue
+		}
+		if meta.Component == "" || meta.Description == "" {
+			t.Errorf("fault %s metadata incomplete: %+v", f, meta)
+		}
+	}
+	if _, ok := Meta("bogus"); ok {
+		t.Error("bogus fault resolved")
+	}
+	if len(AllFaults()) < 25 {
+		t.Errorf("only %d faults registered", len(AllFaults()))
+	}
+}
+
+func TestFaultRIFLimit(t *testing.T) {
+	sw, info := startSwitch(t, "middleblock", FaultRouterInterfaceLimit8)
+	rif, _ := info.TableByName("router_interface_table")
+	act, _ := info.ActionByName("set_port_and_src_mac")
+	insert := func(id byte) p4rt.Status {
+		resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: p4rt.TableEntry{
+			TableID: rif.ID,
+			Match:   []p4rt.FieldMatch{{FieldID: 1, Exact: &p4rt.ExactMatch{Value: []byte{id}}}},
+			Action: p4rt.TableAction{Action: &p4rt.Action{ActionID: act.ID, Params: []p4rt.ActionParam{
+				{ParamID: 1, Value: []byte{20}},
+				{ParamID: 2, Value: []byte{2, 0, 0, 0, 0, id}},
+			}}},
+		}}}})
+		return resp.Statuses[0]
+	}
+	// The fixture already installed RIFs 1 and 2; fill to the chip's real
+	// limit of 8, then watch the guarantee break.
+	okCount := 2
+	for id := byte(10); id < 30; id++ {
+		st := insert(id)
+		if st.Code == p4rt.OK {
+			okCount++
+		} else if st.Code != p4rt.ResourceExhausted {
+			t.Fatalf("unexpected status: %s", st)
+		}
+	}
+	if okCount != 8 {
+		t.Errorf("chip accepted %d router interfaces, want 8", okCount)
+	}
+}
+
+func TestFaultACLLeak(t *testing.T) {
+	sw, info := startSwitch(t, "middleblock", FaultACLLeakExhausts)
+	acl, _ := info.TableByName("acl_ingress_table")
+	drop, _ := info.ActionByName("acl_drop")
+	// 30 constraint-violating inserts (ttl matched without an IP match)
+	// leak slots...
+	for i := 0; i < 30; i++ {
+		resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: p4rt.TableEntry{
+			TableID:  acl.ID,
+			Priority: int32(100 + i),
+			Match: []p4rt.FieldMatch{
+				{FieldID: 5, Ternary: &p4rt.TernaryMatch{Value: []byte{byte(i + 1)}, Mask: []byte{0xff}}},
+			},
+			Action: p4rt.TableAction{Action: &p4rt.Action{ActionID: drop.ID}},
+		}}}})
+		if resp.OK() {
+			t.Fatalf("constraint-violating ACL entry %d accepted", i)
+		}
+	}
+	// ... after which a perfectly valid entry hits RESOURCE_EXHAUSTED.
+	resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: p4rt.TableEntry{
+		TableID:  acl.ID,
+		Priority: 500,
+		Match: []p4rt.FieldMatch{
+			{FieldID: 3, Ternary: &p4rt.TernaryMatch{Value: []byte{0x88, 0xcc}, Mask: []byte{0xff, 0xff}}},
+		},
+		Action: p4rt.TableAction{Action: &p4rt.Action{ActionID: drop.ID}},
+	}}}})
+	if resp.Statuses[0].Code != p4rt.ResourceExhausted {
+		t.Errorf("expected RESOURCE_EXHAUSTED after the leak, got %s", resp.Statuses[0])
+	}
+}
+
+func TestFaultWCMPRejectSameBuckets(t *testing.T) {
+	sw, info := startSwitch(t, "middleblock", FaultWCMPRejectSameBuckets)
+	wcmp, _ := info.TableByName("wcmp_group_table")
+	setNH, _ := info.ActionByName("set_nexthop_id")
+	member := func(nh byte, weight int32) p4rt.ActionProfileAction {
+		return p4rt.ActionProfileAction{
+			Action: p4rt.Action{ActionID: setNH.ID, Params: []p4rt.ActionParam{{ParamID: 1, Value: []byte{nh}}}},
+			Weight: weight,
+		}
+	}
+	// Identical buckets are valid per the P4RT spec; the faulty agent
+	// rejects them.
+	resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: p4rt.TableEntry{
+		TableID: wcmp.ID,
+		Match:   []p4rt.FieldMatch{{FieldID: 1, Exact: &p4rt.ExactMatch{Value: []byte{40}}}},
+		Action: p4rt.TableAction{HasActionSet: true, ActionSet: []p4rt.ActionProfileAction{
+			member(1, 2), member(1, 2),
+		}},
+	}}}})
+	if resp.OK() {
+		t.Error("duplicate buckets accepted despite the fault")
+	}
+	if !strings.Contains(resp.String(), "duplicate") {
+		t.Errorf("unexpected rejection: %s", resp.String())
+	}
+}
+
+func TestFaultModifyKeepsOldParams(t *testing.T) {
+	sw, info := startSwitch(t, "middleblock", FaultModifyKeepsOldParams)
+	nh, _ := info.TableByName("nexthop_table")
+	setNexthop, _ := info.ActionByName("set_nexthop")
+	mk := func(rif byte) p4rt.TableEntry {
+		return p4rt.TableEntry{
+			TableID: nh.ID,
+			Match:   []p4rt.FieldMatch{{FieldID: 1, Exact: &p4rt.ExactMatch{Value: []byte{1}}}},
+			Action: p4rt.TableAction{Action: &p4rt.Action{ActionID: setNexthop.ID, Params: []p4rt.ActionParam{
+				{ParamID: 1, Value: []byte{rif}},
+				{ParamID: 2, Value: []byte{1}},
+			}}},
+		}
+	}
+	// Modify nexthop 1 to router interface 2.
+	resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Modify, Entry: mk(2)}}})
+	if !resp.OK() {
+		t.Fatalf("modify failed: %s", resp.String())
+	}
+	// The read-back still shows the old parameter (the bug).
+	rr, err := sw.Read(p4rt.ReadRequest{TableID: nh.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundOld := false
+	for i := range rr.Entries {
+		for _, m := range rr.Entries[i].Match {
+			if m.Exact != nil && len(m.Exact.Value) == 1 && m.Exact.Value[0] == 1 {
+				a := rr.Entries[i].Action.Action
+				if a != nil && len(a.Params) > 0 && len(a.Params[0].Value) == 1 && a.Params[0].Value[0] == 1 {
+					foundOld = true
+				}
+			}
+		}
+	}
+	if !foundOld {
+		t.Error("modify applied the new params despite the fault")
+	}
+}
+
+func TestFaultReadDropsTernary(t *testing.T) {
+	sw, _ := startSwitch(t, "middleblock", FaultReadDropsTernary)
+	rr, err := sw.Read(p4rt.ReadRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rr.Entries {
+		for _, m := range rr.Entries[i].Match {
+			if m.Ternary != nil {
+				t.Fatal("ternary match present in read-back despite the fault")
+			}
+		}
+	}
+}
+
+func TestInjectFrameAdapter(t *testing.T) {
+	sw, _ := startSwitch(t, "middleblock")
+	res, err := sw.InjectFrame(p4rt.InjectRequest{Port: 1, Frame: testutil.IPv4UDP("10.1.2.3", 64, 2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped || res.Punted || res.EgressPort != 11 {
+		t.Errorf("result = %+v", res)
+	}
+}

@@ -1,0 +1,409 @@
+package switchsim
+
+import (
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4rt"
+)
+
+// orchAgent synchronizes the application-layer state to the ASIC through a
+// SyncD/SAI-style object interface. It is deliberately a separate
+// translation step: several of the paper's bugs are integration bugs
+// between this layer and its neighbors.
+type orchAgent struct {
+	asic  *ASIC
+	fault func(Fault) bool
+
+	// SyncD-level resource accounting.
+	rifCount   int
+	wcmpLeaked int // members stranded in hardware by failed creations
+	aclLeaked  int // slots consumed by rejected ACL entries
+}
+
+func newOrchAgent(asic *ASIC, fault func(Fault) bool) *orchAgent {
+	return &orchAgent{asic: asic, fault: fault}
+}
+
+// u16 extracts a semantic value as uint16.
+func u16(e *pdpi.Entry, key string) uint16 {
+	if m, ok := e.Match(key); ok {
+		return uint16(m.Value.Uint64())
+	}
+	return 0
+}
+
+func arg(inv *pdpi.ActionInvocation, i int) uint64 {
+	if inv == nil || i >= len(inv.Args) {
+		return 0
+	}
+	return inv.Args[i].Uint64()
+}
+
+// statusErr wraps a SyncD failure with a status code.
+func statusErr(code p4rt.Code, format string, args ...any) error {
+	return p4rt.Statusf(code, format, args...).Err()
+}
+
+// apply programs one accepted update into the ASIC. An error means the
+// lower layers rejected it; the caller surfaces the error and must not
+// keep the entry in the application state.
+func (o *orchAgent) apply(typ p4rt.UpdateType, e *pdpi.Entry, old *pdpi.Entry) error {
+	switch e.Table.Name {
+	case "vrf_table":
+		return o.applyVRF(typ, e)
+	case "ipv4_table":
+		return o.applyRouteV4(typ, e)
+	case "ipv6_table":
+		return o.applyRouteV6(typ, e)
+	case "nexthop_table":
+		return o.applyNexthop(typ, e)
+	case "neighbor_table":
+		return o.applyNeighbor(typ, e)
+	case "router_interface_table":
+		return o.applyRIF(typ, e)
+	case "wcmp_group_table":
+		return o.applyWCMP(typ, e, old)
+	case "acl_pre_ingress_table":
+		return o.applyACL(&o.asic.aclPre, typ, e)
+	case "acl_ingress_table":
+		return o.applyACL(&o.asic.aclIn, typ, e)
+	case "acl_egress_table":
+		return o.applyACL(&o.asic.aclEg, typ, e)
+	case "l3_admit_table":
+		return o.applyL3Admit(typ, e)
+	case "mirror_session_table":
+		return o.applyMirror(typ, e)
+	case "vlan_table":
+		return o.applyVLAN(typ, e)
+	case "tunnel_table":
+		return o.applyTunnel(typ, e)
+	default:
+		return statusErr(p4rt.Unimplemented, "orchagent: no handler for table %s", e.Table.Name)
+	}
+}
+
+func (o *orchAgent) applyVRF(typ p4rt.UpdateType, e *pdpi.Entry) error {
+	id := u16(e, "vrf_id")
+	switch typ {
+	case p4rt.Insert, p4rt.Modify:
+		o.asic.vrfs[id] = true
+	case p4rt.Delete:
+		if o.fault(FaultVRFDeleteFails) {
+			return statusErr(p4rt.Internal, "SAI_STATUS_FAILURE: ALPM flag mismatch deleting VRF %d", id)
+		}
+		delete(o.asic.vrfs, id)
+	}
+	return nil
+}
+
+func routeActionOf(e *pdpi.Entry) (routeActionKind, uint16) {
+	switch e.Action.Action.Name {
+	case "drop":
+		return routeDrop, 0
+	case "set_nexthop_id":
+		return routeNexthop, uint16(arg(e.Action, 0))
+	case "set_wcmp_group_id":
+		return routeWCMP, uint16(arg(e.Action, 0))
+	}
+	return routeDrop, 0
+}
+
+func (o *orchAgent) applyRouteV4(typ p4rt.UpdateType, e *pdpi.Entry) error {
+	vrf := u16(e, "vrf_id")
+	m, _ := e.Match("ipv4_dst")
+	prefix := uint32(m.Value.Uint64())
+	plen := m.PrefixLen
+	routes := o.asic.v4Routes[vrf]
+	idx := -1
+	for i, r := range routes {
+		if r.prefix == prefix && r.plen == plen {
+			idx = i
+		}
+	}
+	switch typ {
+	case p4rt.Delete:
+		if idx < 0 {
+			return statusErr(p4rt.NotFound, "route not programmed")
+		}
+		if o.fault(FaultDefaultRouteDelete) && plen == 0 && len(routes) > 1 {
+			return statusErr(p4rt.Internal, "SAI_STATUS_FAILURE: cannot delete default route with other routes present")
+		}
+		o.asic.v4Routes[vrf] = append(routes[:idx], routes[idx+1:]...)
+		return nil
+	default:
+		kind, id := routeActionOf(e)
+		r := routeV4{prefix: prefix, plen: plen, kind: kind, id: id}
+		if idx >= 0 {
+			routes[idx] = r
+		} else {
+			o.asic.v4Routes[vrf] = append(routes, r)
+		}
+		return nil
+	}
+}
+
+func (o *orchAgent) applyRouteV6(typ p4rt.UpdateType, e *pdpi.Entry) error {
+	vrf := u16(e, "vrf_id")
+	m, _ := e.Match("ipv6_dst")
+	routes := o.asic.v6Routes[vrf]
+	idx := -1
+	for i, r := range routes {
+		if r.prefixHi == m.Value.Hi && r.prefixLo == m.Value.Lo && r.plen == m.PrefixLen {
+			idx = i
+		}
+	}
+	switch typ {
+	case p4rt.Delete:
+		if idx < 0 {
+			return statusErr(p4rt.NotFound, "route not programmed")
+		}
+		o.asic.v6Routes[vrf] = append(routes[:idx], routes[idx+1:]...)
+		return nil
+	default:
+		kind, id := routeActionOf(e)
+		r := routeV6{prefixHi: m.Value.Hi, prefixLo: m.Value.Lo, plen: m.PrefixLen, kind: kind, id: id}
+		if idx >= 0 {
+			routes[idx] = r
+		} else {
+			o.asic.v6Routes[vrf] = append(routes, r)
+		}
+		return nil
+	}
+}
+
+func (o *orchAgent) applyNexthop(typ p4rt.UpdateType, e *pdpi.Entry) error {
+	id := u16(e, "nexthop_id")
+	if typ == p4rt.Delete {
+		delete(o.asic.nexthops, id)
+		return nil
+	}
+	rec := nexthopRec{
+		rif:      uint16(arg(e.Action, 0)),
+		neighbor: uint16(arg(e.Action, 1)),
+	}
+	if e.Action.Action.Name == "set_nexthop_and_tunnel" {
+		rec.tunnel = uint16(arg(e.Action, 2))
+	}
+	o.asic.nexthops[id] = rec
+	return nil
+}
+
+func (o *orchAgent) applyNeighbor(typ p4rt.UpdateType, e *pdpi.Entry) error {
+	key := neighborKey{u16(e, "router_interface_id"), u16(e, "neighbor_id")}
+	if typ == p4rt.Delete {
+		delete(o.asic.neighbors, key)
+		return nil
+	}
+	o.asic.neighbors[key] = arg(e.Action, 0)
+	return nil
+}
+
+func (o *orchAgent) applyRIF(typ p4rt.UpdateType, e *pdpi.Entry) error {
+	id := u16(e, "router_interface_id")
+	if typ == p4rt.Delete {
+		delete(o.asic.rifs, id)
+		o.rifCount--
+		return nil
+	}
+	if _, exists := o.asic.rifs[id]; !exists {
+		if o.fault(FaultRouterInterfaceLimit8) && o.rifCount >= 8 {
+			return statusErr(p4rt.ResourceExhausted, "SAI_STATUS_INSUFFICIENT_RESOURCES: router interface table full")
+		}
+		o.rifCount++
+	}
+	o.asic.rifs[id] = rifRec{port: uint16(arg(e.Action, 0)), srcMAC: arg(e.Action, 1)}
+	return nil
+}
+
+func (o *orchAgent) applyWCMP(typ p4rt.UpdateType, e *pdpi.Entry, old *pdpi.Entry) error {
+	id := u16(e, "wcmp_group_id")
+	if typ == p4rt.Delete {
+		delete(o.asic.wcmp, id)
+		return nil
+	}
+	var members []wcmpMember
+	for _, wa := range e.ActionSet {
+		members = append(members, wcmpMember{nexthop: uint16(wa.Args[0].Uint64()), weight: wa.Weight})
+	}
+	if o.fault(FaultWCMPRejectSameBuckets) {
+		seen := map[wcmpMember]bool{}
+		for _, m := range members {
+			if seen[m] {
+				return statusErr(p4rt.InvalidArgument, "duplicate WCMP bucket rejected by orchagent")
+			}
+			seen[m] = true
+		}
+	}
+	if o.fault(FaultWCMPPartialCleanup) && len(members) > 2 {
+		// Member creation fails midway; the first members stay programmed
+		// in hardware (leaked) while the group is reported failed.
+		o.asic.wcmp[id] = members[:2]
+		o.wcmpLeaked += 2
+		return statusErr(p4rt.Internal, "SAI_STATUS_FAILURE creating group member 3")
+	}
+	if typ == p4rt.Modify && o.fault(FaultWCMPUpdateDropsMember) && old != nil {
+		// Members also present in the old set are "optimized away".
+		oldSet := map[wcmpMember]bool{}
+		for _, wa := range old.ActionSet {
+			oldSet[wcmpMember{nexthop: uint16(wa.Args[0].Uint64()), weight: wa.Weight}] = true
+		}
+		var kept []wcmpMember
+		for _, m := range members {
+			if !oldSet[m] {
+				kept = append(kept, m)
+			}
+		}
+		o.asic.wcmp[id] = kept
+		return nil
+	}
+	o.asic.wcmp[id] = members
+	return nil
+}
+
+// noteACLRejected feeds the SyncD leak accounting (§Appendix A: rejected
+// entries leak hardware slots until the table is exhausted).
+func (o *orchAgent) noteACLRejected(table string) {
+	if table == "acl_ingress_table" && o.fault(FaultACLLeakExhausts) {
+		o.aclLeaked++
+	}
+}
+
+func ternFromMatch(e *pdpi.Entry, key string) *ternary {
+	if m, ok := e.Match(key); ok {
+		return &ternary{val: m.Value.Lo, mask: m.Mask.Lo}
+	}
+	return nil
+}
+
+func optFromMatch(e *pdpi.Entry, key string) *optBit {
+	if m, ok := e.Match(key); ok {
+		return &optBit{want: !m.Value.IsZero()}
+	}
+	return nil
+}
+
+func (o *orchAgent) applyACL(stage *[]aclEntry, typ p4rt.UpdateType, e *pdpi.Entry) error {
+	key := e.Key()
+	idx := -1
+	for i := range *stage {
+		if (*stage)[i].id == key {
+			idx = i
+		}
+	}
+	if typ == p4rt.Delete {
+		if idx < 0 {
+			return statusErr(p4rt.NotFound, "ACL entry not programmed")
+		}
+		*stage = append((*stage)[:idx], (*stage)[idx+1:]...)
+		return nil
+	}
+	if stage == &o.asic.aclIn && o.fault(FaultACLLeakExhausts) && o.aclLeaked >= 30 {
+		return statusErr(p4rt.ResourceExhausted, "SAI_STATUS_TABLE_FULL: leaked ACL slots exhausted the bank")
+	}
+
+	entry := aclEntry{id: key, prio: e.Priority}
+	entry.isIPv4 = optFromMatch(e, "is_ipv4")
+	entry.isIPv6 = optFromMatch(e, "is_ipv6")
+	entry.isVLAN = optFromMatch(e, "is_vlan")
+	entry.etherType = ternFromMatch(e, "ether_type")
+	entry.dstMAC = ternFromMatch(e, "dst_mac")
+	entry.srcMAC = ternFromMatch(e, "src_mac")
+	entry.srcIP = ternFromMatch(e, "src_ip")
+	entry.dstIP = ternFromMatch(e, "dst_ip")
+	entry.dscp = ternFromMatch(e, "dscp")
+	entry.ttl = ternFromMatch(e, "ttl")
+	entry.proto = ternFromMatch(e, "ip_protocol")
+	entry.icmpType = ternFromMatch(e, "icmp_type")
+	entry.l4Src = ternFromMatch(e, "l4_src_port")
+	entry.l4Dst = ternFromMatch(e, "l4_dst_port")
+	entry.outPort = ternFromMatch(e, "out_port")
+	if m, ok := e.Match("dst_ipv6"); ok {
+		entry.dstIPv6 = &ternHi128{valHi: m.Value.Hi, valLo: m.Value.Lo, maskHi: m.Mask.Hi, maskLo: m.Mask.Lo}
+	}
+
+	switch e.Action.Action.Name {
+	case "acl_drop", "acl_egress_drop":
+		entry.kind = aclDrop
+	case "acl_trap":
+		entry.kind = aclTrap
+	case "acl_copy":
+		entry.kind = aclCopy
+	case "acl_mirror":
+		entry.kind = aclMirror
+		entry.mirrorSession = uint16(arg(e.Action, 0))
+	case "acl_forward":
+		entry.kind = aclForward
+	case "set_vrf":
+		entry.kind = aclSetVRF
+		entry.vrf = uint16(arg(e.Action, 0))
+	default:
+		return statusErr(p4rt.Unimplemented, "orchagent: ACL action %s", e.Action.Action.Name)
+	}
+	if idx >= 0 {
+		(*stage)[idx] = entry
+	} else {
+		*stage = append(*stage, entry)
+	}
+	return nil
+}
+
+func (o *orchAgent) applyL3Admit(typ p4rt.UpdateType, e *pdpi.Entry) error {
+	key := e.Key()
+	idx := -1
+	for i := range o.asic.l3Admit {
+		if o.asic.l3Admit[i].id == key {
+			idx = i
+		}
+	}
+	if typ == p4rt.Delete {
+		if idx < 0 {
+			return statusErr(p4rt.NotFound, "entry not programmed")
+		}
+		o.asic.l3Admit = append(o.asic.l3Admit[:idx], o.asic.l3Admit[idx+1:]...)
+		return nil
+	}
+	entry := l3AdmitEntry{
+		id:     key,
+		prio:   e.Priority,
+		mac:    ternFromMatch(e, "dst_mac"),
+		inPort: ternFromMatch(e, "in_port"),
+	}
+	if idx >= 0 {
+		o.asic.l3Admit[idx] = entry
+	} else {
+		o.asic.l3Admit = append(o.asic.l3Admit, entry)
+	}
+	return nil
+}
+
+func (o *orchAgent) applyMirror(typ p4rt.UpdateType, e *pdpi.Entry) error {
+	id := u16(e, "mirror_session_id")
+	if typ == p4rt.Delete {
+		delete(o.asic.mirrors, id)
+		return nil
+	}
+	o.asic.mirrors[id] = uint16(arg(e.Action, 0))
+	return nil
+}
+
+func (o *orchAgent) applyVLAN(typ p4rt.UpdateType, e *pdpi.Entry) error {
+	id := u16(e, "vlan_id")
+	if typ == p4rt.Delete {
+		delete(o.asic.vlans, id)
+		return nil
+	}
+	o.asic.vlans[id] = true
+	return nil
+}
+
+func (o *orchAgent) applyTunnel(typ p4rt.UpdateType, e *pdpi.Entry) error {
+	id := u16(e, "tunnel_id")
+	if typ == p4rt.Delete {
+		delete(o.asic.tunnels, id)
+		return nil
+	}
+	o.asic.tunnels[id] = tunnelRec{
+		src: uint32(arg(e.Action, 0)),
+		dst: uint32(arg(e.Action, 1)),
+	}
+	return nil
+}

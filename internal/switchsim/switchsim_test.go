@@ -1,0 +1,417 @@
+package switchsim
+
+import (
+	"strings"
+	"testing"
+
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/p4info"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4rt"
+	"switchv/internal/packet"
+	"switchv/internal/testutil"
+	"switchv/models"
+)
+
+// startSwitch pushes the pipeline and installs the routing fixture.
+func startSwitch(t *testing.T, role string, faults ...Fault) (*Switch, *p4info.Info) {
+	t.Helper()
+	sw := New(role, faults...)
+	info := p4info.New(models.MustLoad(role))
+	if err := sw.SetForwardingPipelineConfig(p4rt.ForwardingPipelineConfig{P4Info: info.Text()}); err != nil {
+		t.Fatal(err)
+	}
+	store := pdpi.NewStore()
+	testutil.RoutingFixture(models.MustLoad(role), store)
+	for _, e := range testutil.InstallOrder(info, store) {
+		resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: p4rt.ToWire(e)}}})
+		if !resp.OK() {
+			t.Fatalf("installing %s: %s", e, resp.String())
+		}
+	}
+	return sw, info
+}
+
+func TestPipelinePushValidation(t *testing.T) {
+	sw := New("middleblock")
+	if err := sw.SetForwardingPipelineConfig(p4rt.ForwardingPipelineConfig{}); err == nil {
+		t.Error("empty P4Info accepted")
+	}
+	if err := sw.SetForwardingPipelineConfig(p4rt.ForwardingPipelineConfig{P4Info: "garbage"}); err == nil {
+		t.Error("mismatched P4Info accepted")
+	}
+	// Writes before a pipeline push must fail.
+	resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{}}})
+	if resp.OK() || resp.Statuses[0].Code != p4rt.FailedPrecondition {
+		t.Errorf("write without pipeline: %+v", resp.Statuses)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	sw, info := startSwitch(t, "middleblock")
+	rr, err := sw.Read(p4rt.ReadRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := pdpi.NewStore()
+	testutil.RoutingFixture(info.Program(), store)
+	if len(rr.Entries) != store.Len() {
+		t.Errorf("read %d entries, want %d", len(rr.Entries), store.Len())
+	}
+	// All read-back entries decode and are canonical.
+	for i := range rr.Entries {
+		if _, err := p4rt.FromWire(info, &rr.Entries[i]); err != nil {
+			t.Errorf("read-back entry %d: %v", i, err)
+		}
+	}
+}
+
+func TestForwarding(t *testing.T) {
+	sw, _ := startSwitch(t, "middleblock")
+	res, err := sw.Inject(1, testutil.IPv4UDP("10.1.2.3", 64, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Punted || res.Dropped || res.EgressPort != 11 {
+		t.Fatalf("result = %+v, want forward to 11", res)
+	}
+	p := packet.NewPacket(res.Frame, packet.LayerTypeEthernet)
+	if p.IPv4() == nil || p.IPv4().TTL != 63 {
+		t.Errorf("output packet: %s", p)
+	}
+	// 10.99/16 beats 10/8.
+	res, err = sw.Inject(1, testutil.IPv4UDP("10.99.1.1", 64, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EgressPort != 12 {
+		t.Errorf("LPM: egress = %d, want 12", res.EgressPort)
+	}
+	// TTL 1 punts.
+	res, err = sw.Inject(1, testutil.IPv4UDP("10.1.2.3", 1, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Punted {
+		t.Errorf("TTL 1: %+v, want punt", res)
+	}
+	// Unrouted and unadmitted drop.
+	res, err = sw.Inject(1, testutil.IPv4UDP("192.0.2.9", 64, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dropped {
+		t.Errorf("unrouted: %+v, want drop", res)
+	}
+	// BGP punt ACL.
+	res, err = sw.Inject(1, bgpPacket(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Punted {
+		t.Errorf("BGP: %+v, want punt", res)
+	}
+}
+
+func bgpPacket(t *testing.T) []byte {
+	t.Helper()
+	ip := &packet.IPv4{TTL: 64, Protocol: packet.IPProtocolTCP,
+		SrcIP: packet.MustParseIPv4("192.168.1.1"), DstIP: packet.MustParseIPv4("10.1.2.3")}
+	tcp := &packet.TCP{SrcPort: 33333, DstPort: 179}
+	tcp.SetNetworkLayerForChecksum(ip.SrcIP[:], ip.DstIP[:])
+	data, err := packet.Serialize(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true},
+		&packet.Ethernet{DstMAC: testutil.RouterMAC, EtherType: packet.EtherTypeIPv4}, ip, tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestInvalidEntriesRejected(t *testing.T) {
+	sw, info := startSwitch(t, "middleblock")
+	vrf, _ := info.TableByName("vrf_table")
+	// VRF 0 violates the entry restriction.
+	bad := p4rt.TableEntry{
+		TableID: vrf.ID,
+		Match:   []p4rt.FieldMatch{{FieldID: 1, Exact: &p4rt.ExactMatch{Value: []byte{0}}}},
+		Action:  wireNoAction(info),
+	}
+	resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: bad}}})
+	if resp.OK() {
+		t.Error("VRF 0 accepted")
+	}
+	// Dangling reference rejected.
+	ipv4, _ := info.TableByName("ipv4_table")
+	setNexthop, _ := info.ActionByName("set_nexthop_id")
+	dangling := p4rt.TableEntry{
+		TableID: ipv4.ID,
+		Match: []p4rt.FieldMatch{
+			{FieldID: 1, Exact: &p4rt.ExactMatch{Value: []byte{1}}},
+			{FieldID: 2, LPM: &p4rt.LPMMatch{Value: []byte{99, 0, 0, 0}, PrefixLen: 8}},
+		},
+		Action: p4rt.TableAction{Action: &p4rt.Action{
+			ActionID: setNexthop.ID,
+			Params:   []p4rt.ActionParam{{ParamID: 1, Value: []byte{0x3, 0xff}}},
+		}},
+	}
+	resp = sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: dangling}}})
+	if resp.OK() {
+		t.Error("dangling nexthop reference accepted")
+	}
+	if !strings.Contains(resp.String(), "reference") {
+		t.Errorf("unexpected rejection: %s", resp.String())
+	}
+	// Duplicate insert → ALREADY_EXISTS.
+	store := pdpi.NewStore()
+	testutil.RoutingFixture(info.Program(), store)
+	first := store.All(info.Program())[0]
+	resp = sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: p4rt.ToWire(first)}}})
+	if resp.Statuses[0].Code != p4rt.AlreadyExists {
+		t.Errorf("duplicate insert: %s", resp.Statuses[0])
+	}
+	// Delete of missing entry → NOT_FOUND.
+	missing := p4rt.ToWire(first)
+	missing.Match[0].Exact.Value = []byte{0x3, 0x21}
+	resp = sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Delete, Entry: missing}}})
+	if resp.Statuses[0].Code != p4rt.NotFound {
+		t.Errorf("delete missing: %s", resp.Statuses[0])
+	}
+}
+
+// wireNoAction builds the wire action for no_action.
+func wireNoAction(info *p4info.Info) p4rt.TableAction {
+	a, _ := info.ActionByName("no_action")
+	return p4rt.TableAction{Action: &p4rt.Action{ActionID: a.ID}}
+}
+
+func TestFaultBatchAbort(t *testing.T) {
+	sw, info := startSwitch(t, "middleblock", FaultBatchAbortOnDeleteMissing)
+	store := pdpi.NewStore()
+	testutil.RoutingFixture(info.Program(), store)
+	first := store.All(info.Program())[0]
+	missing := p4rt.ToWire(first)
+	missing.Match[0].Exact.Value = []byte{0x3, 0x21}
+	// A batch with one good insert and one bad delete: the fault makes
+	// everything fail.
+	vrf9 := p4rt.TableEntry{
+		TableID: mustTable(info, "vrf_table").ID,
+		Match:   []p4rt.FieldMatch{{FieldID: 1, Exact: &p4rt.ExactMatch{Value: []byte{9}}}},
+		Action:  wireNoAction(info),
+	}
+	resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{
+		{Type: p4rt.Insert, Entry: vrf9},
+		{Type: p4rt.Delete, Entry: missing},
+	}})
+	if resp.Statuses[0].Code != p4rt.Aborted {
+		t.Errorf("fault did not abort the batch: %+v", resp.Statuses)
+	}
+}
+
+func mustTable(info *p4info.Info, name string) *ir.Table {
+	tbl, ok := info.TableByName(name)
+	if !ok {
+		panic("missing " + name)
+	}
+	return tbl
+}
+
+func TestFaultTTLNoTrap(t *testing.T) {
+	sw, _ := startSwitch(t, "middleblock", FaultTTL1NoTrap)
+	res, err := sw.Inject(1, testutil.IPv4UDP("10.1.2.3", 1, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Punted {
+		t.Error("faulted switch still punts TTL 1")
+	}
+	if res.Dropped || res.EgressPort != 11 {
+		t.Errorf("result = %+v, want forwarded", res)
+	}
+}
+
+func TestFaultLLDPPunt(t *testing.T) {
+	sw, _ := startSwitch(t, "middleblock", FaultLLDPPunt)
+	lldp, err := packet.Serialize(packet.SerializeOptions{},
+		&packet.Ethernet{DstMAC: packet.MAC{0x01, 0x80, 0xc2, 0, 0, 0xe}, EtherType: 0x88cc},
+		packet.Raw([]byte{0x02, 0x07, 0x04}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sw.Inject(1, lldp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Punted {
+		t.Errorf("LLDP not punted under fault: %+v", res)
+	}
+}
+
+func TestFaultPortSyncBreaksIO(t *testing.T) {
+	sw, _ := startSwitch(t, "middleblock", FaultPortSyncBreaksIO)
+	pkt := testutil.IPv4UDP("10.1.2.3", 64, 2000)
+	for i := 0; i < 100; i++ {
+		if res, err := sw.Inject(1, pkt); err != nil || res.EgressPort != 11 {
+			t.Fatalf("inject %d: %+v, %v", i, res, err)
+		}
+	}
+	res, err := sw.Inject(1, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dropped {
+		t.Errorf("packet IO still alive after daemon restart: %+v", res)
+	}
+}
+
+func TestFaultZeroBytes(t *testing.T) {
+	sw, info := startSwitch(t, "middleblock", FaultZeroBytesAccepted)
+	vrf, _ := info.TableByName("vrf_table")
+	nonCanonical := p4rt.TableEntry{
+		TableID: vrf.ID,
+		Match:   []p4rt.FieldMatch{{FieldID: 1, Exact: &p4rt.ExactMatch{Value: []byte{0, 9}}}},
+		Action:  wireNoAction(info),
+	}
+	resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: nonCanonical}}})
+	if !resp.OK() {
+		t.Fatalf("lenient switch rejected non-canonical value: %s", resp.String())
+	}
+	rr, err := sw.Read(p4rt.ReadRequest{TableID: vrf.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range rr.Entries {
+		for _, m := range rr.Entries[i].Match {
+			if m.Exact != nil && len(m.Exact.Value) == 2 && m.Exact.Value[0] == 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("read-back lost the non-canonical bytes (fault not observable)")
+	}
+}
+
+func TestWANSwitchEncap(t *testing.T) {
+	sw, info := startSwitch(t, "wan")
+	// Point nexthop 1 at tunnel 7.
+	nexthop, _ := info.TableByName("nexthop_table")
+	tunnel, _ := info.TableByName("tunnel_table")
+	setNT, _ := info.ActionByName("set_nexthop_and_tunnel")
+	encap, _ := info.ActionByName("encap_gre")
+	tunnelEntry := p4rt.TableEntry{
+		TableID: tunnel.ID,
+		Match:   []p4rt.FieldMatch{{FieldID: 1, Exact: &p4rt.ExactMatch{Value: []byte{7}}}},
+		Action: p4rt.TableAction{Action: &p4rt.Action{
+			ActionID: encap.ID,
+			Params: []p4rt.ActionParam{
+				{ParamID: 1, Value: []byte{192, 0, 2, 1}},
+				{ParamID: 2, Value: []byte{192, 0, 2, 2}},
+			},
+		}},
+	}
+	nhModify := p4rt.TableEntry{
+		TableID: nexthop.ID,
+		Match:   []p4rt.FieldMatch{{FieldID: 1, Exact: &p4rt.ExactMatch{Value: []byte{1}}}},
+		Action: p4rt.TableAction{Action: &p4rt.Action{
+			ActionID: setNT.ID,
+			Params: []p4rt.ActionParam{
+				{ParamID: 1, Value: []byte{1}},
+				{ParamID: 2, Value: []byte{1}},
+				{ParamID: 3, Value: []byte{7}},
+			},
+		}},
+	}
+	resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: tunnelEntry}}})
+	if !resp.OK() {
+		t.Fatalf("tunnel insert: %s", resp.String())
+	}
+	resp = sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Modify, Entry: nhModify}}})
+	if !resp.OK() {
+		t.Fatalf("nexthop modify: %s", resp.String())
+	}
+	res, err := sw.Inject(1, testutil.IPv4UDP("10.1.2.3", 64, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped || res.Punted {
+		t.Fatalf("result = %+v", res)
+	}
+	p := packet.NewPacket(res.Frame, packet.LayerTypeEthernet)
+	outer := p.IPv4()
+	if outer == nil || outer.Protocol != packet.IPProtocolGRE {
+		t.Fatalf("not encapsulated: %s", p)
+	}
+	if outer.DstIP.String() != "192.0.2.2" {
+		t.Errorf("encap dst = %s", outer.DstIP)
+	}
+}
+
+func TestFaultEncapReversed(t *testing.T) {
+	sw, info := startSwitch(t, "wan", FaultEncapDstReversed)
+	tunnel, _ := info.TableByName("tunnel_table")
+	nexthop, _ := info.TableByName("nexthop_table")
+	setNT, _ := info.ActionByName("set_nexthop_and_tunnel")
+	encap, _ := info.ActionByName("encap_gre")
+	resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: p4rt.TableEntry{
+		TableID: tunnel.ID,
+		Match:   []p4rt.FieldMatch{{FieldID: 1, Exact: &p4rt.ExactMatch{Value: []byte{7}}}},
+		Action: p4rt.TableAction{Action: &p4rt.Action{ActionID: encap.ID, Params: []p4rt.ActionParam{
+			{ParamID: 1, Value: []byte{192, 0, 2, 1}},
+			{ParamID: 2, Value: []byte{192, 0, 2, 2}},
+		}}},
+	}}}})
+	if !resp.OK() {
+		t.Fatal(resp.String())
+	}
+	resp = sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Modify, Entry: p4rt.TableEntry{
+		TableID: nexthop.ID,
+		Match:   []p4rt.FieldMatch{{FieldID: 1, Exact: &p4rt.ExactMatch{Value: []byte{1}}}},
+		Action: p4rt.TableAction{Action: &p4rt.Action{ActionID: setNT.ID, Params: []p4rt.ActionParam{
+			{ParamID: 1, Value: []byte{1}},
+			{ParamID: 2, Value: []byte{1}},
+			{ParamID: 3, Value: []byte{7}},
+		}}},
+	}}}})
+	if !resp.OK() {
+		t.Fatal(resp.String())
+	}
+	res, err := sw.Inject(1, testutil.IPv4UDP("10.1.2.3", 64, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := packet.NewPacket(res.Frame, packet.LayerTypeEthernet)
+	if p.IPv4() == nil {
+		t.Fatalf("no outer ip: %s", p)
+	}
+	if got := p.IPv4().DstIP.String(); got != "2.2.0.192" {
+		t.Errorf("reversed dst = %s, want 2.2.0.192", got)
+	}
+}
+
+func TestPacketOutSubmitToIngress(t *testing.T) {
+	sw, _ := startSwitch(t, "middleblock")
+	if err := sw.PacketOut(p4rt.PacketOut{Payload: testutil.IPv4UDP("10.1.2.3", 64, 2000), SubmitToIngress: true}); err != nil {
+		t.Fatal(err)
+	}
+	// The healthy switch forwards it; nothing arrives on the packet-in
+	// stream.
+	select {
+	case pin := <-sw.PacketIns():
+		t.Errorf("unexpected packet-in: %+v", pin)
+	default:
+	}
+	// With the punt-back fault, packet-outs echo to the controller.
+	sw2, _ := startSwitch(t, "middleblock", FaultPacketOutPuntedBack)
+	if err := sw2.PacketOut(p4rt.PacketOut{Payload: []byte("frame"), EgressPort: 3}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pin := <-sw2.PacketIns():
+		if string(pin.Payload) != "frame" {
+			t.Errorf("punted payload = %q", pin.Payload)
+		}
+	default:
+		t.Error("no punt-back under fault")
+	}
+}

@@ -1,0 +1,201 @@
+package switchv
+
+import (
+	"testing"
+
+	"switchv/internal/fuzzer"
+	"switchv/internal/p4/p4info"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/switchsim"
+	"switchv/internal/symbolic"
+	"switchv/internal/testutil"
+	"switchv/models"
+)
+
+func newHarness(t *testing.T, role string, faults ...switchsim.Fault) (*Harness, *switchsim.Switch) {
+	t.Helper()
+	sw := switchsim.New(role, faults...)
+	info := p4info.New(models.MustLoad(role))
+	h := New(info, sw, sw)
+	if err := h.PushPipeline(); err != nil {
+		t.Fatal(err)
+	}
+	return h, sw
+}
+
+func fixtureEntries(role string) []*pdpi.Entry {
+	prog := models.MustLoad(role)
+	store := pdpi.NewStore()
+	testutil.RoutingFixture(prog, store)
+	return testutil.InstallOrder(p4info.New(prog), store)
+}
+
+// smallFuzz keeps unit-test campaigns quick.
+var smallFuzz = fuzzer.Options{Seed: 1, NumRequests: 40, UpdatesPerRequest: 20}
+
+// TestNoFalsePositivesControlPlane is the oracle-soundness property: a
+// conformant switch produces zero incidents under fuzzing.
+func TestNoFalsePositivesControlPlane(t *testing.T) {
+	for _, role := range models.Names() {
+		t.Run(role, func(t *testing.T) {
+			h, _ := newHarness(t, role)
+			rep, err := h.RunControlPlane(smallFuzz)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, inc := range rep.Incidents {
+				t.Errorf("false positive: %s", inc)
+			}
+			if rep.Updates == 0 || rep.MustReject == 0 || rep.MustAccept == 0 {
+				t.Errorf("campaign too shallow: %+v", rep)
+			}
+			t.Logf("%s: %d updates, %d must-accept, %d must-reject, %d may-reject",
+				role, rep.Updates, rep.MustAccept, rep.MustReject, rep.MayReject)
+		})
+	}
+}
+
+// TestNoFalsePositivesDataPlane: a conformant switch's behavior is always
+// in the model's valid set.
+func TestNoFalsePositivesDataPlane(t *testing.T) {
+	for _, role := range models.Names() {
+		t.Run(role, func(t *testing.T) {
+			h, _ := newHarness(t, role)
+			rep, err := h.RunDataPlane(fixtureEntries(role), DataPlaneOptions{Coverage: symbolic.CoverBranches, Churn: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, inc := range rep.Incidents {
+				t.Errorf("false positive: %s", inc)
+			}
+			if rep.Packets == 0 {
+				t.Error("no packets generated")
+			}
+			t.Logf("%s: %d goals, %d covered, %d packets", role, rep.Goals, rep.Covered, rep.Packets)
+		})
+	}
+}
+
+// faultCase describes how a fault should be caught.
+type faultCase struct {
+	fault        switchsim.Fault
+	role         string
+	tool         string // which campaign must catch it
+	needChurn    bool
+	defaultRoute bool
+	tunnel       bool
+	batches      int // override the default small campaign length
+}
+
+var faultCases = []faultCase{
+	{fault: switchsim.FaultBatchAbortOnDeleteMissing, role: "middleblock", tool: "p4-fuzzer"},
+	{fault: switchsim.FaultAcceptInvalidReference, role: "middleblock", tool: "p4-fuzzer"},
+	{fault: switchsim.FaultWrongDuplicateStatus, role: "middleblock", tool: "p4-fuzzer"},
+	{fault: switchsim.FaultReadDropsTernary, role: "middleblock", tool: "p4-fuzzer"},
+	{fault: switchsim.FaultModifyKeepsOldParams, role: "middleblock", tool: "p4-fuzzer"},
+	{fault: switchsim.FaultVRFDeleteFails, role: "middleblock", tool: "p4-fuzzer", batches: 300},
+	{fault: switchsim.FaultZeroBytesAccepted, role: "middleblock", tool: "p4-fuzzer"},
+	{fault: switchsim.FaultRejectACLEntries, role: "middleblock", tool: "p4-symbolic"},
+	{fault: switchsim.FaultTTL1NoTrap, role: "middleblock", tool: "p4-symbolic"},
+	{fault: switchsim.FaultPortSpeedDrop, role: "middleblock", tool: "p4-symbolic"},
+	{fault: switchsim.FaultLPMTiebreakWrong, role: "middleblock", tool: "p4-symbolic"},
+	{fault: switchsim.FaultDSCPRemarkZero, role: "middleblock", tool: "p4-symbolic"},
+	{fault: switchsim.FaultModelBroadcastDrop, role: "middleblock", tool: "p4-symbolic", defaultRoute: true},
+	{fault: switchsim.FaultWCMPUpdateDropsMember, role: "middleblock", tool: "p4-symbolic", needChurn: true},
+	{fault: switchsim.FaultPacketOutPuntedBack, role: "middleblock", tool: "p4-symbolic"},
+	{fault: switchsim.FaultSubmitIngressDropped, role: "middleblock", tool: "p4-symbolic"},
+	{fault: switchsim.FaultDefaultRouteDelete, role: "middleblock", tool: "p4-symbolic", defaultRoute: true},
+	{fault: switchsim.FaultLLDPPunt, role: "middleblock", tool: "p4-symbolic"},
+	{fault: switchsim.FaultVLANReservedAccepted, role: "wan", tool: "p4-fuzzer"},
+	{fault: switchsim.FaultEncapDstReversed, role: "wan", tool: "p4-symbolic", tunnel: true},
+}
+
+// TestFaultsDetected runs the matching campaign against each injected
+// fault and requires at least one incident.
+func TestFaultsDetected(t *testing.T) {
+	for _, fc := range faultCases {
+		t.Run(string(fc.fault), func(t *testing.T) {
+			h, _ := newHarness(t, fc.role, fc.fault)
+			var incidents []Incident
+			switch fc.tool {
+			case "p4-fuzzer":
+				opts := smallFuzz
+				if fc.batches != 0 {
+					opts.NumRequests = fc.batches
+				}
+				rep, err := h.RunControlPlane(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				incidents = rep.Incidents
+			case "p4-symbolic":
+				prog := models.MustLoad(fc.role)
+				store := pdpi.NewStore()
+				if fc.defaultRoute {
+					// Installed (and therefore torn down) before the other
+					// routes, which is what the default-route deletion bug
+					// needs to fire.
+					testutil.DefaultRouteFixture(prog, store)
+				}
+				testutil.RoutingFixture(prog, store)
+				if fc.tunnel {
+					testutil.TunnelFixture(prog, store)
+				}
+				entries := testutil.InstallOrder(p4info.New(prog), store)
+				rep, err := h.RunDataPlane(entries, DataPlaneOptions{
+					Coverage: symbolic.CoverBranches,
+					Churn:    fc.needChurn,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				incidents = rep.Incidents
+			}
+			if len(incidents) == 0 {
+				t.Fatalf("fault %s not detected by %s", fc.fault, fc.tool)
+			}
+			t.Logf("%s: %d incidents, first: %s", fc.fault, len(incidents), incidents[0])
+		})
+	}
+}
+
+func TestSymbolicCacheSpeedsSecondRun(t *testing.T) {
+	h, _ := newHarness(t, "middleblock")
+	cache := symbolic.NewCache()
+	entries := fixtureEntries("middleblock")
+	first, err := h.RunDataPlane(entries, DataPlaneOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Error("first run hit the cache")
+	}
+	// Fresh switch, same entries: warm cache.
+	h2, _ := newHarness(t, "middleblock")
+	second, err := h2.RunDataPlane(entries, DataPlaneOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second run missed the cache")
+	}
+	if len(second.Incidents) > 0 {
+		t.Errorf("cached packets produced incidents: %v", second.Incidents)
+	}
+	if second.GenElapsed > first.GenElapsed {
+		t.Errorf("cached generation (%v) slower than cold (%v)", second.GenElapsed, first.GenElapsed)
+	}
+}
+
+func TestMultipleFaultsStillZeroWhenDisabled(t *testing.T) {
+	// Guard against fault plumbing leaking into the default path: enabling
+	// then testing a *different* role must stay clean.
+	h, _ := newHarness(t, "middleblock")
+	rep, err := h.RunDataPlane(fixtureEntries("middleblock"), DataPlaneOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Incidents) != 0 {
+		t.Errorf("incidents on clean switch: %v", rep.Incidents)
+	}
+}

@@ -1,0 +1,245 @@
+package symbolic
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4/value"
+	"switchv/internal/sat"
+	"switchv/internal/smt"
+)
+
+// CoverageMode selects which coverage goals to generate.
+type CoverageMode int
+
+// Coverage modes (§5 "Coverage Constraints").
+const (
+	// CoverEntries poses one goal per installed entry plus one per table
+	// default action: the branch-coverage criterion used in the paper's
+	// evaluation ("hit every reachable input table entry at least once").
+	CoverEntries CoverageMode = iota
+	// CoverBranches additionally covers both sides of every conditional.
+	CoverBranches
+)
+
+// Goal is a coverage assertion over X, Y and T.
+type Goal struct {
+	Key  string
+	Cond *smt.Term
+}
+
+// Goals enumerates the coverage goals for a mode.
+func (ex *Executor) Goals(mode CoverageMode) []Goal {
+	var goals []Goal
+	for _, key := range ex.keys {
+		isBranch := strings.HasPrefix(key, "branch:")
+		if isBranch && mode != CoverBranches {
+			continue
+		}
+		goals = append(goals, Goal{Key: key, Cond: ex.trace[key]})
+	}
+	return goals
+}
+
+// TestPacket is a synthesized input packet for one coverage goal.
+type TestPacket struct {
+	GoalKey string
+	Port    uint16
+	Data    []byte
+}
+
+// SolveGoal asks the solver for a packet satisfying the goal. It returns
+// (nil, false, nil) when the goal is unreachable (UNSAT).
+func (ex *Executor) SolveGoal(g Goal) (*TestPacket, bool, error) {
+	switch ex.solver.CheckAssuming(g.Cond) {
+	case sat.Unsat:
+		return nil, false, nil
+	case sat.Sat:
+	default:
+		return nil, false, fmt.Errorf("symbolic: solver returned unknown for %s", g.Key)
+	}
+	pkt, err := ex.extractPacket(g.Key)
+	if err != nil {
+		return nil, false, err
+	}
+	return pkt, true, nil
+}
+
+// extractPacket reads the input variables' model values and deparses them
+// into packet bytes.
+func (ex *Executor) extractPacket(goalKey string) (*TestPacket, error) {
+	fields := make([]value.V, len(ex.prog.Fields))
+	for i, f := range ex.prog.Fields {
+		fields[i] = ex.solver.ValueBV(ex.inputs[i]).WithWidth(f.Width)
+	}
+	data, err := bmv2DeparseFields(ex.prog, fields, []byte("switchv-test"))
+	if err != nil {
+		return nil, fmt.Errorf("symbolic: deparsing model for %s: %w", goalKey, err)
+	}
+	port := uint16(0)
+	if f, ok := ex.prog.FieldByName(ir.FieldIngressPort); ok {
+		port = uint16(fields[f.ID].Uint64())
+	}
+	return &TestPacket{GoalKey: goalKey, Port: port, Data: data}, nil
+}
+
+// Report summarizes a generation run.
+type Report struct {
+	Goals       int
+	Covered     int
+	Unreachable int
+	// SATStats aggregates the decision-procedure work.
+	SATStats sat.Stats
+	// Terms and Clauses measure formula size.
+	Terms   int
+	Clauses int
+}
+
+// GeneratePackets solves every goal of the mode and returns the packets
+// for the reachable ones.
+func (ex *Executor) GeneratePackets(mode CoverageMode) ([]TestPacket, Report, error) {
+	goals := ex.Goals(mode)
+	var packets []TestPacket
+	rep := Report{Goals: len(goals)}
+	for _, g := range goals {
+		pkt, ok, err := ex.SolveGoal(g)
+		if err != nil {
+			return nil, rep, err
+		}
+		if !ok {
+			rep.Unreachable++
+			continue
+		}
+		rep.Covered++
+		packets = append(packets, *pkt)
+	}
+	rep.SATStats = ex.solver.Stats()
+	rep.Terms = ex.b.NumTerms()
+	rep.Clauses = ex.solver.NumClauses
+	return packets, rep, nil
+}
+
+// Cache memoizes generated packets keyed by a fingerprint of the model,
+// the installed entries, and the coverage mode (§6.3 "Caching"): when the
+// specification and entries are unchanged, the expensive SMT generation
+// stage is skipped entirely.
+type Cache struct {
+	mu      sync.Mutex
+	packets map[string][]TestPacket
+	hits    int
+	misses  int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{packets: map[string][]TestPacket{}}
+}
+
+// Fingerprint computes the cache key.
+func Fingerprint(prog *ir.Program, entries []*pdpi.Entry, mode CoverageMode) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "model:%s;mode:%d;", prog.Name, mode)
+	// Entries in deterministic order.
+	keys := make([]string, 0, len(entries))
+	render := map[string]string{}
+	for _, e := range entries {
+		k := e.Key()
+		keys = append(keys, k)
+		render[k] = e.String()
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s;", render[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Hits and Misses report cache effectiveness.
+func (c *Cache) Hits() int   { c.mu.Lock(); defer c.mu.Unlock(); return c.hits }
+func (c *Cache) Misses() int { c.mu.Lock(); defer c.mu.Unlock(); return c.misses }
+
+// Get returns the cached packets for a fingerprint.
+func (c *Cache) Get(fp string) ([]TestPacket, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pkts, ok := c.packets[fp]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return pkts, ok
+}
+
+// Put stores packets under a fingerprint.
+func (c *Cache) Put(fp string, pkts []TestPacket) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.packets[fp] = append([]TestPacket(nil), pkts...)
+}
+
+// EnrichedGoals returns the "test engineer" goal set (§5 "Coverage
+// Constraints" middle ground): targeted assertions over X and Y beyond
+// structural coverage — each disposition, forwarding with interesting
+// header values (nonzero DSCP, broadcast destination, TTL at the trap
+// boundary), and a controller copy.
+func (ex *Executor) EnrichedGoals() []Goal {
+	b := ex.b
+	goals := []Goal{
+		{Key: "enriched:punt", Cond: ex.PuntCond()},
+		{Key: "enriched:drop", Cond: ex.DropCond()},
+		{Key: "enriched:forward", Cond: ex.ForwardCond()},
+	}
+	field := func(name string) (*smt.Term, bool) {
+		f, ok := ex.prog.FieldByName(name)
+		if !ok {
+			return nil, false
+		}
+		return ex.inputs[f.ID], true
+	}
+	prefix := ""
+	if len(ex.prog.HeaderInstances) > 0 {
+		path := ex.prog.HeaderInstances[0].Path
+		for i := 0; i < len(path); i++ {
+			if path[i] == '.' {
+				prefix = path[:i]
+				break
+			}
+		}
+	}
+	if dscp, ok := field(prefix + ".ipv4.dscp"); ok {
+		goals = append(goals, Goal{
+			Key:  "enriched:forward-dscp-nonzero",
+			Cond: b.And(ex.ForwardCond(), b.Ne(dscp, b.ConstUint(0, dscp.Width()))),
+		})
+	}
+	if dst, ok := field(prefix + ".ipv4.dst_addr"); ok {
+		cond := b.And(ex.ForwardCond(), b.Eq(dst, b.ConstUint(0xffffffff, 32)))
+		// Tunnel-capable models could satisfy this with a GRE packet whose
+		// broadcast outer header is decapsulated away; require a plain
+		// packet so the L3 lookup actually sees the broadcast address.
+		if gre, ok := field(prefix + ".gre.$valid"); ok {
+			cond = b.And(cond, b.Eq(gre, b.ConstUint(0, 1)))
+		}
+		goals = append(goals, Goal{Key: "enriched:forward-broadcast", Cond: cond})
+	}
+	if ttl, ok := field(prefix + ".ipv4.ttl"); ok {
+		goals = append(goals, Goal{
+			Key:  "enriched:forward-ttl2",
+			Cond: b.And(ex.ForwardCond(), b.Eq(ttl, b.ConstUint(2, ttl.Width()))),
+		})
+	}
+	if copyF, ok := ex.prog.FieldByName(ir.FieldCopy); ok {
+		goals = append(goals, Goal{
+			Key:  "enriched:copy-to-cpu",
+			Cond: b.Eq(ex.outputs[copyF.ID], b.ConstUint(1, 1)),
+		})
+	}
+	return goals
+}

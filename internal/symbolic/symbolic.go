@@ -1,0 +1,508 @@
+// Package symbolic implements p4-symbolic (§5): guarded-command symbolic
+// execution of a P4 model with concrete table entries, producing
+//
+//   - X: one unconstrained bitvector variable per input header/metadata
+//     field,
+//   - Y: the output symbolic state mapping each field to an expression
+//     over X,
+//   - T: the symbolic trace mapping every control construct (table entry,
+//     default action, branch) to a boolean guard over X that holds iff the
+//     construct executes.
+//
+// Coverage goals are conjunctions posed over X, Y and T; each satisfiable
+// goal yields a concrete test packet extracted from the SMT model.
+//
+// Unlike per-path symbolic executors (KLEE-style), the program is executed
+// in a single pass: side effects are guarded by their branch context, so
+// the number of SMT terms is linear in program plus entries rather than
+// exponential in the number of traces (§5 "Trace Isolation").
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+
+	"switchv/internal/bmv2"
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4/value"
+	"switchv/internal/smt"
+)
+
+// Options configures the executor.
+type Options struct {
+	// MaxPort constrains the synthesized ingress port to [0, MaxPort).
+	// Zero means 32.
+	MaxPort uint16
+}
+
+// Executor holds the result of symbolically executing a model.
+type Executor struct {
+	prog  *ir.Program
+	store *pdpi.Store
+	opts  Options
+
+	b      *smt.Builder
+	solver *smt.Solver
+
+	inputs  []*smt.Term // X, by field ID
+	outputs []*smt.Term // Y, by field ID
+	trace   map[string]*smt.Term
+	keys    []string // trace keys in first-recorded order
+
+	halt     *smt.Term // guard under which exit was executed
+	returned *smt.Term // guard under which return was executed (per control)
+
+	branchSeq int
+}
+
+// TraceKeyEntry names the trace guard for a concrete entry of a table.
+func TraceKeyEntry(table string, e *pdpi.Entry) string {
+	return "table:" + table + ":entry:" + e.Key()
+}
+
+// TraceKeyDefault names the trace guard for a table's default action.
+func TraceKeyDefault(table string) string { return "table:" + table + ":default" }
+
+// New symbolically executes the model against the store's entries. The
+// store must not be mutated afterwards (re-run New instead; see Cache).
+func New(prog *ir.Program, store *pdpi.Store, opts Options) (*Executor, error) {
+	if opts.MaxPort == 0 {
+		opts.MaxPort = 32
+	}
+	b := smt.NewBuilder()
+	ex := &Executor{
+		prog:   prog,
+		store:  store,
+		opts:   opts,
+		b:      b,
+		solver: smt.NewSolver(b),
+		trace:  map[string]*smt.Term{},
+	}
+	ex.halt = b.False()
+
+	// X: one variable per field.
+	ex.inputs = make([]*smt.Term, len(prog.Fields))
+	state := make([]*smt.Term, len(prog.Fields))
+	for i, f := range prog.Fields {
+		v := b.BV("x!"+f.Name, f.Width)
+		ex.inputs[i] = v
+		state[i] = v
+	}
+
+	if err := ex.assertParserAxioms(); err != nil {
+		return nil, err
+	}
+
+	// Execute the pipeline.
+	for _, ctrl := range prog.Controls {
+		ex.returned = b.False()
+		g := b.Not(ex.halt)
+		ex.runStmts(state, ctrl.Body, g, nil)
+	}
+	ex.outputs = state
+	return ex, nil
+}
+
+// Builder exposes the term builder so callers can pose custom coverage
+// assertions over X, Y and T (§5 "Coverage Constraints").
+func (ex *Executor) Builder() *smt.Builder { return ex.b }
+
+// Input returns the X variable of a field.
+func (ex *Executor) Input(f *ir.Field) *smt.Term { return ex.inputs[f.ID] }
+
+// Output returns the Y expression of a field.
+func (ex *Executor) Output(f *ir.Field) *smt.Term { return ex.outputs[f.ID] }
+
+// Trace returns the guard of a trace key, or false if the construct was
+// never reached.
+func (ex *Executor) Trace(key string) *smt.Term {
+	if t, ok := ex.trace[key]; ok {
+		return t
+	}
+	return ex.b.False()
+}
+
+// TraceKeys lists all recorded trace keys in execution order.
+func (ex *Executor) TraceKeys() []string { return ex.keys }
+
+func (ex *Executor) recordTrace(key string, guard *smt.Term) {
+	if old, ok := ex.trace[key]; ok {
+		ex.trace[key] = ex.b.Or(old, guard)
+		return
+	}
+	ex.trace[key] = guard
+	ex.keys = append(ex.keys, key)
+}
+
+// assertParserAxioms couples header validity bits with the discriminator
+// fields the (semi-hardcoded) parser uses, so models of X always
+// correspond to parseable packets.
+func (ex *Executor) assertParserAxioms() error {
+	b := ex.b
+	prefix := ""
+	if len(ex.prog.HeaderInstances) > 0 {
+		path := ex.prog.HeaderInstances[0].Path
+		for i := 0; i < len(path); i++ {
+			if path[i] == '.' {
+				prefix = path[:i]
+				break
+			}
+		}
+	}
+	field := func(name string) *smt.Term {
+		if f, ok := ex.prog.FieldByName(prefix + "." + name); ok {
+			return ex.inputs[f.ID]
+		}
+		return nil
+	}
+	valid := func(name string) *smt.Term {
+		if t := field(name + ".$valid"); t != nil {
+			return b.Eq(t, b.ConstUint(1, 1))
+		}
+		return nil
+	}
+	has := func(name string) bool { return field(name+".$valid") != nil }
+
+	ethValid := valid("ethernet")
+	if ethValid == nil {
+		return fmt.Errorf("symbolic: model has no ethernet header")
+	}
+	ex.solver.Assert(ethValid)
+
+	etherType := field("ethernet.ether_type")
+	eff := etherType // effective EtherType after optional VLAN tag
+	if has("vlan") {
+		vlanValid := valid("vlan")
+		ex.solver.Assert(b.Iff(vlanValid, b.Eq(etherType, b.ConstUint(0x8100, 16))))
+		eff = b.Ite(vlanValid, field("vlan.ether_type"), etherType)
+	} else {
+		ex.solver.Assert(b.Ne(etherType, b.ConstUint(0x8100, 16)))
+	}
+
+	assertIffValid := func(name string, cond *smt.Term) {
+		if v := valid(name); v != nil {
+			ex.solver.Assert(b.Iff(v, cond))
+		}
+	}
+	assertIffValid("ipv4", b.Eq(eff, b.ConstUint(0x0800, 16)))
+	assertIffValid("ipv6", b.Eq(eff, b.ConstUint(0x86DD, 16)))
+	assertIffValid("arp", b.Eq(eff, b.ConstUint(0x0806, 16)))
+	if !has("ipv4") {
+		ex.solver.Assert(b.Ne(eff, b.ConstUint(0x0800, 16)))
+	}
+	if !has("ipv6") {
+		ex.solver.Assert(b.Ne(eff, b.ConstUint(0x86DD, 16)))
+	}
+
+	ipProto := func(want uint64) *smt.Term {
+		var cond *smt.Term = b.False()
+		if has("ipv4") {
+			cond = b.Or(cond, b.And(valid("ipv4"), b.Eq(field("ipv4.protocol"), b.ConstUint(want, 8))))
+		}
+		return cond
+	}
+	ip6Next := func(want uint64) *smt.Term {
+		if has("ipv6") {
+			return b.And(valid("ipv6"), b.Eq(field("ipv6.next_header"), b.ConstUint(want, 8)))
+		}
+		return b.False()
+	}
+	assertIffValid("tcp", b.Or(ipProto(6), ip6Next(6)))
+	assertIffValid("udp", b.Or(ipProto(17), ip6Next(17)))
+	assertIffValid("icmp", b.Or(ipProto(1), ip6Next(58)))
+	assertIffValid("gre", ipProto(47))
+	if has("inner_ipv4") {
+		assertIffValid("inner_ipv4",
+			b.And(valid("gre"), b.Eq(field("gre.protocol"), b.ConstUint(0x0800, 16))))
+	}
+	// Forbid GRE when the model cannot parse it (no gre header): otherwise
+	// the simulator and switch would see opaque payload where the model
+	// assumed fields.
+	if !has("gre") && has("ipv4") {
+		ex.solver.Assert(b.Not(ipProto(47)))
+	}
+
+	// Fields of invalid headers read as zero, exactly as the reference
+	// parser leaves them. Without this, the solver could synthesize
+	// packets relying on undefined reads of invalid header fields.
+	for _, hi := range ex.prog.HeaderInstances {
+		vf, ok := ex.prog.FieldByName(hi.Path + ".$valid")
+		if !ok {
+			continue
+		}
+		invalid := b.Eq(ex.inputs[vf.ID], b.ConstUint(0, 1))
+		for _, f := range ex.prog.Fields {
+			if f.Header != hi.Path || f.IsValidity {
+				continue
+			}
+			ex.solver.Assert(b.Implies(invalid, b.Eq(ex.inputs[f.ID], b.Const(value.Zero(f.Width)))))
+		}
+	}
+
+	// Ingress port range.
+	if f, ok := ex.prog.FieldByName(ir.FieldIngressPort); ok {
+		port := ex.inputs[f.ID]
+		ex.solver.Assert(b.Ult(port, b.ConstUint(uint64(ex.opts.MaxPort), port.Width())))
+	}
+	// The synthetic pipeline-state fields start out zero.
+	for _, name := range []string{ir.FieldDrop, ir.FieldPunt, ir.FieldCopy, ir.FieldMirror, ir.FieldMirrorSession} {
+		if f, ok := ex.prog.FieldByName(name); ok {
+			ex.solver.Assert(b.Eq(ex.inputs[f.ID], b.Const(value.Zero(f.Width))))
+		}
+	}
+	// Metadata fields (everything outside the headers struct and standard
+	// metadata) start out zero.
+	for _, f := range ex.prog.Fields {
+		if f.Header != "" || f.Name[0] == '$' {
+			continue
+		}
+		if prefix != "" && len(f.Name) > len(prefix) && f.Name[:len(prefix)+1] == prefix+"." {
+			continue
+		}
+		if f.Name == ir.FieldIngressPort || f.Name == "standard_metadata.egress_port" ||
+			f.Name == ir.FieldEgressSpec {
+			if f.Name != ir.FieldIngressPort {
+				ex.solver.Assert(b.Eq(ex.inputs[f.ID], b.Const(value.Zero(f.Width))))
+			}
+			continue
+		}
+		ex.solver.Assert(b.Eq(ex.inputs[f.ID], b.Const(value.Zero(f.Width))))
+	}
+	return nil
+}
+
+// runStmts executes statements under guard g, returning the surviving
+// guard (g minus paths that exited or returned).
+func (ex *Executor) runStmts(state []*smt.Term, stmts []ir.Stmt, g *smt.Term, args []*smt.Term) *smt.Term {
+	b := ex.b
+	for _, st := range stmts {
+		switch x := st.(type) {
+		case *ir.Assign:
+			rhs := b.Resize(ex.eval(state, &x.Src, args), x.Dst.Width)
+			state[x.Dst.ID] = b.Ite(g, rhs, state[x.Dst.ID])
+		case *ir.If:
+			cond := ex.evalBool(state, &x.Cond, args)
+			ex.branchSeq++
+			key := fmt.Sprintf("branch:%d", ex.branchSeq)
+			gThen := b.And(g, cond)
+			gElse := b.And(g, b.Not(cond))
+			ex.recordTrace(key+":then", gThen)
+			ex.recordTrace(key+":else", gElse)
+			outThen := ex.runStmts(state, x.Then, gThen, args)
+			outElse := ex.runStmts(state, x.Else, gElse, args)
+			g = b.Or(outThen, outElse)
+		case *ir.ApplyTable:
+			ex.applyTable(state, x.Table, g)
+		case *ir.Exit:
+			ex.halt = b.Or(ex.halt, g)
+			g = b.False()
+		case *ir.Return:
+			ex.returned = b.Or(ex.returned, g)
+			g = b.False()
+		default:
+			panic(fmt.Sprintf("symbolic: unknown statement %T", st))
+		}
+	}
+	return g
+}
+
+// eval lowers an IR expression to a bitvector term.
+func (ex *Executor) eval(state []*smt.Term, e *ir.Expr, args []*smt.Term) *smt.Term {
+	b := ex.b
+	switch e.Op {
+	case ir.OpConst:
+		return b.ConstUint(e.Value, e.Width)
+	case ir.OpField:
+		return state[e.Field.ID]
+	case ir.OpParam:
+		return args[e.Param]
+	case ir.OpMux:
+		return b.Ite(ex.evalBool(state, e.Args[0], args),
+			ex.eval(state, e.Args[1], args), ex.eval(state, e.Args[2], args))
+	case ir.OpBitNot:
+		return b.BVNot(ex.eval(state, e.Args[0], args))
+	case ir.OpBitAnd:
+		return b.BVAnd(ex.eval(state, e.Args[0], args), ex.eval(state, e.Args[1], args))
+	case ir.OpBitOr:
+		return b.BVOr(ex.eval(state, e.Args[0], args), ex.eval(state, e.Args[1], args))
+	case ir.OpBitXor:
+		return b.BVXor(ex.eval(state, e.Args[0], args), ex.eval(state, e.Args[1], args))
+	case ir.OpAdd:
+		return b.BVAdd(ex.eval(state, e.Args[0], args), ex.eval(state, e.Args[1], args))
+	case ir.OpSub:
+		return b.BVSub(ex.eval(state, e.Args[0], args), ex.eval(state, e.Args[1], args))
+	case ir.OpShl, ir.OpShr:
+		amount := e.Args[1]
+		if amount.Op != ir.OpConst {
+			panic("symbolic: only constant shift amounts are supported")
+		}
+		x := ex.eval(state, e.Args[0], args)
+		if e.Op == ir.OpShl {
+			return b.BVShlConst(x, int(amount.Value))
+		}
+		return b.BVShrConst(x, int(amount.Value))
+	default:
+		// Boolean-valued operators used in a value position: reify as a
+		// 1-bit vector.
+		cond := ex.evalBool(state, e, args)
+		return b.Ite(cond, b.ConstUint(1, 1), b.ConstUint(0, 1))
+	}
+}
+
+// evalBool lowers an IR expression to a boolean term.
+func (ex *Executor) evalBool(state []*smt.Term, e *ir.Expr, args []*smt.Term) *smt.Term {
+	b := ex.b
+	switch e.Op {
+	case ir.OpEq:
+		return b.Eq(ex.eval(state, e.Args[0], args), ex.eval(state, e.Args[1], args))
+	case ir.OpNe:
+		return b.Ne(ex.eval(state, e.Args[0], args), ex.eval(state, e.Args[1], args))
+	case ir.OpLt:
+		return b.Ult(ex.eval(state, e.Args[0], args), ex.eval(state, e.Args[1], args))
+	case ir.OpLe:
+		return b.Ule(ex.eval(state, e.Args[0], args), ex.eval(state, e.Args[1], args))
+	case ir.OpGt:
+		return b.Ult(ex.eval(state, e.Args[1], args), ex.eval(state, e.Args[0], args))
+	case ir.OpGe:
+		return b.Ule(ex.eval(state, e.Args[1], args), ex.eval(state, e.Args[0], args))
+	case ir.OpAnd:
+		return b.And(ex.evalBool(state, e.Args[0], args), ex.evalBool(state, e.Args[1], args))
+	case ir.OpOr:
+		return b.Or(ex.evalBool(state, e.Args[0], args), ex.evalBool(state, e.Args[1], args))
+	case ir.OpNot:
+		return b.Not(ex.evalBool(state, e.Args[0], args))
+	case ir.OpMux:
+		return b.Ite(ex.evalBool(state, e.Args[0], args),
+			ex.evalBool(state, e.Args[1], args), ex.evalBool(state, e.Args[2], args))
+	default:
+		// A 1-bit value used as a condition.
+		v := ex.eval(state, e, args)
+		return b.Ne(v, b.Const(value.Zero(v.Width())))
+	}
+}
+
+// applyTable symbolically applies a table under guard g: every entry gets
+// a firing guard (its match, minus all higher-precedence matches, §5
+// Example), its action executes under that guard, and the default action
+// fires when nothing matches.
+func (ex *Executor) applyTable(state []*smt.Term, t *ir.Table, g *smt.Term) {
+	b := ex.b
+	entries := orderEntries(t, ex.store)
+	notHigher := b.True()
+	for entryIdx, e := range entries {
+		m := ex.matchCond(state, t, e)
+		fire := b.And(g, b.And(notHigher, m))
+		ex.recordTrace(TraceKeyEntry(t.Name, e), fire)
+		notHigher = b.And(notHigher, b.Not(m))
+		if t.IsSelector {
+			// Member selection models the hash as a free operation: a
+			// fresh choice variable, constrained only to pick some member
+			// (§5 "Hashing").
+			choice := b.BV(fmt.Sprintf("choice!%s!%d", t.Name, entryIdx), 16)
+			ex.solver.Assert(b.Implies(fire, b.Ult(choice, b.ConstUint(uint64(len(e.ActionSet)), 16))))
+			for i := range e.ActionSet {
+				member := &e.ActionSet[i]
+				gm := b.And(fire, b.Eq(choice, b.ConstUint(uint64(i), 16)))
+				ex.runAction(state, &member.ActionInvocation, gm)
+			}
+			continue
+		}
+		ex.runAction(state, e.Action, fire)
+	}
+	defFire := b.And(g, notHigher)
+	ex.recordTrace(TraceKeyDefault(t.Name), defFire)
+	defArgs := make([]*smt.Term, len(t.DefaultAction.Params))
+	for i, p := range t.DefaultAction.Params {
+		var arg uint64
+		if i < len(t.DefaultActionArgs) {
+			arg = t.DefaultActionArgs[i]
+		}
+		defArgs[i] = b.ConstUint(arg, p.Width)
+	}
+	ex.runStmts(state, t.DefaultAction.Body, defFire, defArgs)
+}
+
+func (ex *Executor) runAction(state []*smt.Term, inv *pdpi.ActionInvocation, g *smt.Term) {
+	args := make([]*smt.Term, len(inv.Args))
+	for i, a := range inv.Args {
+		args[i] = ex.b.Const(a)
+	}
+	ex.runStmts(state, inv.Action.Body, g, args)
+}
+
+// matchCond builds the condition under which an entry matches the current
+// symbolic state.
+func (ex *Executor) matchCond(state []*smt.Term, t *ir.Table, e *pdpi.Entry) *smt.Term {
+	b := ex.b
+	cond := b.True()
+	for _, m := range e.Matches {
+		k, ok := t.KeyByName(m.Key)
+		if !ok {
+			return b.False()
+		}
+		fv := state[k.Field.ID]
+		switch m.Kind {
+		case ir.MatchExact, ir.MatchOptional:
+			cond = b.And(cond, b.Eq(fv, b.Const(m.Value)))
+		case ir.MatchLPM:
+			mask := value.PrefixMask(m.PrefixLen, k.Field.Width)
+			cond = b.And(cond, b.Eq(b.BVAnd(fv, b.Const(mask)), b.Const(m.Value.And(mask))))
+		case ir.MatchTernary:
+			cond = b.And(cond, b.Eq(b.BVAnd(fv, b.Const(m.Mask)), b.Const(m.Value)))
+		}
+	}
+	return cond
+}
+
+// orderEntries returns a table's entries in descending match precedence,
+// mirroring the reference simulator's selection: priority tables by
+// (priority desc, insertion asc); LPM tables by prefix length desc.
+func orderEntries(t *ir.Table, store *pdpi.Store) []*pdpi.Entry {
+	entries := store.Entries(t.Name)
+	if pdpi.NeedsPriority(t) {
+		sort.SliceStable(entries, func(i, j int) bool {
+			return entries[i].Priority > entries[j].Priority
+		})
+		return entries
+	}
+	lpmKey := ""
+	for _, k := range t.Keys {
+		if k.Match == ir.MatchLPM {
+			lpmKey = k.Name
+		}
+	}
+	if lpmKey != "" {
+		plen := func(e *pdpi.Entry) int {
+			if m, ok := e.Match(lpmKey); ok {
+				return m.PrefixLen
+			}
+			return -1
+		}
+		sort.SliceStable(entries, func(i, j int) bool { return plen(entries[i]) > plen(entries[j]) })
+	}
+	return entries
+}
+
+// Drop/punt/forward observables over Y.
+
+// PuntCond returns the guard under which the packet is punted.
+func (ex *Executor) PuntCond() *smt.Term {
+	f, _ := ex.prog.FieldByName(ir.FieldPunt)
+	return ex.b.Eq(ex.outputs[f.ID], ex.b.ConstUint(1, 1))
+}
+
+// DropCond returns the guard under which the packet is dropped.
+func (ex *Executor) DropCond() *smt.Term {
+	b := ex.b
+	f, _ := ex.prog.FieldByName(ir.FieldDrop)
+	return b.And(b.Eq(ex.outputs[f.ID], b.ConstUint(1, 1)), b.Not(ex.PuntCond()))
+}
+
+// ForwardCond returns the guard under which the packet is forwarded.
+func (ex *Executor) ForwardCond() *smt.Term {
+	return ex.b.Not(ex.b.Or(ex.PuntCond(), ex.DropCond()))
+}
+
+// bmv2DeparseFields is indirected for testing.
+var bmv2DeparseFields = bmv2.DeparseFields

@@ -1,0 +1,314 @@
+package symbolic
+
+import (
+	"strings"
+	"testing"
+
+	"switchv/internal/bmv2"
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4/value"
+	"switchv/internal/testutil"
+	"switchv/models"
+)
+
+func v(x uint64, w int) value.V { return value.New(x, w) }
+
+func fixtureExecutor(t *testing.T) (*Executor, *pdpi.Store) {
+	t.Helper()
+	prog := models.Middleblock()
+	store := pdpi.NewStore()
+	testutil.RoutingFixture(prog, store)
+	ex, err := New(prog, store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, store
+}
+
+func TestGoalsEnumerateEntriesAndDefaults(t *testing.T) {
+	ex, store := fixtureExecutor(t)
+	goals := ex.Goals(CoverEntries)
+	// One goal per installed entry plus one default per applied table.
+	wantEntries := store.Len()
+	gotEntries, gotDefaults := 0, 0
+	for _, g := range goals {
+		if strings.Contains(g.Key, ":entry:") {
+			gotEntries++
+		}
+		if strings.HasSuffix(g.Key, ":default") {
+			gotDefaults++
+		}
+	}
+	if gotEntries != wantEntries {
+		t.Errorf("entry goals = %d, want %d", gotEntries, wantEntries)
+	}
+	// middleblock applies 12 tables.
+	if gotDefaults != 12 {
+		t.Errorf("default goals = %d, want 12", gotDefaults)
+	}
+	branchGoals := ex.Goals(CoverBranches)
+	if len(branchGoals) <= len(goals) {
+		t.Errorf("branch mode added no goals: %d vs %d", len(branchGoals), len(goals))
+	}
+}
+
+// TestPacketsSatisfyGoals is the core soundness property (§5): a packet
+// synthesized for goal g, when run through the reference simulator, must
+// actually execute g's construct.
+func TestPacketsSatisfyGoals(t *testing.T) {
+	ex, store := fixtureExecutor(t)
+	sim, err := bmv2.New(models.Middleblock(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, rep, err := ex.GeneratePackets(CoverEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Covered == 0 {
+		t.Fatal("no goals covered")
+	}
+	if rep.Covered+rep.Unreachable != rep.Goals {
+		t.Errorf("report inconsistent: %+v", rep)
+	}
+	t.Logf("report: %+v", rep)
+	for _, pkt := range pkts {
+		out, err := sim.Run(bmv2.Input{Port: pkt.Port, Packet: pkt.Data})
+		if err != nil {
+			t.Errorf("goal %s: simulator rejected packet: %v", pkt.GoalKey, err)
+			continue
+		}
+		if !hitsGoal(out, pkt.GoalKey) {
+			t.Errorf("goal %s not hit; trace: %+v", pkt.GoalKey, out.Trace)
+		}
+	}
+}
+
+// hitsGoal checks a bmv2 trace against a goal key of the form
+// "table:<t>:entry:<key>" or "table:<t>:default".
+func hitsGoal(out *bmv2.Outcome, key string) bool {
+	parts := strings.SplitN(key, ":", 4)
+	if len(parts) < 3 || parts[0] != "table" {
+		return true // branch goals are not directly observable in the trace
+	}
+	table := parts[1]
+	for _, h := range out.Trace {
+		if h.Table != table {
+			continue
+		}
+		if parts[2] == "default" && h.EntryKey == "" {
+			return true
+		}
+		if parts[2] == "entry" && h.EntryKey == parts[3] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEntryGoalCoverageIsHigh(t *testing.T) {
+	ex, _ := fixtureExecutor(t)
+	// Every installed *entry* in this fixture is reachable. Some *default*
+	// actions are legitimately unreachable: e.g. nexthop_table only
+	// applies when nexthop_id was set to an installed nexthop, so its
+	// default can never fire — exactly the kind of fact p4-symbolic
+	// surfaces.
+	for _, g := range ex.Goals(CoverEntries) {
+		_, ok, err := ex.SolveGoal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(g.Key, ":entry:") && !ok {
+			t.Errorf("entry goal unreachable: %s", g.Key)
+		}
+	}
+	for _, key := range []string{
+		TraceKeyDefault("nexthop_table"),
+		TraceKeyDefault("neighbor_table"),
+		TraceKeyDefault("router_interface_table"),
+		TraceKeyDefault("wcmp_group_table"),
+	} {
+		if _, ok, err := ex.SolveGoal(Goal{Key: key, Cond: ex.Trace(key)}); err != nil || ok {
+			t.Errorf("default %s should be unreachable in this fixture (ok=%v err=%v)", key, ok, err)
+		}
+	}
+}
+
+func TestUnreachableEntryDetected(t *testing.T) {
+	prog := models.Middleblock()
+	store := pdpi.NewStore()
+	testutil.RoutingFixture(prog, store)
+	// An ipv4 route in VRF 7, which nothing assigns: unreachable.
+	ipv4, _ := prog.TableByName("ipv4_table")
+	setNexthop, _ := prog.ActionByName("set_nexthop_id")
+	dead := &pdpi.Entry{
+		Table: ipv4,
+		Matches: []pdpi.Match{
+			{Key: "vrf_id", Kind: ir.MatchExact, Value: v(7, 10)},
+			{Key: "ipv4_dst", Kind: ir.MatchLPM, Value: v(0x0a000000, 32), PrefixLen: 8},
+		},
+		Action: &pdpi.ActionInvocation{Action: setNexthop, Args: []value.V{v(1, 10)}},
+	}
+	if err := dead.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Insert(dead); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := New(prog, store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok, err := ex.SolveGoal(Goal{Key: TraceKeyEntry("ipv4_table", dead), Cond: ex.Trace(TraceKeyEntry("ipv4_table", dead))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("unreachable entry produced packet %x", pkt.Data)
+	}
+}
+
+func TestPuntGoal(t *testing.T) {
+	ex, store := fixtureExecutor(t)
+	// Custom goal over Y: synthesize a punted packet.
+	pkt, ok, err := ex.SolveGoal(Goal{Key: "custom:punt", Cond: ex.PuntCond()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("no punted packet exists?")
+	}
+	sim, err := bmv2.New(models.Middleblock(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Run(bmv2.Input{Port: pkt.Port, Packet: pkt.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disposition != bmv2.Punted {
+		t.Errorf("disposition = %v, want punted (packet %x)", out.Disposition, pkt.Data)
+	}
+}
+
+func TestForwardGoal(t *testing.T) {
+	ex, store := fixtureExecutor(t)
+	pkt, ok, err := ex.SolveGoal(Goal{Key: "custom:forward", Cond: ex.ForwardCond()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("no forwarded packet exists?")
+	}
+	sim, err := bmv2.New(models.Middleblock(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Run(bmv2.Input{Port: pkt.Port, Packet: pkt.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disposition != bmv2.Forwarded {
+		t.Errorf("disposition = %v, want forwarded", out.Disposition)
+	}
+}
+
+func TestEmptyStoreStillSolves(t *testing.T) {
+	prog := models.Middleblock()
+	store := pdpi.NewStore()
+	ex, err := New(prog, store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goals := ex.Goals(CoverEntries)
+	// Only defaults exist.
+	for _, g := range goals {
+		if strings.Contains(g.Key, ":entry:") {
+			t.Fatalf("entry goal with empty store: %s", g.Key)
+		}
+	}
+	// Dropping is certainly possible on the empty configuration.
+	if _, ok, err := ex.SolveGoal(Goal{Key: "drop", Cond: ex.DropCond()}); err != nil || !ok {
+		t.Errorf("drop goal: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCache(t *testing.T) {
+	prog := models.Middleblock()
+	store := pdpi.NewStore()
+	testutil.RoutingFixture(prog, store)
+	cache := NewCache()
+	fp := Fingerprint(prog, store.All(prog), CoverEntries)
+	if _, ok := cache.Get(fp); ok {
+		t.Fatal("empty cache hit")
+	}
+	ex, err := New(prog, store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, _, err := ex.GeneratePackets(CoverEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(fp, pkts)
+	got, ok := cache.Get(fp)
+	if !ok || len(got) != len(pkts) {
+		t.Fatalf("cache miss after put: %v %d", ok, len(got))
+	}
+	if cache.Hits() != 1 || cache.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", cache.Hits(), cache.Misses())
+	}
+	// Fingerprint changes when entries change.
+	store2 := pdpi.NewStore()
+	testutil.RoutingFixture(prog, store2)
+	if Fingerprint(prog, store2.All(prog), CoverEntries) != fp {
+		t.Error("fingerprint not stable for identical entries")
+	}
+	vrf, _ := prog.TableByName("vrf_table")
+	extra := &pdpi.Entry{
+		Table:   vrf,
+		Matches: []pdpi.Match{{Key: "vrf_id", Kind: ir.MatchExact, Value: v(9, 10)}},
+		Action:  &pdpi.ActionInvocation{Action: prog.NoAction},
+	}
+	if err := store2.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(prog, store2.All(prog), CoverEntries) == fp {
+		t.Error("fingerprint unchanged after entry change")
+	}
+	if Fingerprint(prog, store.All(prog), CoverBranches) == fp {
+		t.Error("fingerprint unchanged across coverage modes")
+	}
+}
+
+func TestWANExecutor(t *testing.T) {
+	prog := models.WAN()
+	store := pdpi.NewStore()
+	testutil.RoutingFixture(prog, store)
+	ex, err := New(prog, store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, rep, err := ex.GeneratePackets(CoverEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Covered == 0 {
+		t.Fatalf("wan: nothing covered: %+v", rep)
+	}
+	sim, err := bmv2.New(prog, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkt := range pkts {
+		out, err := sim.Run(bmv2.Input{Port: pkt.Port, Packet: pkt.Data})
+		if err != nil {
+			t.Errorf("goal %s: %v", pkt.GoalKey, err)
+			continue
+		}
+		if !hitsGoal(out, pkt.GoalKey) {
+			t.Errorf("wan goal %s not hit; trace %+v", pkt.GoalKey, out.Trace)
+		}
+	}
+}

@@ -1,0 +1,461 @@
+// Package workload synthesizes production-scale table entry sets — the
+// stand-in for the production entry replays the paper feeds p4-symbolic
+// (798 entries for Inst1, 1314 for Inst2 in Table 3). The shape follows a
+// datacenter routing snapshot: a few VRFs, a rack's worth of router
+// interfaces and neighbors, WCMP groups, ACL policy, and a long tail of
+// IPv4/IPv6 routes.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4/value"
+)
+
+// Entries generates a valid, reference-closed entry set of (approximately,
+// capped by table sizes) the requested total size for the model, in
+// installation (dependency) order.
+func Entries(prog *ir.Program, total int, seed int64) ([]*pdpi.Entry, error) {
+	g := &gen{prog: prog, rng: rand.New(rand.NewSource(seed))}
+	if err := g.build(total); err != nil {
+		return nil, err
+	}
+	return g.entries, nil
+}
+
+// MustEntries is Entries for benchmarks; it panics on error.
+func MustEntries(prog *ir.Program, total int, seed int64) []*pdpi.Entry {
+	out, err := Entries(prog, total, seed)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+type gen struct {
+	prog    *ir.Program
+	rng     *rand.Rand
+	entries []*pdpi.Entry
+}
+
+func (g *gen) table(name string) (*ir.Table, bool) { return g.prog.TableByName(name) }
+
+func (g *gen) action(name string) *ir.Action {
+	a, ok := g.prog.ActionByName(name)
+	if !ok {
+		panic("workload: missing action " + name)
+	}
+	return a
+}
+
+func (g *gen) add(e *pdpi.Entry) error {
+	if err := e.Validate(); err != nil {
+		return fmt.Errorf("workload: %v (%s)", err, e)
+	}
+	g.entries = append(g.entries, e)
+	return nil
+}
+
+// cap clamps n to a table's guaranteed size (leaving one slot spare).
+func tcap(t *ir.Table, n int) int {
+	if t == nil {
+		return 0
+	}
+	if n >= t.Size {
+		return t.Size - 1
+	}
+	return n
+}
+
+func (g *gen) build(total int) error {
+	// The skeleton (everything except routes) scales with the requested
+	// total so small workloads still leave room for routes, which carry
+	// most of the forwarding behavior.
+	scale := func(n int, min int) int {
+		v := n * total / 800
+		if v < min {
+			return min
+		}
+		if v > n {
+			return n
+		}
+		return v
+	}
+	var (
+		numVRFs   = 4
+		numRIFs   = scale(48, 8)
+		numNH     = scale(120, 16)
+		numWCMP   = scale(24, 4)
+		numACLIn  = scale(32, 8)
+		numACLPre = 6
+		numACLEg  = scale(6, 2)
+		numL3     = 4
+		numMirror = 2
+		numVLAN   = scale(32, 4)
+		numTunnel = scale(16, 4)
+	)
+
+	vrfTbl, _ := g.table("vrf_table")
+	rifTbl, _ := g.table("router_interface_table")
+	nhTbl, _ := g.table("nexthop_table")
+	nbTbl, _ := g.table("neighbor_table")
+	wcmpTbl, _ := g.table("wcmp_group_table")
+
+	vrfs := tcap(vrfTbl, numVRFs)
+	rifs := tcap(rifTbl, numRIFs)
+	nhs := tcap(nhTbl, numNH)
+	wcmps := tcap(wcmpTbl, numWCMP)
+
+	// VRFs.
+	for i := 1; i <= vrfs; i++ {
+		if err := g.add(&pdpi.Entry{
+			Table:   vrfTbl,
+			Matches: []pdpi.Match{{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(uint64(i), 10)}},
+			Action:  &pdpi.ActionInvocation{Action: g.prog.NoAction},
+		}); err != nil {
+			return err
+		}
+	}
+	// Router interfaces (ports 10..10+rifs).
+	for i := 1; i <= rifs; i++ {
+		if err := g.add(&pdpi.Entry{
+			Table:   rifTbl,
+			Matches: []pdpi.Match{{Key: "router_interface_id", Kind: ir.MatchExact, Value: value.New(uint64(i), 10)}},
+			Action: &pdpi.ActionInvocation{Action: g.action("set_port_and_src_mac"),
+				Args: []value.V{value.New(uint64(10+i%16), 16), value.New(0x020000000000+uint64(i), 48)}},
+		}); err != nil {
+			return err
+		}
+	}
+	// Neighbors: one per router interface.
+	for i := 1; i <= rifs; i++ {
+		if err := g.add(&pdpi.Entry{
+			Table: nbTbl,
+			Matches: []pdpi.Match{
+				{Key: "router_interface_id", Kind: ir.MatchExact, Value: value.New(uint64(i), 10)},
+				{Key: "neighbor_id", Kind: ir.MatchExact, Value: value.New(uint64(i), 10)},
+			},
+			Action: &pdpi.ActionInvocation{Action: g.action("set_dst_mac"),
+				Args: []value.V{value.New(0x02aa00000000+uint64(i), 48)}},
+		}); err != nil {
+			return err
+		}
+	}
+	// VLANs and tunnels precede nexthops so tunnel references resolve.
+	numVLANs := 0
+	if t, ok := g.table("vlan_table"); ok {
+		numVLANs = tcap(t, numVLAN)
+		for i := 1; i <= numVLANs; i++ {
+			if err := g.add(&pdpi.Entry{
+				Table:   t,
+				Matches: []pdpi.Match{{Key: "vlan_id", Kind: ir.MatchExact, Value: value.New(uint64(i+1), 12)}},
+				Action:  &pdpi.ActionInvocation{Action: g.action("vlan_admit")},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	tunnels := 0
+	if t, ok := g.table("tunnel_table"); ok {
+		tunnels = tcap(t, numTunnel)
+		for i := 1; i <= tunnels; i++ {
+			if err := g.add(&pdpi.Entry{
+				Table:   t,
+				Matches: []pdpi.Match{{Key: "tunnel_id", Kind: ir.MatchExact, Value: value.New(uint64(i), 10)}},
+				Action: &pdpi.ActionInvocation{Action: g.action("encap_gre"),
+					Args: []value.V{value.New(0xc0000200+uint64(i), 32), value.New(0xc6336400+uint64(i), 32)}},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Nexthops spread across router interfaces; on tunnel-capable models
+	// every eighth nexthop encapsulates.
+	for i := 1; i <= nhs; i++ {
+		rif := uint64(1 + (i-1)%rifs)
+		inv := &pdpi.ActionInvocation{Action: g.action("set_nexthop"),
+			Args: []value.V{value.New(rif, 10), value.New(rif, 10)}}
+		if tunnels > 0 && i%8 == 0 {
+			inv = &pdpi.ActionInvocation{Action: g.action("set_nexthop_and_tunnel"),
+				Args: []value.V{value.New(rif, 10), value.New(rif, 10), value.New(uint64(1+i%tunnels), 10)}}
+		}
+		if err := g.add(&pdpi.Entry{
+			Table:   nhTbl,
+			Matches: []pdpi.Match{{Key: "nexthop_id", Kind: ir.MatchExact, Value: value.New(uint64(i), 10)}},
+			Action:  inv,
+		}); err != nil {
+			return err
+		}
+	}
+	// WCMP groups of 2-4 members.
+	for i := 1; i <= wcmps; i++ {
+		n := 2 + g.rng.Intn(3)
+		var set []pdpi.WeightedAction
+		for m := 0; m < n; m++ {
+			nh := uint64(1 + g.rng.Intn(nhs))
+			set = append(set, pdpi.WeightedAction{
+				ActionInvocation: pdpi.ActionInvocation{Action: g.action("set_nexthop_id"),
+					Args: []value.V{value.New(nh, 10)}},
+				Weight: 1 + g.rng.Intn(4),
+			})
+		}
+		if err := g.add(&pdpi.Entry{
+			Table:     wcmpTbl,
+			Matches:   []pdpi.Match{{Key: "wcmp_group_id", Kind: ir.MatchExact, Value: value.New(uint64(i), 10)}},
+			ActionSet: set,
+		}); err != nil {
+			return err
+		}
+	}
+	// L3 admission, ACLs, mirrors, VLANs, tunnels.
+	if err := g.addPolicy(numL3, numACLPre, numACLIn, numACLEg, numMirror, vrfs); err != nil {
+		return err
+	}
+	// Fill the remainder with routes, 70% IPv4 / 30% IPv6.
+	remainder := total - len(g.entries)
+	if remainder < 0 {
+		remainder = 0
+	}
+	nV4 := remainder * 7 / 10
+	nV6 := remainder - nV4
+	if t, _ := g.table("ipv4_table"); t != nil {
+		nV4 = tcap(t, nV4)
+	}
+	if t, _ := g.table("ipv6_table"); t != nil {
+		nV6 = tcap(t, nV6)
+	}
+	if err := g.addV4Routes(nV4, vrfs, nhs, wcmps); err != nil {
+		return err
+	}
+	if err := g.addV6Routes(nV6, vrfs, nhs); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (g *gen) addPolicy(numL3, numPre, numIn, numEg, numMirror, vrfs int) error {
+	if t, ok := g.table("l3_admit_table"); ok {
+		for i := 0; i < tcap(t, numL3); i++ {
+			if err := g.add(&pdpi.Entry{
+				Table: t,
+				Matches: []pdpi.Match{{Key: "dst_mac", Kind: ir.MatchTernary,
+					Value: value.New(0x0200000000a0+uint64(i), 48), Mask: value.Ones(48)}},
+				Priority: int32(1 + i),
+				Action:   &pdpi.ActionInvocation{Action: g.action("admit_to_l3")},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if t, ok := g.table("acl_pre_ingress_table"); ok {
+		// Partition traffic across the VRFs by the low DSCP bits so every
+		// VRF (and hence every route) stays reachable: dscp&3 == k -> VRF
+		// k+1. Non-IPv4 traffic reads dscp as 0 and lands in VRF 1.
+		n := vrfs
+		if c := tcap(t, numPre); c < n {
+			n = c
+		}
+		for k := 0; k < n; k++ {
+			if err := g.add(&pdpi.Entry{
+				Table: t,
+				Matches: []pdpi.Match{
+					{Key: "dscp", Kind: ir.MatchTernary, Value: value.New(uint64(k), 6), Mask: value.New(3, 6)},
+				},
+				Priority: int32(1 + k),
+				Action:   &pdpi.ActionInvocation{Action: g.action("set_vrf"), Args: []value.V{value.New(uint64(k+1), 10)}},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if t, ok := g.table("mirror_session_table"); ok {
+		for i := 1; i <= tcap(t, numMirror); i++ {
+			if err := g.add(&pdpi.Entry{
+				Table:   t,
+				Matches: []pdpi.Match{{Key: "mirror_session_id", Kind: ir.MatchExact, Value: value.New(uint64(i), 10)}},
+				Action:  &pdpi.ActionInvocation{Action: g.action("set_mirror_port"), Args: []value.V{value.New(uint64(20+i), 16)}},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if t, ok := g.table("acl_ingress_table"); ok {
+		// One rule matching a *post-rewrite* destination MAC (neighbor 1):
+		// copies of routed traffic toward that neighbor go to the
+		// controller. Distinguishes pre- vs post-rewrite ACL evaluation.
+		if tcap(t, numIn) > 0 {
+			if err := g.add(&pdpi.Entry{
+				Table: t,
+				Matches: []pdpi.Match{
+					{Key: "dst_mac", Kind: ir.MatchTernary, Value: value.New(0x02aa00000001, 48), Mask: value.Ones(48)},
+				},
+				Priority: 9,
+				Action:   &pdpi.ActionInvocation{Action: g.action("acl_copy")},
+			}); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < tcap(t, numIn); i++ {
+			var matches []pdpi.Match
+			var inv *pdpi.ActionInvocation
+			switch i % 4 {
+			case 0: // punt a TCP control port
+				matches = []pdpi.Match{
+					{Key: "ip_protocol", Kind: ir.MatchTernary, Value: value.New(6, 8), Mask: value.Ones(8)},
+					{Key: "l4_dst_port", Kind: ir.MatchTernary, Value: value.New(uint64(179+i), 16), Mask: value.Ones(16)},
+				}
+				inv = &pdpi.ActionInvocation{Action: g.action("acl_trap")}
+			case 1: // drop a source MAC
+				matches = []pdpi.Match{
+					{Key: "dst_mac", Kind: ir.MatchTernary, Value: value.New(0x02bad0000000+uint64(i), 48), Mask: value.Ones(48)},
+				}
+				inv = &pdpi.ActionInvocation{Action: g.action("acl_drop")}
+			case 2: // copy ICMP (v4)
+				matches = []pdpi.Match{
+					{Key: "is_ipv4", Kind: ir.MatchOptional, Value: value.New(1, 1)},
+					{Key: "ip_protocol", Kind: ir.MatchTernary, Value: value.New(1, 8), Mask: value.Ones(8)},
+					{Key: "icmp_type", Kind: ir.MatchTernary, Value: value.New(uint64(i%16), 8), Mask: value.Ones(8)},
+				}
+				inv = &pdpi.ActionInvocation{Action: g.action("acl_copy")}
+			default: // mirror UDP flows
+				matches = []pdpi.Match{
+					{Key: "ip_protocol", Kind: ir.MatchTernary, Value: value.New(17, 8), Mask: value.Ones(8)},
+					{Key: "l4_dst_port", Kind: ir.MatchTernary, Value: value.New(uint64(4000+i), 16), Mask: value.Ones(16)},
+				}
+				inv = &pdpi.ActionInvocation{Action: g.action("acl_mirror"),
+					Args: []value.V{value.New(uint64(1+i%2), 10)}}
+			}
+			if err := g.add(&pdpi.Entry{
+				Table:    t,
+				Matches:  matches,
+				Priority: int32(10 + i),
+				Action:   inv,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if t, ok := g.table("acl_egress_table"); ok {
+		for i := 0; i < tcap(t, numEg); i++ {
+			if err := g.add(&pdpi.Entry{
+				Table: t,
+				Matches: []pdpi.Match{
+					{Key: "ip_protocol", Kind: ir.MatchTernary, Value: value.New(uint64(200+i), 8), Mask: value.Ones(8)},
+				},
+				Priority: int32(1 + i),
+				Action:   &pdpi.ActionInvocation{Action: g.action(g.egressDropAction())},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *gen) egressDropAction() string {
+	if _, ok := g.prog.ActionByName("acl_egress_drop"); ok {
+		return "acl_egress_drop"
+	}
+	return "acl_drop"
+}
+
+// addV4Routes emits n unique IPv4 routes across the VRFs: mostly /24s with
+// a sprinkle of /16s, /32s, and drop routes, plus some WCMP targets.
+func (g *gen) addV4Routes(n, vrfs, nhs, wcmps int) error {
+	t, ok := g.table("ipv4_table")
+	if !ok {
+		return nil
+	}
+	if n > 0 {
+		// A default route in VRF 1 (so broadcast-class destinations have
+		// defined forwarding behavior).
+		if err := g.add(&pdpi.Entry{
+			Table: t,
+			Matches: []pdpi.Match{
+				{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(1, 10)},
+				{Key: "ipv4_dst", Kind: ir.MatchLPM, Value: value.Zero(32), PrefixLen: 0},
+			},
+			Action: &pdpi.ActionInvocation{Action: g.action("set_nexthop_id"),
+				Args: []value.V{value.New(1, 10)}},
+		}); err != nil {
+			return err
+		}
+		n--
+	}
+	for i := 0; i < n; i++ {
+		vrf := uint64(1 + i%vrfs)
+		var prefix uint64
+		var plen int
+		switch {
+		case i%17 == 0:
+			plen = 16
+			prefix = uint64(10)<<24 | uint64(i%250+1)<<16
+		case i%11 == 0:
+			plen = 32
+			prefix = uint64(10)<<24 | uint64(i%250+1)<<16 | uint64(i/250%250+1)<<8 | uint64(i%250+2)
+		default:
+			plen = 24
+			prefix = uint64(10)<<24 | uint64(i%250+1)<<16 | uint64(i/250%250+1)<<8
+		}
+		var inv *pdpi.ActionInvocation
+		switch {
+		case i%23 == 0:
+			inv = &pdpi.ActionInvocation{Action: g.action("drop")}
+		case i%5 == 0 && wcmps > 0:
+			inv = &pdpi.ActionInvocation{Action: g.action("set_wcmp_group_id"),
+				Args: []value.V{value.New(uint64(1+i%wcmps), 10)}}
+		default:
+			inv = &pdpi.ActionInvocation{Action: g.action("set_nexthop_id"),
+				Args: []value.V{value.New(uint64(1+i%nhs), 10)}}
+		}
+		e := &pdpi.Entry{
+			Table: t,
+			Matches: []pdpi.Match{
+				{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(vrf, 10)},
+				{Key: "ipv4_dst", Kind: ir.MatchLPM, Value: value.New(prefix, 32).And(value.PrefixMask(plen, 32)), PrefixLen: plen},
+			},
+			Action: inv,
+		}
+		if err := g.add(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) addV6Routes(n, vrfs, nhs int) error {
+	t, ok := g.table("ipv6_table")
+	if !ok {
+		return nil
+	}
+	_ = vrfs
+	for i := 0; i < n; i++ {
+		// IPv6 packets read the (invalid) ipv4 dscp as 0 and land in VRF 1.
+		vrf := uint64(1)
+		hi := uint64(0x20010db8)<<32 | uint64(i+1)
+		plen := 64
+		if i%9 == 0 {
+			plen = 48
+			hi = uint64(0x20010db8)<<32 | uint64(i%0xffff+1)<<16
+		}
+		e := &pdpi.Entry{
+			Table: t,
+			Matches: []pdpi.Match{
+				{Key: "vrf_id", Kind: ir.MatchExact, Value: value.New(vrf, 10)},
+				{Key: "ipv6_dst", Kind: ir.MatchLPM,
+					Value:     value.New128(hi, 0, 128).And(value.PrefixMask(plen, 128)),
+					PrefixLen: plen},
+			},
+			Action: &pdpi.ActionInvocation{Action: g.action("set_nexthop_id"),
+				Args: []value.V{value.New(uint64(1+i%nhs), 10)}},
+		}
+		if err := g.add(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+
+	"switchv/internal/p4/constraints"
+	"switchv/internal/p4/p4info"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4rt"
+	"switchv/internal/switchsim"
+	"switchv/models"
+)
+
+func TestEntriesAreValidAndInstallable(t *testing.T) {
+	cases := []struct {
+		role  string
+		total int
+	}{
+		{"middleblock", 798},
+		{"wan", 1314},
+	}
+	for _, c := range cases {
+		t.Run(c.role, func(t *testing.T) {
+			prog := models.MustLoad(c.role)
+			entries, err := Entries(prog, c.total, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Size: within 10% of the requested total (table caps may trim).
+			if len(entries) < c.total*9/10 || len(entries) > c.total {
+				t.Errorf("generated %d entries, want ~%d", len(entries), c.total)
+			}
+			// All unique, valid, and constraint-compliant.
+			store := pdpi.NewStore()
+			for _, e := range entries {
+				if err := e.Validate(); err != nil {
+					t.Fatalf("invalid entry: %v", err)
+				}
+				if ok, err := constraints.CheckEntry(e); err != nil || !ok {
+					t.Fatalf("constraint violation: %s (err %v)", e, err)
+				}
+				if err := store.Insert(e); err != nil {
+					t.Fatalf("duplicate entry: %v", err)
+				}
+			}
+			// The whole set installs on a clean switch in generation order
+			// (references are closed and ordered).
+			sw := switchsim.New(c.role)
+			info := p4infoFor(c.role)
+			if err := sw.SetForwardingPipelineConfig(p4rt.ForwardingPipelineConfig{P4Info: info}); err != nil {
+				t.Fatal(err)
+			}
+			var updates []p4rt.Update
+			for _, e := range entries {
+				updates = append(updates, p4rt.Update{Type: p4rt.Insert, Entry: p4rt.ToWire(e)})
+			}
+			// Install in chunks of 50 like a controller would.
+			for i := 0; i < len(updates); i += 50 {
+				end := i + 50
+				if end > len(updates) {
+					end = len(updates)
+				}
+				resp := sw.Write(p4rt.WriteRequest{Updates: updates[i:end]})
+				if !resp.OK() {
+					t.Fatalf("batch %d: %s", i/50, resp.String())
+				}
+			}
+		})
+	}
+}
+
+func p4infoFor(role string) string {
+	return p4info.New(models.MustLoad(role)).Text()
+}
+
+func TestDeterminism(t *testing.T) {
+	prog := models.Middleblock()
+	a := MustEntries(prog, 300, 7)
+	b := MustEntries(prog, 300, 7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+	c := MustEntries(prog, 300, 8)
+	diff := false
+	for i := range a {
+		if i < len(c) && a[i].String() != c[i].String() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical workloads")
+	}
+}

@@ -1,0 +1,343 @@
+// middleblock.p4 — SAI-style P4 model of a fixed-function switch in the
+// "middleblock" (ToR) deployment role. This is the Inst1 program of the
+// evaluation: a role-specific instantiation in the style of the PINS
+// sai_p4 models (vrf, IPv4/IPv6 routing, nexthop/WCMP, router interfaces,
+// neighbors, ACLs, mirroring, punting).
+
+typedef bit<48> ethernet_addr_t;
+typedef bit<32> ipv4_addr_t;
+typedef bit<128> ipv6_addr_t;
+typedef bit<10> vrf_id_t;
+typedef bit<10> nexthop_id_t;
+typedef bit<10> wcmp_group_id_t;
+typedef bit<10> router_interface_id_t;
+typedef bit<10> neighbor_id_t;
+typedef bit<10> mirror_session_id_t;
+typedef bit<16> port_id_t;
+
+const bit<10> VRF_TABLE_MINIMUM_GUARANTEED_SIZE = 64;
+const bit<16> IPV4_TABLE_MINIMUM_GUARANTEED_SIZE = 1024;
+const bit<16> IPV6_TABLE_MINIMUM_GUARANTEED_SIZE = 512;
+const bit<10> NEXTHOP_TABLE_MINIMUM_GUARANTEED_SIZE = 256;
+const bit<10> NEIGHBOR_TABLE_MINIMUM_GUARANTEED_SIZE = 256;
+const bit<10> ROUTER_INTERFACE_TABLE_MINIMUM_GUARANTEED_SIZE = 128;
+const bit<10> WCMP_GROUP_TABLE_MINIMUM_GUARANTEED_SIZE = 128;
+const bit<8> ACL_INGRESS_TABLE_MINIMUM_GUARANTEED_SIZE = 128;
+const bit<8> ACL_PRE_INGRESS_TABLE_MINIMUM_GUARANTEED_SIZE = 64;
+const bit<8> ACL_EGRESS_TABLE_MINIMUM_GUARANTEED_SIZE = 64;
+const bit<8> MIRROR_SESSION_TABLE_MINIMUM_GUARANTEED_SIZE = 4;
+const bit<8> L3_ADMIT_TABLE_MINIMUM_GUARANTEED_SIZE = 64;
+
+header ethernet_t {
+  ethernet_addr_t dst_addr;
+  ethernet_addr_t src_addr;
+  bit<16> ether_type;
+}
+
+header ipv4_t {
+  bit<6> dscp;
+  bit<2> ecn;
+  bit<16> identification;
+  bit<8> ttl;
+  bit<8> protocol;
+  ipv4_addr_t src_addr;
+  ipv4_addr_t dst_addr;
+}
+
+header ipv6_t {
+  bit<6> dscp;
+  bit<2> ecn;
+  bit<20> flow_label;
+  bit<8> next_header;
+  bit<8> hop_limit;
+  ipv6_addr_t src_addr;
+  ipv6_addr_t dst_addr;
+}
+
+header tcp_t {
+  bit<16> src_port;
+  bit<16> dst_port;
+  bit<8> flags;
+}
+
+header udp_t {
+  bit<16> src_port;
+  bit<16> dst_port;
+}
+
+header icmp_t {
+  bit<8> type;
+  bit<8> code;
+}
+
+header arp_t {
+  bit<16> operation;
+  ipv4_addr_t sender_ip;
+  ipv4_addr_t target_ip;
+}
+
+struct headers_t {
+  ethernet_t ethernet;
+  ipv4_t ipv4;
+  ipv6_t ipv6;
+  tcp_t tcp;
+  udp_t udp;
+  icmp_t icmp;
+  arp_t arp;
+}
+
+struct local_metadata_t {
+  vrf_id_t vrf_id;
+  nexthop_id_t nexthop_id;
+  wcmp_group_id_t wcmp_group_id;
+  router_interface_id_t router_interface_id;
+  neighbor_id_t neighbor_id;
+  bit<16> l4_src_port;
+  bit<16> l4_dst_port;
+  mirror_session_id_t mirror_session_id;
+  bit<1> admit_to_l3;
+  bit<1> wcmp_selected;
+}
+
+@name("middleblock")
+control ingress(inout headers_t headers,
+                inout local_metadata_t local_metadata,
+                inout standard_metadata_t standard_metadata) {
+
+  action drop() { mark_to_drop(); }
+
+  action set_vrf(@refers_to(vrf_table, vrf_id) vrf_id_t vrf_id) {
+    local_metadata.vrf_id = vrf_id;
+  }
+
+  action set_nexthop_id(@refers_to(nexthop_table, nexthop_id) nexthop_id_t nexthop_id) {
+    local_metadata.nexthop_id = nexthop_id;
+  }
+
+  action set_wcmp_group_id(@refers_to(wcmp_group_table, wcmp_group_id) wcmp_group_id_t wcmp_group_id) {
+    local_metadata.wcmp_group_id = wcmp_group_id;
+  }
+
+  action set_nexthop(
+      @refers_to(router_interface_table, router_interface_id) router_interface_id_t router_interface_id,
+      @refers_to(neighbor_table, neighbor_id) neighbor_id_t neighbor_id) {
+    local_metadata.router_interface_id = router_interface_id;
+    local_metadata.neighbor_id = neighbor_id;
+  }
+
+  action set_dst_mac(ethernet_addr_t dst_mac) {
+    headers.ethernet.dst_addr = dst_mac;
+  }
+
+  action set_port_and_src_mac(port_id_t port, ethernet_addr_t src_mac) {
+    set_egress_port(port);
+    headers.ethernet.src_addr = src_mac;
+  }
+
+  action admit_to_l3() { local_metadata.admit_to_l3 = 1; }
+
+  action acl_drop() { mark_to_drop(); }
+  action acl_trap() { punt_to_cpu(); }
+  action acl_copy() { copy_to_cpu(); }
+  action acl_mirror(
+      @refers_to(mirror_session_table, mirror_session_id) mirror_session_id_t mirror_session_id) {
+    local_metadata.mirror_session_id = mirror_session_id;
+    mirror(mirror_session_id);
+  }
+  action acl_forward() { no_op(); }
+
+  action set_mirror_port(port_id_t port) { no_op(); }
+
+  // VRFs are a bounded internal resource: this table is a P4 no-op, but
+  // programming it allocates/deallocates VRFs in the switch (§3 "Bounded
+  // Internal Resources"). VRF 0 is reserved by the hardware.
+  @entry_restriction("vrf_id != 0")
+  table vrf_table {
+    key = { local_metadata.vrf_id : exact @name("vrf_id"); }
+    actions = { no_action; }
+    const default_action = no_action;
+    size = VRF_TABLE_MINIMUM_GUARANTEED_SIZE;
+  }
+
+  table acl_pre_ingress_table {
+    key = {
+      headers.ethernet.src_addr : ternary @name("src_mac");
+      headers.ipv4.dst_addr : ternary @name("dst_ip");
+      headers.ipv4.dscp : ternary @name("dscp");
+      headers.ipv4.isValid() : optional @name("is_ipv4");
+      headers.ipv6.isValid() : optional @name("is_ipv6");
+    }
+    actions = { set_vrf; }
+    const default_action = no_action;
+    size = ACL_PRE_INGRESS_TABLE_MINIMUM_GUARANTEED_SIZE;
+  }
+
+  table ipv4_table {
+    key = {
+      local_metadata.vrf_id : exact @refers_to(vrf_table, vrf_id) @name("vrf_id");
+      headers.ipv4.dst_addr : lpm @name("ipv4_dst");
+    }
+    actions = { drop; set_nexthop_id; set_wcmp_group_id; }
+    const default_action = drop;
+    size = IPV4_TABLE_MINIMUM_GUARANTEED_SIZE;
+  }
+
+  table ipv6_table {
+    key = {
+      local_metadata.vrf_id : exact @refers_to(vrf_table, vrf_id) @name("vrf_id");
+      headers.ipv6.dst_addr : lpm @name("ipv6_dst");
+    }
+    actions = { drop; set_nexthop_id; set_wcmp_group_id; }
+    const default_action = drop;
+    size = IPV6_TABLE_MINIMUM_GUARANTEED_SIZE;
+  }
+
+  // One-shot action-selector table implementing WCMP: each entry carries a
+  // weighted set of set_nexthop_id actions; the hash-based selection is
+  // modeled as a free operation (§3 "Hashing").
+  table wcmp_group_table {
+    key = { local_metadata.wcmp_group_id : exact @name("wcmp_group_id"); }
+    actions = { set_nexthop_id; }
+    implementation = action_selector;
+    size = WCMP_GROUP_TABLE_MINIMUM_GUARANTEED_SIZE;
+  }
+
+  table nexthop_table {
+    key = { local_metadata.nexthop_id : exact @name("nexthop_id"); }
+    actions = { set_nexthop; }
+    size = NEXTHOP_TABLE_MINIMUM_GUARANTEED_SIZE;
+  }
+
+  table neighbor_table {
+    key = {
+      local_metadata.router_interface_id : exact @refers_to(router_interface_table, router_interface_id) @name("router_interface_id");
+      local_metadata.neighbor_id : exact @name("neighbor_id");
+    }
+    actions = { set_dst_mac; }
+    size = NEIGHBOR_TABLE_MINIMUM_GUARANTEED_SIZE;
+  }
+
+  table router_interface_table {
+    key = { local_metadata.router_interface_id : exact @name("router_interface_id"); }
+    actions = { set_port_and_src_mac; }
+    size = ROUTER_INTERFACE_TABLE_MINIMUM_GUARANTEED_SIZE;
+  }
+
+  table l3_admit_table {
+    key = {
+      headers.ethernet.dst_addr : ternary @name("dst_mac");
+      standard_metadata.ingress_port : ternary @name("in_port");
+    }
+    actions = { admit_to_l3; }
+    size = L3_ADMIT_TABLE_MINIMUM_GUARANTEED_SIZE;
+  }
+
+  @entry_restriction("ttl::mask != 0 -> (is_ipv4 == 1 || is_ipv6 == 1); dscp::mask != 0 -> (is_ipv4 == 1 || is_ipv6 == 1); icmp_type::mask != 0 -> ip_protocol::value == 1")
+  table acl_ingress_table {
+    key = {
+      headers.ipv4.isValid() : optional @name("is_ipv4");
+      headers.ipv6.isValid() : optional @name("is_ipv6");
+      headers.ethernet.ether_type : ternary @name("ether_type");
+      headers.ethernet.dst_addr : ternary @name("dst_mac");
+      headers.ipv4.ttl : ternary @name("ttl");
+      headers.ipv4.dscp : ternary @name("dscp");
+      headers.ipv4.protocol : ternary @name("ip_protocol");
+      headers.icmp.type : ternary @name("icmp_type");
+      local_metadata.l4_dst_port : ternary @name("l4_dst_port");
+    }
+    actions = { acl_drop; acl_trap; acl_copy; acl_mirror; acl_forward; }
+    size = ACL_INGRESS_TABLE_MINIMUM_GUARANTEED_SIZE;
+  }
+
+  // Mirror sessions translate a session id to a physical port; the
+  // translation to the clone API's session space is a modeling artifact
+  // (§3 "Mirror Sessions") and the table is programmed like any other.
+  table mirror_session_table {
+    key = { local_metadata.mirror_session_id : exact @name("mirror_session_id"); }
+    actions = { set_mirror_port; }
+    size = MIRROR_SESSION_TABLE_MINIMUM_GUARANTEED_SIZE;
+  }
+
+  apply {
+    // Packets are dropped unless some action sets an egress port
+    // (mirroring the simulator's invalid drop port default).
+    mark_to_drop();
+
+    // L4 metadata extraction.
+    if (headers.tcp.isValid()) {
+      local_metadata.l4_src_port = headers.tcp.src_port;
+      local_metadata.l4_dst_port = headers.tcp.dst_port;
+    }
+    if (headers.udp.isValid()) {
+      local_metadata.l4_src_port = headers.udp.src_port;
+      local_metadata.l4_dst_port = headers.udp.dst_port;
+    }
+
+    acl_pre_ingress_table.apply();
+    vrf_table.apply();
+    l3_admit_table.apply();
+
+    if (local_metadata.admit_to_l3 == 1) {
+      if (headers.ipv4.isValid()) {
+        // The hardware immediately punts packets with TTL 0 or 1.
+        if (headers.ipv4.ttl <= 1) {
+          punt_to_cpu();
+        } else {
+          ipv4_table.apply();
+        }
+      } else {
+        if (headers.ipv6.isValid()) {
+          if (headers.ipv6.hop_limit <= 1) {
+            punt_to_cpu();
+          } else {
+            ipv6_table.apply();
+          }
+        }
+      }
+      if (local_metadata.wcmp_group_id != 0) {
+        wcmp_group_table.apply();
+      }
+      if (local_metadata.nexthop_id != 0) {
+        nexthop_table.apply();
+        neighbor_table.apply();
+        router_interface_table.apply();
+        if (headers.ipv4.isValid()) {
+          headers.ipv4.ttl = headers.ipv4.ttl - 1;
+        }
+        if (headers.ipv6.isValid()) {
+          headers.ipv6.hop_limit = headers.ipv6.hop_limit - 1;
+        }
+      }
+    }
+
+    acl_ingress_table.apply();
+
+    // Translate the mirror session chosen by the ACL to its destination
+    // port (the logical mirror table of §3 "Mirror Sessions").
+    if (local_metadata.mirror_session_id != 0) {
+      mirror_session_table.apply();
+    }
+  }
+}
+
+control egress(inout headers_t headers,
+               inout local_metadata_t local_metadata,
+               inout standard_metadata_t standard_metadata) {
+
+  action acl_egress_drop() { mark_to_drop(); }
+
+  @entry_restriction("ether_type::mask != 0 -> ether_type::value != 0x0800")
+  table acl_egress_table {
+    key = {
+      headers.ethernet.ether_type : ternary @name("ether_type");
+      headers.ipv4.protocol : ternary @name("ip_protocol");
+      standard_metadata.egress_port : ternary @name("out_port");
+    }
+    actions = { acl_egress_drop; }
+    size = ACL_EGRESS_TABLE_MINIMUM_GUARANTEED_SIZE;
+  }
+
+  apply {
+    acl_egress_table.apply();
+  }
+}

@@ -1,0 +1,82 @@
+// Package models embeds the P4 model programs used to validate switches,
+// and compiles them to IR on demand.
+//
+// Each model is a role-specific instantiation (§3 "Role Specific
+// Instantiations"): middleblock.p4 models the ToR role, wan.p4 the WAN
+// role with tunneling. They correspond to the two production programs
+// (Inst1, Inst2) of the paper's evaluation.
+package models
+
+import (
+	_ "embed"
+	"fmt"
+	"sync"
+
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/parser"
+)
+
+//go:embed middleblock.p4
+var middleblockSrc string
+
+//go:embed wan.p4
+var wanSrc string
+
+// Source returns the P4 source text of the named model ("middleblock" or
+// "wan").
+func Source(name string) (string, error) {
+	switch name {
+	case "middleblock":
+		return middleblockSrc, nil
+	case "wan":
+		return wanSrc, nil
+	default:
+		return "", fmt.Errorf("models: unknown model %q", name)
+	}
+}
+
+// Names lists the available models.
+func Names() []string { return []string{"middleblock", "wan"} }
+
+var (
+	mu       sync.Mutex
+	compiled = map[string]*ir.Program{}
+)
+
+// Load parses and compiles the named model, caching the result.
+func Load(name string) (*ir.Program, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := compiled[name]; ok {
+		return p, nil
+	}
+	src, err := Source(name)
+	if err != nil {
+		return nil, err
+	}
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("models: parsing %s: %w", name, err)
+	}
+	p, err := ir.Compile(astProg)
+	if err != nil {
+		return nil, fmt.Errorf("models: compiling %s: %w", name, err)
+	}
+	compiled[name] = p
+	return p, nil
+}
+
+// MustLoad is Load, panicking on error; for tests and examples.
+func MustLoad(name string) *ir.Program {
+	p, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Middleblock loads the middleblock (ToR role) model.
+func Middleblock() *ir.Program { return MustLoad("middleblock") }
+
+// WAN loads the wan (WAN role) model.
+func WAN() *ir.Program { return MustLoad("wan") }

@@ -1,0 +1,167 @@
+package models
+
+import (
+	"testing"
+
+	"switchv/internal/p4/ir"
+)
+
+func TestLoadMiddleblock(t *testing.T) {
+	p, err := Load("middleblock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "middleblock" {
+		t.Errorf("Name = %q", p.Name)
+	}
+	wantTables := []string{
+		"vrf_table", "acl_pre_ingress_table", "ipv4_table", "ipv6_table",
+		"wcmp_group_table", "nexthop_table", "neighbor_table",
+		"router_interface_table", "l3_admit_table", "acl_ingress_table",
+		"mirror_session_table", "acl_egress_table",
+	}
+	for _, name := range wantTables {
+		if _, ok := p.TableByName(name); !ok {
+			t.Errorf("missing table %s", name)
+		}
+	}
+	if len(p.Tables) != len(wantTables) {
+		t.Errorf("got %d tables, want %d", len(p.Tables), len(wantTables))
+	}
+	if len(p.Controls) != 2 {
+		t.Fatalf("got %d controls", len(p.Controls))
+	}
+
+	ipv4, _ := p.TableByName("ipv4_table")
+	if len(ipv4.Keys) != 2 {
+		t.Fatalf("ipv4_table keys = %d", len(ipv4.Keys))
+	}
+	if ipv4.Keys[0].Name != "vrf_id" || ipv4.Keys[0].Match != ir.MatchExact {
+		t.Errorf("key 0 = %+v", ipv4.Keys[0])
+	}
+	if ipv4.Keys[0].RefersTo == nil || ipv4.Keys[0].RefersTo.Table != "vrf_table" {
+		t.Errorf("key 0 refers_to = %+v", ipv4.Keys[0].RefersTo)
+	}
+	if ipv4.Keys[1].Name != "ipv4_dst" || ipv4.Keys[1].Match != ir.MatchLPM {
+		t.Errorf("key 1 = %+v", ipv4.Keys[1])
+	}
+	if ipv4.Keys[1].Field.Width != 32 {
+		t.Errorf("ipv4_dst width = %d", ipv4.Keys[1].Field.Width)
+	}
+	if ipv4.Size != 1024 {
+		t.Errorf("ipv4_table size = %d", ipv4.Size)
+	}
+	if ipv4.DefaultAction == nil || ipv4.DefaultAction.Name != "drop" || !ipv4.ConstDefault {
+		t.Errorf("default action = %+v", ipv4.DefaultAction)
+	}
+
+	vrf, _ := p.TableByName("vrf_table")
+	if vrf.EntryRestriction == "" {
+		t.Error("vrf_table has no entry restriction")
+	}
+	if vrf.Size != 64 {
+		t.Errorf("vrf_table size = %d", vrf.Size)
+	}
+
+	wcmp, _ := p.TableByName("wcmp_group_table")
+	if !wcmp.IsSelector {
+		t.Error("wcmp_group_table is not a selector table")
+	}
+
+	nh, ok := p.ActionByName("set_nexthop")
+	if !ok {
+		t.Fatal("missing action set_nexthop")
+	}
+	if len(nh.Params) != 2 {
+		t.Fatalf("set_nexthop params = %d", len(nh.Params))
+	}
+	if nh.Params[0].RefersTo == nil || nh.Params[0].RefersTo.Table != "router_interface_table" {
+		t.Errorf("param 0 refers_to = %+v", nh.Params[0].RefersTo)
+	}
+
+	// Synthetic and flattened fields.
+	for _, name := range []string{
+		"$drop", "$punt", "$copy", "$mirror", "$mirror_session",
+		"headers.ipv4.$valid", "headers.ipv4.dst_addr", "headers.ipv6.dst_addr",
+		"local_metadata.vrf_id", "standard_metadata.ingress_port",
+	} {
+		if _, ok := p.FieldByName(name); !ok {
+			t.Errorf("missing field %s", name)
+		}
+	}
+	if f, _ := p.FieldByName("headers.ipv6.dst_addr"); f.Width != 128 {
+		t.Errorf("ipv6 dst width = %d", f.Width)
+	}
+	if f, _ := p.FieldByName("headers.ipv4.$valid"); !f.IsValidity || f.Header != "headers.ipv4" {
+		t.Errorf("validity field = %+v", f)
+	}
+
+	// IDs are stable and in the P4Runtime-style ranges.
+	for _, tbl := range p.Tables {
+		if tbl.ID < 0x02000001 {
+			t.Errorf("table %s ID = %#x", tbl.Name, tbl.ID)
+		}
+	}
+	for _, a := range p.Actions {
+		if a.ID < 0x01000001 {
+			t.Errorf("action %s ID = %#x", a.Name, a.ID)
+		}
+	}
+}
+
+func TestLoadWAN(t *testing.T) {
+	p, err := Load("wan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "wan" {
+		t.Errorf("Name = %q", p.Name)
+	}
+	for _, name := range []string{"tunnel_table", "vlan_table", "acl_ingress_table"} {
+		if _, ok := p.TableByName(name); !ok {
+			t.Errorf("missing table %s", name)
+		}
+	}
+	if len(p.Tables) < 14 {
+		t.Errorf("wan has %d tables, want >= 14", len(p.Tables))
+	}
+	if _, ok := p.ActionByName("encap_gre"); !ok {
+		t.Error("missing encap_gre action")
+	}
+	if _, ok := p.FieldByName("headers.inner_ipv4.$valid"); !ok {
+		t.Error("missing inner_ipv4 validity field")
+	}
+	acl, _ := p.TableByName("acl_ingress_table")
+	if len(acl.Keys) != 11 {
+		t.Errorf("wan acl_ingress keys = %d", len(acl.Keys))
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("nope"); err == nil {
+		t.Error("Load(nope) succeeded")
+	}
+	if _, err := Source("nope"); err == nil {
+		t.Error("Source(nope) succeeded")
+	}
+}
+
+func TestLoadCaches(t *testing.T) {
+	a := MustLoad("middleblock")
+	b := MustLoad("middleblock")
+	if a != b {
+		t.Error("Load did not cache")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 2 {
+		t.Fatalf("Names = %v", names)
+	}
+	for _, n := range names {
+		if _, err := Load(n); err != nil {
+			t.Errorf("Load(%s): %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+// wan.p4 — SAI-style P4 model of a fixed-function switch in the WAN
+// deployment role (the Inst2 program of the evaluation, in the style of
+// the Cerberus stack's models). Compared to middleblock.p4 it has a more
+// involved forwarding pipeline: VLAN admission, GRE tunnel encapsulation
+// and decapsulation, and richer ACL stages.
+
+typedef bit<48> ethernet_addr_t;
+typedef bit<32> ipv4_addr_t;
+typedef bit<128> ipv6_addr_t;
+typedef bit<12> vlan_id_t;
+typedef bit<10> vrf_id_t;
+typedef bit<10> nexthop_id_t;
+typedef bit<10> wcmp_group_id_t;
+typedef bit<10> router_interface_id_t;
+typedef bit<10> neighbor_id_t;
+typedef bit<10> mirror_session_id_t;
+typedef bit<10> tunnel_id_t;
+typedef bit<16> port_id_t;
+
+const bit<10> VRF_TABLE_SIZE = 64;
+const bit<16> IPV4_TABLE_SIZE = 2048;
+const bit<16> IPV6_TABLE_SIZE = 1024;
+const bit<10> NEXTHOP_TABLE_SIZE = 512;
+const bit<10> NEIGHBOR_TABLE_SIZE = 512;
+const bit<10> ROUTER_INTERFACE_TABLE_SIZE = 256;
+const bit<10> WCMP_GROUP_TABLE_SIZE = 256;
+const bit<10> TUNNEL_TABLE_SIZE = 128;
+const bit<12> VLAN_TABLE_SIZE = 512;
+const bit<8> ACL_INGRESS_TABLE_SIZE = 256;
+const bit<8> ACL_PRE_INGRESS_TABLE_SIZE = 128;
+const bit<8> ACL_EGRESS_TABLE_SIZE = 128;
+const bit<8> MIRROR_SESSION_TABLE_SIZE = 8;
+const bit<8> L3_ADMIT_TABLE_SIZE = 128;
+
+header ethernet_t {
+  ethernet_addr_t dst_addr;
+  ethernet_addr_t src_addr;
+  bit<16> ether_type;
+}
+
+header vlan_t {
+  bit<3> priority;
+  bit<1> drop_eligible;
+  vlan_id_t vlan_id;
+  bit<16> ether_type;
+}
+
+header ipv4_t {
+  bit<6> dscp;
+  bit<2> ecn;
+  bit<16> identification;
+  bit<8> ttl;
+  bit<8> protocol;
+  ipv4_addr_t src_addr;
+  ipv4_addr_t dst_addr;
+}
+
+header ipv6_t {
+  bit<6> dscp;
+  bit<2> ecn;
+  bit<20> flow_label;
+  bit<8> next_header;
+  bit<8> hop_limit;
+  ipv6_addr_t src_addr;
+  ipv6_addr_t dst_addr;
+}
+
+header gre_t {
+  bit<16> protocol;
+}
+
+header inner_ipv4_t {
+  bit<6> dscp;
+  bit<2> ecn;
+  bit<16> identification;
+  bit<8> ttl;
+  bit<8> protocol;
+  ipv4_addr_t src_addr;
+  ipv4_addr_t dst_addr;
+}
+
+header tcp_t {
+  bit<16> src_port;
+  bit<16> dst_port;
+  bit<8> flags;
+}
+
+header udp_t {
+  bit<16> src_port;
+  bit<16> dst_port;
+}
+
+header icmp_t {
+  bit<8> type;
+  bit<8> code;
+}
+
+struct headers_t {
+  ethernet_t ethernet;
+  vlan_t vlan;
+  ipv4_t ipv4;
+  ipv6_t ipv6;
+  gre_t gre;
+  inner_ipv4_t inner_ipv4;
+  tcp_t tcp;
+  udp_t udp;
+  icmp_t icmp;
+}
+
+struct local_metadata_t {
+  vrf_id_t vrf_id;
+  nexthop_id_t nexthop_id;
+  wcmp_group_id_t wcmp_group_id;
+  router_interface_id_t router_interface_id;
+  neighbor_id_t neighbor_id;
+  mirror_session_id_t mirror_session_id;
+  tunnel_id_t tunnel_id;
+  bit<16> l4_src_port;
+  bit<16> l4_dst_port;
+  bit<1> admit_to_l3;
+  bit<1> vlan_admitted;
+}
+
+@name("wan")
+control ingress(inout headers_t headers,
+                inout local_metadata_t local_metadata,
+                inout standard_metadata_t standard_metadata) {
+
+  action drop() { mark_to_drop(); }
+
+  action vlan_admit() { local_metadata.vlan_admitted = 1; }
+
+  action set_vrf(@refers_to(vrf_table, vrf_id) vrf_id_t vrf_id) {
+    local_metadata.vrf_id = vrf_id;
+  }
+
+  action set_nexthop_id(@refers_to(nexthop_table, nexthop_id) nexthop_id_t nexthop_id) {
+    local_metadata.nexthop_id = nexthop_id;
+  }
+
+  action set_wcmp_group_id(@refers_to(wcmp_group_table, wcmp_group_id) wcmp_group_id_t wcmp_group_id) {
+    local_metadata.wcmp_group_id = wcmp_group_id;
+  }
+
+  action set_nexthop(
+      @refers_to(router_interface_table, router_interface_id) router_interface_id_t router_interface_id,
+      @refers_to(neighbor_table, neighbor_id) neighbor_id_t neighbor_id) {
+    local_metadata.router_interface_id = router_interface_id;
+    local_metadata.neighbor_id = neighbor_id;
+  }
+
+  action set_nexthop_and_tunnel(
+      @refers_to(router_interface_table, router_interface_id) router_interface_id_t router_interface_id,
+      @refers_to(neighbor_table, neighbor_id) neighbor_id_t neighbor_id,
+      @refers_to(tunnel_table, tunnel_id) tunnel_id_t tunnel_id) {
+    local_metadata.router_interface_id = router_interface_id;
+    local_metadata.neighbor_id = neighbor_id;
+    local_metadata.tunnel_id = tunnel_id;
+  }
+
+  action set_dst_mac(ethernet_addr_t dst_mac) {
+    headers.ethernet.dst_addr = dst_mac;
+  }
+
+  action set_port_and_src_mac(port_id_t port, ethernet_addr_t src_mac) {
+    set_egress_port(port);
+    headers.ethernet.src_addr = src_mac;
+  }
+
+  // GRE-in-IPv4 encapsulation: the current IPv4 header becomes the inner
+  // header and a fresh outer IPv4+GRE pair is pushed.
+  action encap_gre(ipv4_addr_t encap_src, ipv4_addr_t encap_dst) {
+    headers.inner_ipv4.setValid();
+    headers.inner_ipv4.dscp = headers.ipv4.dscp;
+    headers.inner_ipv4.ecn = headers.ipv4.ecn;
+    headers.inner_ipv4.identification = headers.ipv4.identification;
+    headers.inner_ipv4.ttl = headers.ipv4.ttl;
+    headers.inner_ipv4.protocol = headers.ipv4.protocol;
+    headers.inner_ipv4.src_addr = headers.ipv4.src_addr;
+    headers.inner_ipv4.dst_addr = headers.ipv4.dst_addr;
+    headers.gre.setValid();
+    headers.gre.protocol = 0x0800;
+    headers.ipv4.src_addr = encap_src;
+    headers.ipv4.dst_addr = encap_dst;
+    headers.ipv4.protocol = 47;
+    headers.ipv4.ttl = 64;
+  }
+
+  action admit_to_l3() { local_metadata.admit_to_l3 = 1; }
+
+  action acl_drop() { mark_to_drop(); }
+  action acl_trap() { punt_to_cpu(); }
+  action acl_copy() { copy_to_cpu(); }
+  action acl_mirror(
+      @refers_to(mirror_session_table, mirror_session_id) mirror_session_id_t mirror_session_id) {
+    local_metadata.mirror_session_id = mirror_session_id;
+    mirror(mirror_session_id);
+  }
+  action acl_forward() { no_op(); }
+
+  action set_mirror_port(port_id_t port) { no_op(); }
+
+  @entry_restriction("vrf_id != 0")
+  table vrf_table {
+    key = { local_metadata.vrf_id : exact @name("vrf_id"); }
+    actions = { no_action; }
+    const default_action = no_action;
+    size = VRF_TABLE_SIZE;
+  }
+
+  // VLANs 0 and 4095 are reserved by the hardware.
+  @entry_restriction("vlan_id != 0; vlan_id != 4095")
+  table vlan_table {
+    key = { headers.vlan.vlan_id : exact @name("vlan_id"); }
+    actions = { vlan_admit; }
+    size = VLAN_TABLE_SIZE;
+  }
+
+  table acl_pre_ingress_table {
+    key = {
+      headers.ethernet.src_addr : ternary @name("src_mac");
+      headers.ipv4.dst_addr : ternary @name("dst_ip");
+      headers.ipv6.dst_addr : ternary @name("dst_ipv6");
+      headers.ipv4.dscp : ternary @name("dscp");
+      headers.ipv4.isValid() : optional @name("is_ipv4");
+      headers.ipv6.isValid() : optional @name("is_ipv6");
+    }
+    actions = { set_vrf; }
+    const default_action = no_action;
+    size = ACL_PRE_INGRESS_TABLE_SIZE;
+  }
+
+  table ipv4_table {
+    key = {
+      local_metadata.vrf_id : exact @refers_to(vrf_table, vrf_id) @name("vrf_id");
+      headers.ipv4.dst_addr : lpm @name("ipv4_dst");
+    }
+    actions = { drop; set_nexthop_id; set_wcmp_group_id; }
+    const default_action = drop;
+    size = IPV4_TABLE_SIZE;
+  }
+
+  table ipv6_table {
+    key = {
+      local_metadata.vrf_id : exact @refers_to(vrf_table, vrf_id) @name("vrf_id");
+      headers.ipv6.dst_addr : lpm @name("ipv6_dst");
+    }
+    actions = { drop; set_nexthop_id; set_wcmp_group_id; }
+    const default_action = drop;
+    size = IPV6_TABLE_SIZE;
+  }
+
+  table wcmp_group_table {
+    key = { local_metadata.wcmp_group_id : exact @name("wcmp_group_id"); }
+    actions = { set_nexthop_id; }
+    implementation = action_selector;
+    size = WCMP_GROUP_TABLE_SIZE;
+  }
+
+  table nexthop_table {
+    key = { local_metadata.nexthop_id : exact @name("nexthop_id"); }
+    actions = { set_nexthop; set_nexthop_and_tunnel; }
+    size = NEXTHOP_TABLE_SIZE;
+  }
+
+  // Tunnel endpoints are a bounded resource; the encap source address must
+  // not be the unspecified address.
+  @entry_restriction("tunnel_id != 0")
+  table tunnel_table {
+    key = { local_metadata.tunnel_id : exact @name("tunnel_id"); }
+    actions = { encap_gre; }
+    size = TUNNEL_TABLE_SIZE;
+  }
+
+  table neighbor_table {
+    key = {
+      local_metadata.router_interface_id : exact @refers_to(router_interface_table, router_interface_id) @name("router_interface_id");
+      local_metadata.neighbor_id : exact @name("neighbor_id");
+    }
+    actions = { set_dst_mac; }
+    size = NEIGHBOR_TABLE_SIZE;
+  }
+
+  table router_interface_table {
+    key = { local_metadata.router_interface_id : exact @name("router_interface_id"); }
+    actions = { set_port_and_src_mac; }
+    size = ROUTER_INTERFACE_TABLE_SIZE;
+  }
+
+  table l3_admit_table {
+    key = {
+      headers.ethernet.dst_addr : ternary @name("dst_mac");
+      standard_metadata.ingress_port : ternary @name("in_port");
+    }
+    actions = { admit_to_l3; }
+    size = L3_ADMIT_TABLE_SIZE;
+  }
+
+  @entry_restriction("ttl::mask != 0 -> (is_ipv4 == 1 || is_ipv6 == 1); icmp_type::mask != 0 -> ip_protocol::value == 1; l4_dst_port::mask != 0 -> (ip_protocol::value == 6 || ip_protocol::value == 17)")
+  table acl_ingress_table {
+    key = {
+      headers.ipv4.isValid() : optional @name("is_ipv4");
+      headers.ipv6.isValid() : optional @name("is_ipv6");
+      headers.vlan.isValid() : optional @name("is_vlan");
+      headers.ethernet.ether_type : ternary @name("ether_type");
+      headers.ethernet.dst_addr : ternary @name("dst_mac");
+      headers.ipv4.src_addr : ternary @name("src_ip");
+      headers.ipv4.ttl : ternary @name("ttl");
+      headers.ipv4.protocol : ternary @name("ip_protocol");
+      headers.icmp.type : ternary @name("icmp_type");
+      local_metadata.l4_src_port : ternary @name("l4_src_port");
+      local_metadata.l4_dst_port : ternary @name("l4_dst_port");
+    }
+    actions = { acl_drop; acl_trap; acl_copy; acl_mirror; acl_forward; }
+    size = ACL_INGRESS_TABLE_SIZE;
+  }
+
+  table mirror_session_table {
+    key = { local_metadata.mirror_session_id : exact @name("mirror_session_id"); }
+    actions = { set_mirror_port; }
+    size = MIRROR_SESSION_TABLE_SIZE;
+  }
+
+  apply {
+    // Packets are dropped unless some action sets an egress port
+    // (mirroring the simulator's invalid drop port default).
+    mark_to_drop();
+
+    if (headers.tcp.isValid()) {
+      local_metadata.l4_src_port = headers.tcp.src_port;
+      local_metadata.l4_dst_port = headers.tcp.dst_port;
+    }
+    if (headers.udp.isValid()) {
+      local_metadata.l4_src_port = headers.udp.src_port;
+      local_metadata.l4_dst_port = headers.udp.dst_port;
+    }
+
+    // VLAN admission: tagged packets must be on a configured VLAN.
+    if (headers.vlan.isValid()) {
+      vlan_table.apply();
+      if (local_metadata.vlan_admitted == 0) {
+        mark_to_drop();
+        exit;
+      }
+    }
+
+    // GRE decapsulation of tunnel-terminated packets.
+    if (headers.gre.isValid()) {
+      if (headers.inner_ipv4.isValid()) {
+        headers.ipv4.dscp = headers.inner_ipv4.dscp;
+        headers.ipv4.ecn = headers.inner_ipv4.ecn;
+        headers.ipv4.identification = headers.inner_ipv4.identification;
+        headers.ipv4.ttl = headers.inner_ipv4.ttl;
+        headers.ipv4.protocol = headers.inner_ipv4.protocol;
+        headers.ipv4.src_addr = headers.inner_ipv4.src_addr;
+        headers.ipv4.dst_addr = headers.inner_ipv4.dst_addr;
+        headers.inner_ipv4.setInvalid();
+        headers.gre.setInvalid();
+      }
+    }
+
+    acl_pre_ingress_table.apply();
+    vrf_table.apply();
+    l3_admit_table.apply();
+
+    if (local_metadata.admit_to_l3 == 1) {
+      if (headers.ipv4.isValid()) {
+        if (headers.ipv4.ttl <= 1) {
+          punt_to_cpu();
+        } else {
+          ipv4_table.apply();
+        }
+      } else {
+        if (headers.ipv6.isValid()) {
+          if (headers.ipv6.hop_limit <= 1) {
+            punt_to_cpu();
+          } else {
+            ipv6_table.apply();
+          }
+        }
+      }
+      if (local_metadata.wcmp_group_id != 0) {
+        wcmp_group_table.apply();
+      }
+      if (local_metadata.nexthop_id != 0) {
+        nexthop_table.apply();
+        neighbor_table.apply();
+        router_interface_table.apply();
+        // GRE-in-IPv4 encapsulation only applies to IPv4 payloads.
+        if (local_metadata.tunnel_id != 0) {
+          if (headers.ipv4.isValid()) {
+            tunnel_table.apply();
+          }
+        }
+        if (headers.ipv4.isValid()) {
+          headers.ipv4.ttl = headers.ipv4.ttl - 1;
+        }
+        if (headers.ipv6.isValid()) {
+          headers.ipv6.hop_limit = headers.ipv6.hop_limit - 1;
+        }
+      }
+    }
+
+    acl_ingress_table.apply();
+
+    // Translate the mirror session chosen by the ACL to its destination
+    // port (the logical mirror table of §3 "Mirror Sessions").
+    if (local_metadata.mirror_session_id != 0) {
+      mirror_session_table.apply();
+    }
+  }
+}
+
+control egress(inout headers_t headers,
+               inout local_metadata_t local_metadata,
+               inout standard_metadata_t standard_metadata) {
+
+  action acl_egress_drop() { mark_to_drop(); }
+
+  @entry_restriction("ether_type::mask != 0 -> ether_type::value != 0x0800")
+  table acl_egress_table {
+    key = {
+      headers.ethernet.ether_type : ternary @name("ether_type");
+      headers.ipv4.protocol : ternary @name("ip_protocol");
+      standard_metadata.egress_port : ternary @name("out_port");
+    }
+    actions = { acl_egress_drop; }
+    size = ACL_EGRESS_TABLE_SIZE;
+  }
+
+  apply {
+    acl_egress_table.apply();
+  }
+}
