@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+# ci is the gate every change must pass: build, vet, and the full test
+# suite under the race detector.
+ci: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench reruns the paper-evaluation benchmarks once each.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

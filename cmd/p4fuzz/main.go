@@ -25,6 +25,9 @@ func main() {
 	requests := flag.Int("requests", 1000, "number of write batches")
 	updates := flag.Int("updates", 50, "updates per batch")
 	seed := flag.Int64("seed", 1, "random seed")
+	coverageGuided := flag.Bool("coverage", false, "coverage-guided generation; prints the coverage table and writes -coverage-out")
+	coverageOut := flag.String("coverage-out", "coverage.json", "coverage snapshot output path (with -coverage)")
+	plateau := flag.Int("plateau", 0, "stop after N consecutive batches with no new coverage (0 = never)")
 	flag.Parse()
 
 	prog, err := models.Load(*role)
@@ -55,12 +58,17 @@ func main() {
 		Seed:              *seed,
 		NumRequests:       *requests,
 		UpdatesPerRequest: *updates,
+		CoverageGuided:    *coverageGuided,
+		PlateauBatches:    *plateau,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("p4-fuzzer: %d batches, %d fuzzed entries in %v (%.0f entries/s)\n",
 		rep.Batches, rep.Updates, rep.Elapsed.Round(1e6), rep.EntriesPerSecond())
+	if rep.PlateauStopped {
+		fmt.Printf("stopped early: coverage plateaued for %d batches\n", *plateau)
+	}
 	fmt.Printf("verdicts: %d must-accept, %d must-reject, %d may-reject\n",
 		rep.MustAccept, rep.MustReject, rep.MayReject)
 	var names []string
@@ -75,6 +83,17 @@ func main() {
 	fmt.Printf("incidents: %d\n", len(rep.Incidents))
 	for _, inc := range rep.Incidents {
 		fmt.Printf("  %s\n", inc)
+	}
+	if *coverageGuided && rep.Coverage != nil {
+		fmt.Printf("\n== coverage ==\n%s", rep.Coverage.Table())
+		data, err := rep.Coverage.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*coverageOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("coverage snapshot written to %s\n", *coverageOut)
 	}
 	if len(rep.Incidents) > 0 {
 		os.Exit(1)

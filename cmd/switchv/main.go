@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"switchv/internal/coverage"
 	"switchv/internal/fuzzer"
 	"switchv/internal/p4/p4info"
 	"switchv/internal/p4rt"
@@ -36,6 +37,9 @@ func main() {
 	churn := flag.Bool("churn", false, "re-apply entries with MODIFY before testing")
 	skipFuzz := flag.Bool("skip-fuzz", false, "skip control plane fuzzing")
 	skipData := flag.Bool("skip-dataplane", false, "skip data plane validation")
+	coverageGuided := flag.Bool("coverage", false, "coverage-guided fuzzing; prints the coverage table and writes -coverage-out")
+	coverageOut := flag.String("coverage-out", "coverage.json", "coverage snapshot output path (with -coverage)")
+	plateau := flag.Int("plateau", 0, "stop fuzzing after N consecutive batches with no new coverage (0 = never)")
 	flag.Parse()
 
 	prog, err := models.Load(*role)
@@ -76,12 +80,22 @@ func main() {
 	fmt.Printf("SwitchV: validating %s switch against model %q (%d tables)\n",
 		*role, prog.Name, len(prog.Tables))
 
+	// One coverage map spans both campaigns: control-plane accepts and
+	// data-plane trace hits land in the same table/action counters.
+	var cov *coverage.Map
+	if *coverageGuided {
+		cov = coverage.NewMap(info)
+	}
+
 	incidents := 0
 	if !*skipFuzz {
 		rep, err := h.RunControlPlane(fuzzer.Options{
 			Seed:              *seed,
 			NumRequests:       *requests,
 			UpdatesPerRequest: *updates,
+			CoverageGuided:    *coverageGuided,
+			Coverage:          cov,
+			PlateauBatches:    *plateau,
 		})
 		if err != nil {
 			log.Fatalf("control plane campaign: %v", err)
@@ -90,6 +104,9 @@ func main() {
 		fmt.Printf("batches: %d  updates: %d (%.0f entries/s)\n", rep.Batches, rep.Updates, rep.EntriesPerSecond())
 		fmt.Printf("verdicts: %d must-accept, %d must-reject, %d may-reject\n",
 			rep.MustAccept, rep.MustReject, rep.MayReject)
+		if rep.PlateauStopped {
+			fmt.Printf("stopped early: coverage plateaued for %d batches\n", *plateau)
+		}
 		fmt.Printf("incidents: %d\n", len(rep.Incidents))
 		printIncidents(rep.Incidents)
 		incidents += len(rep.Incidents)
@@ -101,7 +118,7 @@ func main() {
 		if *branches {
 			mode = symbolic.CoverBranches
 		}
-		rep, err := h.RunDataPlane(ents, switchv.DataPlaneOptions{Coverage: mode, Churn: *churn})
+		rep, err := h.RunDataPlane(ents, switchv.DataPlaneOptions{Coverage: mode, Churn: *churn, CoverageMap: cov})
 		if err != nil {
 			log.Fatalf("data plane campaign: %v", err)
 		}
@@ -112,6 +129,19 @@ func main() {
 		fmt.Printf("incidents: %d\n", len(rep.Incidents))
 		printIncidents(rep.Incidents)
 		incidents += len(rep.Incidents)
+	}
+
+	if cov != nil {
+		snap := cov.Snapshot()
+		fmt.Printf("\n== coverage ==\n%s", snap.Table())
+		data, err := snap.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*coverageOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("coverage snapshot written to %s\n", *coverageOut)
 	}
 
 	if incidents > 0 {

@@ -1,0 +1,457 @@
+// Package coverage is SwitchV's greybox feedback subsystem: it keeps a
+// campaign-wide map of which regions of the P4 model have been exercised
+// and feeds that map back into generation (FP4-style energy scheduling,
+// see Guide).
+//
+// The coverage model is keyed on the P4 IR:
+//
+//   - per-table control-plane counters (updates generated, updates the
+//     switch accepted),
+//   - per-(table, action) counters (action chosen by the generator,
+//     action invoked during data-plane execution),
+//   - per-table data-plane hit/miss counters and per-entry hit bits,
+//     harvested from bmv2/switchsim execution traces,
+//   - per-mutation-class × verdict outcome counters from the oracle, and
+//   - per-goal bits seeded from the symbolic trace map's goal list.
+//
+// Counters are concurrent-safe and cheap: points known at construction
+// time (everything derivable from the model) live in a flat slice of
+// atomics addressed by a read-only index, and dynamic points (entry keys,
+// goals, verdict outcomes) live in sharded maps of atomics so the fuzz
+// hot loop pays near-zero synchronization overhead.
+package coverage
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"switchv/internal/p4/p4info"
+)
+
+// Well-known key constructors. Every coverage point is a string key; the
+// constructors keep the namespace consistent across producers.
+
+// KeyTableWrite counts generated updates targeting a table.
+func KeyTableWrite(table string) string { return "table:" + table + ":write" }
+
+// KeyTableAccept counts updates the switch accepted for a table.
+func KeyTableAccept(table string) string { return "table:" + table + ":accept" }
+
+// KeyTableHit counts data-plane traversals that matched some entry.
+func KeyTableHit(table string) string { return "table:" + table + ":hit" }
+
+// KeyTableMiss counts data-plane traversals that fell to the default.
+func KeyTableMiss(table string) string { return "table:" + table + ":miss" }
+
+// KeyActionSelect counts accepted entries programmed with an action.
+func KeyActionSelect(table, action string) string {
+	return "action:" + table + ":" + action + ":select"
+}
+
+// KeyActionInvoke counts data-plane invocations of an action.
+func KeyActionInvoke(table, action string) string {
+	return "action:" + table + ":" + action + ":invoke"
+}
+
+// KeyEntryHit is the data-plane hit bit of one concrete entry.
+func KeyEntryHit(table, entryKey string) string { return "entry:" + table + ":" + entryKey }
+
+// KeyMutation counts applications of one mutation class.
+func KeyMutation(class string) string { return "mutation:" + class }
+
+// KeyMutationOutcome is one (mutation class, verdict, switch decision)
+// cell; class "" means an intended-valid update.
+func KeyMutationOutcome(class, verdict string, accepted bool) string {
+	if class == "" {
+		class = "valid"
+	}
+	return "outcome:" + class + ":" + verdict + ":" + decision(accepted)
+}
+
+// KeyVerdictOutcome is the oracle's per-table (verdict, switch decision)
+// accounting cell.
+func KeyVerdictOutcome(table, verdict string, accepted bool) string {
+	return "verdict:" + table + ":" + verdict + ":" + decision(accepted)
+}
+
+// KeyGoal is the bit of one symbolic coverage goal (trace-map key).
+func KeyGoal(goal string) string { return "goal:" + goal }
+
+func decision(accepted bool) string {
+	if accepted {
+		return "accepted"
+	}
+	return "rejected"
+}
+
+// shardCount must be a power of two.
+const shardCount = 16
+
+type shard struct {
+	mu     sync.RWMutex
+	counts map[string]*atomic.Int64
+}
+
+// Map is the concurrent coverage map of one campaign.
+type Map struct {
+	// static holds the model-derived counters; staticIdx is read-only
+	// after New, so lookups need no locking.
+	static    []atomic.Int64
+	staticIdx map[string]int
+	staticKey []string
+
+	shards [shardCount]shard
+
+	// covered counts distinct points with count > 0 (static or dynamic);
+	// universe counts registered points (static plus Register calls).
+	covered  atomic.Int64
+	universe atomic.Int64
+
+	// tablesAccepted counts tables whose accept counter went nonzero; it
+	// is the "tables covered" metric of campaign trajectories.
+	tablesAccepted atomic.Int64
+	acceptIdx      []int // static indexes of the per-table accept counters
+}
+
+// NewMap allocates a map with every model-derived point pre-registered at
+// count zero: per-table write/accept/hit/miss and per-(table, action)
+// select/invoke.
+func NewMap(info *p4info.Info) *Map {
+	m := &Map{staticIdx: map[string]int{}}
+	add := func(key string) int {
+		// Idempotent: a table's default action may also appear in its
+		// action list, so its invoke key comes up twice.
+		if idx, ok := m.staticIdx[key]; ok {
+			return idx
+		}
+		idx := len(m.staticKey)
+		m.staticIdx[key] = idx
+		m.staticKey = append(m.staticKey, key)
+		return idx
+	}
+	for _, t := range info.Tables() {
+		add(KeyTableWrite(t.Name))
+		m.acceptIdx = append(m.acceptIdx, add(KeyTableAccept(t.Name)))
+		add(KeyTableHit(t.Name))
+		add(KeyTableMiss(t.Name))
+		for _, a := range t.Actions {
+			add(KeyActionSelect(t.Name, a.Name))
+			add(KeyActionInvoke(t.Name, a.Name))
+		}
+		add(KeyActionInvoke(t.Name, t.DefaultAction.Name))
+	}
+	m.static = make([]atomic.Int64, len(m.staticKey))
+	m.universe.Store(int64(len(m.staticKey)))
+	for i := range m.shards {
+		m.shards[i].counts = map[string]*atomic.Int64{}
+	}
+	return m
+}
+
+func (m *Map) shardOf(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &m.shards[h.Sum32()&(shardCount-1)]
+}
+
+// counter returns the dynamic counter cell for a key, creating it (at
+// zero) on first use. The fast path is a read-locked map lookup.
+func (m *Map) counter(key string) *atomic.Int64 {
+	s := m.shardOf(key)
+	s.mu.RLock()
+	c := s.counts[key]
+	s.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c = s.counts[key]; c == nil {
+		c = &atomic.Int64{}
+		s.counts[key] = c
+	}
+	return c
+}
+
+// Register adds a dynamic point to the universe at count zero (idempotent
+// for already-known keys). Use it to seed the denominator with points the
+// campaign is expected to reach, e.g. the symbolic trace map's goals.
+func (m *Map) Register(key string) {
+	if _, ok := m.staticIdx[key]; ok {
+		return
+	}
+	s := m.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.counts[key]; !ok {
+		s.counts[key] = &atomic.Int64{}
+		m.universe.Add(1)
+	}
+}
+
+// Inc bumps a point by one and returns its new count.
+func (m *Map) Inc(key string) int64 {
+	var n int64
+	if idx, ok := m.staticIdx[key]; ok {
+		n = m.static[idx].Add(1)
+	} else {
+		n = m.counter(key).Add(1)
+	}
+	if n == 1 {
+		m.covered.Add(1)
+	}
+	return n
+}
+
+// Count reads a point's count (0 for unknown keys).
+func (m *Map) Count(key string) int64 {
+	if idx, ok := m.staticIdx[key]; ok {
+		return m.static[idx].Load()
+	}
+	s := m.shardOf(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if c := s.counts[key]; c != nil {
+		return c.Load()
+	}
+	return 0
+}
+
+// Covered returns the number of distinct points exercised at least once.
+func (m *Map) Covered() int64 { return m.covered.Load() }
+
+// Universe returns the number of registered points (the denominator of
+// the campaign's coverage percentage).
+func (m *Map) Universe() int64 { return m.universe.Load() }
+
+// TablesAccepted returns how many tables have at least one accepted
+// update — the "tables covered" metric of control-plane campaigns.
+func (m *Map) TablesAccepted() int { return int(m.tablesAccepted.Load()) }
+
+// Typed recording helpers. All are safe for concurrent use.
+
+// NoteWrite records a generated update targeting a table.
+func (m *Map) NoteWrite(table string) { m.Inc(KeyTableWrite(table)) }
+
+// NoteAccept records a switch-accepted update for a table.
+func (m *Map) NoteAccept(table string) {
+	if m.Inc(KeyTableAccept(table)) == 1 {
+		m.tablesAccepted.Add(1)
+	}
+}
+
+// NoteActionSelect records that an accepted entry programs an action.
+func (m *Map) NoteActionSelect(table, action string) { m.Inc(KeyActionSelect(table, action)) }
+
+// NoteMutation records one application of a mutation class.
+func (m *Map) NoteMutation(class string) { m.Inc(KeyMutation(class)) }
+
+// NoteMutationOutcome records a (mutation class, oracle verdict, switch
+// decision) observation; class "" means intended-valid.
+func (m *Map) NoteMutationOutcome(class, verdict string, accepted bool) {
+	m.Inc(KeyMutationOutcome(class, verdict, accepted))
+}
+
+// NoteVerdictOutcome records the oracle's per-table verdict accounting.
+func (m *Map) NoteVerdictOutcome(table, verdict string, accepted bool) {
+	m.Inc(KeyVerdictOutcome(table, verdict, accepted))
+}
+
+// NoteDataPlaneHit records one table traversal from an execution trace:
+// entryKey "" means the default action fired (a miss).
+func (m *Map) NoteDataPlaneHit(table, entryKey, action string) {
+	if entryKey == "" {
+		m.Inc(KeyTableMiss(table))
+	} else {
+		m.Inc(KeyTableHit(table))
+		m.Inc(KeyEntryHit(table, entryKey))
+	}
+	m.Inc(KeyActionInvoke(table, action))
+}
+
+// NoteGoal records that a symbolic coverage goal was exercised.
+func (m *Map) NoteGoal(goal string) { m.Inc(KeyGoal(goal)) }
+
+// Snapshot is an immutable copy of the map at one instant.
+type Snapshot struct {
+	Universe int64            `json:"universe"`
+	Covered  int64            `json:"covered"`
+	Counts   map[string]int64 `json:"counts"`
+}
+
+// Snapshot copies every known point, including registered zero-count ones
+// (so consumers can compute covered-of-universe).
+func (m *Map) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Universe: m.Universe(),
+		Covered:  m.Covered(),
+		Counts:   make(map[string]int64, len(m.staticKey)),
+	}
+	for i, key := range m.staticKey {
+		snap.Counts[key] = m.static[i].Load()
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for key, c := range s.counts {
+			snap.Counts[key] = c.Load()
+		}
+		s.mu.RUnlock()
+	}
+	return snap
+}
+
+// Diff returns the points that grew since prev: counts are deltas, and
+// Covered is the number of points newly covered (0 → nonzero).
+func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
+	d := &Snapshot{Universe: s.Universe, Counts: map[string]int64{}}
+	for key, n := range s.Counts {
+		var old int64
+		if prev != nil {
+			old = prev.Counts[key]
+		}
+		if n > old {
+			d.Counts[key] = n - old
+			if old == 0 && n > 0 {
+				d.Covered++
+			}
+		}
+	}
+	return d
+}
+
+// JSON renders the snapshot for coverage.json (stable key order courtesy
+// of encoding/json's map sorting).
+func (s *Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// CoveredInUniverse is the number of registered points exercised at
+// least once. Points outside the universe (unregistered dynamic keys,
+// e.g. entry hit bits and outcome cells) are excluded.
+func (s *Snapshot) CoveredInUniverse() int {
+	covered := 0
+	for _, n := range s.Counts {
+		if n > 0 {
+			covered++
+		}
+	}
+	// Counts holds registered zero-count keys and exercised dynamic keys;
+	// the registered-and-covered intersection is covered keys minus the
+	// dynamic surplus.
+	surplus := len(s.Counts) - int(s.Universe)
+	if surplus < 0 {
+		surplus = 0
+	}
+	covered -= surplus
+	if covered < 0 {
+		covered = 0
+	}
+	return covered
+}
+
+// Percent is covered-of-universe as a percentage (0 when the universe is
+// empty).
+func (s *Snapshot) Percent() float64 {
+	if s.Universe == 0 {
+		return 0
+	}
+	return 100 * float64(s.CoveredInUniverse()) / float64(s.Universe)
+}
+
+// Table renders the per-group coverage table campaigns print with the
+// -coverage flag.
+func (s *Snapshot) Table() string {
+	type row struct {
+		name         string
+		write, acc   int64
+		hit, miss    int64
+		entries      int64
+		actions      int
+		actionsTotal int
+	}
+	rows := map[string]*row{}
+	get := func(name string) *row {
+		r := rows[name]
+		if r == nil {
+			r = &row{name: name}
+			rows[name] = r
+		}
+		return r
+	}
+	goalsCovered, goalsTotal := 0, 0
+	mutations := map[string]int64{}
+	for key, n := range s.Counts {
+		parts := strings.Split(key, ":")
+		switch parts[0] {
+		case "table":
+			r := get(parts[1])
+			switch parts[len(parts)-1] {
+			case "write":
+				r.write = n
+			case "accept":
+				r.acc = n
+			case "hit":
+				r.hit = n
+			case "miss":
+				r.miss = n
+			}
+		case "action":
+			if parts[len(parts)-1] == "invoke" {
+				r := get(parts[1])
+				r.actionsTotal++
+				if n > 0 {
+					r.actions++
+				}
+			}
+		case "entry":
+			if n > 0 {
+				get(parts[1]).entries++
+			}
+		case "goal":
+			goalsTotal++
+			if n > 0 {
+				goalsCovered++
+			}
+		case "mutation":
+			mutations[parts[1]] = n
+		}
+	}
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %8s %8s %8s %8s %8s %10s\n",
+		"table", "writes", "accepts", "hits", "misses", "entries", "actions")
+	for _, name := range names {
+		r := rows[name]
+		fmt.Fprintf(&b, "%-28s %8d %8d %8d %8d %8d %6d/%d\n",
+			r.name, r.write, r.acc, r.hit, r.miss, r.entries, r.actions, r.actionsTotal)
+	}
+	if goalsTotal > 0 {
+		fmt.Fprintf(&b, "symbolic goals covered: %d/%d\n", goalsCovered, goalsTotal)
+	}
+	if len(mutations) > 0 {
+		classes := make([]string, 0, len(mutations))
+		for c := range mutations {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		fmt.Fprintf(&b, "mutation classes applied: %d (", len(classes))
+		for i, c := range classes {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%d", c, mutations[c])
+		}
+		b.WriteString(")\n")
+	}
+	fmt.Fprintf(&b, "coverage points: %d/%d model points covered (%.1f%%), %d total incl. dynamic\n",
+		s.CoveredInUniverse(), s.Universe, s.Percent(), s.Covered)
+	return b.String()
+}

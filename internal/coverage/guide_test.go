@@ -1,0 +1,157 @@
+package coverage
+
+import (
+	"math/rand"
+	"testing"
+
+	"switchv/internal/p4/p4info"
+	"switchv/models"
+)
+
+func TestWeightedRespectsWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Index 1 carries all the weight; it must always win.
+	for i := 0; i < 100; i++ {
+		if got := weighted(rng, []float64{0, 5, 0}); got != 1 {
+			t.Fatalf("weighted picked %d with zero weight", got)
+		}
+	}
+	// All-zero weights fall back to uniform (never panic, stay in range).
+	for i := 0; i < 100; i++ {
+		if got := weighted(rng, []float64{0, 0, 0}); got < 0 || got > 2 {
+			t.Fatalf("weighted out of range: %d", got)
+		}
+	}
+}
+
+func TestEnergyDecays(t *testing.T) {
+	if energy(0) != 1 {
+		t.Fatalf("energy(0) = %v, want 1", energy(0))
+	}
+	if !(energy(10) < energy(1) && energy(1) < energy(0)) {
+		t.Fatalf("energy not monotonically decreasing: %v %v %v",
+			energy(0), energy(1), energy(10))
+	}
+}
+
+func TestPickTableBiasesTowardUncovered(t *testing.T) {
+	info := p4info.New(models.Middleblock())
+	m := NewMap(info)
+	g := NewGuide(m)
+	tables := info.Tables()
+	if len(tables) < 3 {
+		t.Skip("model too small")
+	}
+	// Make table 0 extremely hot; the rest stay cold.
+	for i := 0; i < 1000; i++ {
+		m.NoteAccept(tables[0].Name)
+	}
+	rng := rand.New(rand.NewSource(42))
+	hot := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		if g.PickTable(rng, tables) == tables[0] {
+			hot++
+		}
+	}
+	// Uniform would give draws/len(tables); energy scheduling should push
+	// the hot table far below that.
+	uniform := draws / len(tables)
+	if hot >= uniform/2 {
+		t.Fatalf("hot table drawn %d times; want well under uniform share %d", hot, uniform)
+	}
+}
+
+func TestPickActionBiasesTowardUncovered(t *testing.T) {
+	info := p4info.New(models.Middleblock())
+	m := NewMap(info)
+	g := NewGuide(m)
+	var multi *p4info.Info
+	_ = multi
+	for _, tab := range info.Tables() {
+		if len(tab.Actions) < 2 {
+			continue
+		}
+		for i := 0; i < 1000; i++ {
+			m.NoteActionSelect(tab.Name, tab.Actions[0].Name)
+		}
+		rng := rand.New(rand.NewSource(7))
+		hot := 0
+		const draws = 1000
+		for i := 0; i < draws; i++ {
+			if g.PickAction(rng, tab) == tab.Actions[0] {
+				hot++
+			}
+		}
+		uniform := draws / len(tab.Actions)
+		if hot >= uniform/2 {
+			t.Fatalf("%s: hot action drawn %d times; want well under uniform share %d",
+				tab.Name, hot, uniform)
+		}
+		return
+	}
+	t.Skip("no multi-action table in model")
+}
+
+// TestGuideDeterminism is the seeded-schedule guarantee: the same seed
+// plus the same coverage state must produce the same draw sequence.
+func TestGuideDeterminism(t *testing.T) {
+	info := p4info.New(models.Middleblock())
+	build := func() (*Guide, *rand.Rand) {
+		m := NewMap(info)
+		m.NoteAccept(info.Tables()[0].Name)
+		m.NoteMutation("InvalidTableID")
+		return NewGuide(m), rand.New(rand.NewSource(99))
+	}
+	g1, r1 := build()
+	g2, r2 := build()
+	tables := info.Tables()
+	names := []string{"A", "B", "C", "InvalidTableID", "D"}
+	for i := 0; i < 200; i++ {
+		if g1.PickTable(r1, tables) != g2.PickTable(r2, tables) {
+			t.Fatalf("table draw %d diverged", i)
+		}
+		o1 := g1.PickMutationOrder(r1, names)
+		o2 := g2.PickMutationOrder(r2, names)
+		for j := range o1 {
+			if o1[j] != o2[j] {
+				t.Fatalf("mutation order %d diverged: %v vs %v", i, o1, o2)
+			}
+		}
+	}
+}
+
+func TestPickMutationOrderIsPermutation(t *testing.T) {
+	m := NewMap(p4info.New(models.Middleblock()))
+	g := NewGuide(m)
+	rng := rand.New(rand.NewSource(3))
+	names := []string{"a", "b", "c", "d", "e"}
+	// Heat up "a" so it tends to sort late; regardless, every index must
+	// appear exactly once.
+	for i := 0; i < 100; i++ {
+		m.NoteMutation("a")
+	}
+	firstA := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		order := g.PickMutationOrder(rng, names)
+		seen := make([]bool, len(names))
+		for _, idx := range order {
+			if idx < 0 || idx >= len(names) || seen[idx] {
+				t.Fatalf("not a permutation: %v", order)
+			}
+			seen[idx] = true
+		}
+		if len(order) != len(names) {
+			t.Fatalf("order length %d, want %d", len(order), len(names))
+		}
+		if order[0] == 0 {
+			firstA++
+		}
+	}
+	// "a" has energy 1/101 vs 1 for the others; it should almost never be
+	// attempted first.
+	if firstA > trials/10 {
+		t.Fatalf("hot mutation attempted first %d/%d times", firstA, trials)
+	}
+}

@@ -9,12 +9,18 @@ import (
 	"fmt"
 	"math/rand"
 
+	"switchv/internal/coverage"
 	"switchv/internal/p4/ir"
 	"switchv/internal/p4/p4info"
 	"switchv/internal/p4/pdpi"
 	"switchv/internal/p4/value"
 	"switchv/internal/p4rt"
 )
+
+// Disabled is the sentinel for the *Fraction options meaning "exactly
+// zero": Options{MutateFraction: Disabled} runs a pure-valid campaign,
+// whereas a literal 0 means "unset, use the default".
+const Disabled = -1.0
 
 // Options configures a fuzzing campaign.
 type Options struct {
@@ -43,6 +49,18 @@ type Options struct {
 	// complement. Off by default, matching the paper's deployed system
 	// ("we currently do not enforce constraint compliance").
 	ConstraintAware bool
+	// CoverageGuided replaces uniform table/action/mutation picks with
+	// energy-weighted draws from the coverage map (greybox feedback):
+	// regions the campaign has not exercised yet are scheduled first.
+	CoverageGuided bool
+	// Coverage is the map consulted and updated by the campaign. New
+	// allocates one when nil; campaigns that share coverage across
+	// components (e.g. the switchv harness) inject theirs here.
+	Coverage *coverage.Map
+	// PlateauBatches stops the campaign once this many consecutive
+	// batches add no new coverage point (0 = run the full campaign).
+	// Enforced by the harness, which observes per-batch deltas.
+	PlateauBatches int
 }
 
 func (o *Options) setDefaults() {
@@ -52,15 +70,19 @@ func (o *Options) setDefaults() {
 	if o.UpdatesPerRequest == 0 {
 		o.UpdatesPerRequest = 50
 	}
-	if o.MutateFraction == 0 {
-		o.MutateFraction = 0.3
+	// 0 means "unset" for the fractions; Disabled (negative) means an
+	// explicit zero, so pure-valid or delete-free campaigns are possible.
+	frac := func(v *float64, def float64) {
+		switch {
+		case *v == 0:
+			*v = def
+		case *v < 0:
+			*v = 0
+		}
 	}
-	if o.DeleteFraction == 0 {
-		o.DeleteFraction = 0.15
-	}
-	if o.ModifyFraction == 0 {
-		o.ModifyFraction = 0.1
-	}
+	frac(&o.MutateFraction, 0.3)
+	frac(&o.DeleteFraction, 0.15)
+	frac(&o.ModifyFraction, 0.1)
 }
 
 // GeneratedUpdate is one fuzzed update with its generation metadata.
@@ -90,6 +112,11 @@ type Fuzzer struct {
 	deferred []GeneratedUpdate    // updates deferred to later batches
 	bdds     map[string]*tableBDD // compiled @entry_restriction BDDs
 
+	// cov is always non-nil (campaigns account coverage even when blind);
+	// guide is non-nil only under Options.CoverageGuided.
+	cov   *coverage.Map
+	guide *coverage.Guide
+
 	// Stats.
 	Generated    int
 	MutatedCount int
@@ -99,6 +126,9 @@ type Fuzzer struct {
 // New returns a fuzzer for the model.
 func New(info *p4info.Info, opts Options) *Fuzzer {
 	opts.setDefaults()
+	if opts.Coverage == nil {
+		opts.Coverage = coverage.NewMap(info)
+	}
 	f := &Fuzzer{
 		info:        info,
 		rng:         rand.New(rand.NewSource(opts.Seed)),
@@ -106,6 +136,13 @@ func New(info *p4info.Info, opts Options) *Fuzzer {
 		installed:   pdpi.NewStore(),
 		ranks:       map[string]int{},
 		PerMutation: map[string]int{},
+		cov:         opts.Coverage,
+	}
+	for _, name := range MutationNames() {
+		f.cov.Register(coverage.KeyMutation(name))
+	}
+	if opts.CoverageGuided {
+		f.guide = coverage.NewGuide(f.cov)
 	}
 	// Dependency ranks by fixpoint iteration (the refers_to graph is
 	// acyclic in well-formed models; bail out after |tables| rounds).
@@ -137,6 +174,9 @@ func New(info *p4info.Info, opts Options) *Fuzzer {
 // Installed exposes the fuzzer's view of the switch state (the entries it
 // believes were accepted); the harness reconciles it with oracle state.
 func (f *Fuzzer) Installed() *pdpi.Store { return f.installed }
+
+// Coverage exposes the campaign's coverage map.
+func (f *Fuzzer) Coverage() *coverage.Map { return f.cov }
 
 // TableRank returns the dependency rank of a table (0 = no dependencies).
 func (f *Fuzzer) TableRank(name string) int { return f.ranks[name] }
@@ -222,7 +262,12 @@ func (f *Fuzzer) GenerateEntry(t *ir.Table) (*pdpi.Entry, error) {
 		if len(t.Actions) == 0 {
 			return nil, fmt.Errorf("fuzzer: table %s has no actions", t.Name)
 		}
-		a := t.Actions[f.rng.Intn(len(t.Actions))]
+		var a *ir.Action
+		if f.guide != nil {
+			a = f.guide.PickAction(f.rng, t)
+		} else {
+			a = t.Actions[f.rng.Intn(len(t.Actions))]
+		}
 		inv := &pdpi.ActionInvocation{Action: a}
 		for _, p := range a.Params {
 			if p.RefersTo != nil {
@@ -275,6 +320,7 @@ func (f *Fuzzer) GenerateUpdate() (GeneratedUpdate, error) {
 					e.ActionSet = fresh.ActionSet
 				}
 			}
+			f.cov.NoteWrite(e.Table.Name)
 			upd := p4rt.Update{Type: typ, Entry: p4rt.ToWire(e)}
 			gu := GeneratedUpdate{Update: upd}
 			if f.rng.Float64() < f.opts.MutateFraction {
@@ -291,6 +337,7 @@ func (f *Fuzzer) GenerateUpdate() (GeneratedUpdate, error) {
 	if f.opts.ConstraintAware {
 		e = f.generateCompliant(t, e)
 	}
+	f.cov.NoteWrite(t.Name)
 	gu := GeneratedUpdate{Update: p4rt.Update{Type: p4rt.Insert, Entry: p4rt.ToWire(e)}}
 	if f.rng.Float64() < f.opts.MutateFraction {
 		gu = f.mutate(gu)
@@ -317,7 +364,13 @@ func (f *Fuzzer) pickTable() *ir.Table {
 		}
 	}
 	if len(ready) == 0 || f.rng.Intn(10) == 0 {
+		if f.guide != nil {
+			return f.guide.PickTable(f.rng, tables)
+		}
 		return tables[f.rng.Intn(len(tables))]
+	}
+	if f.guide != nil {
+		return f.guide.PickTable(f.rng, ready)
 	}
 	return ready[f.rng.Intn(len(ready))]
 }
@@ -331,11 +384,22 @@ func (f *Fuzzer) randomInstalled() *pdpi.Entry {
 }
 
 // NoteAccepted records that the switch accepted an update, keeping the
-// reference pool in sync.
+// reference pool in sync and crediting the coverage map: the table gets
+// an accept, and (for inserts/modifies) every programmed action gets a
+// select, which is what the guide's action energy decays on.
 func (f *Fuzzer) NoteAccepted(u p4rt.Update) {
 	e, err := p4rt.FromWire(f.info, &u.Entry)
 	if err != nil {
 		return
+	}
+	f.cov.NoteAccept(e.Table.Name)
+	if u.Type != p4rt.Delete {
+		if e.Action != nil {
+			f.cov.NoteActionSelect(e.Table.Name, e.Action.Action.Name)
+		}
+		for i := range e.ActionSet {
+			f.cov.NoteActionSelect(e.Table.Name, e.ActionSet[i].Action.Name)
+		}
 	}
 	switch u.Type {
 	case p4rt.Insert:

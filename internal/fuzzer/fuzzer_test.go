@@ -1,6 +1,7 @@
 package fuzzer
 
 import (
+	"reflect"
 	"testing"
 
 	"switchv/internal/p4/constraints"
@@ -172,6 +173,80 @@ func TestConstraintViolationMutation(t *testing.T) {
 	}
 	if hits < 5 {
 		t.Errorf("ConstraintViolation fired only %d times", hits)
+	}
+}
+
+// TestDisabledFractionSentinel is the regression test for the "explicit
+// zero" bug: Options treated MutateFraction == 0 (and Delete/Modify) as
+// unset and silently substituted the default, so a pure-valid or
+// delete-free campaign was impossible to configure.
+func TestDisabledFractionSentinel(t *testing.T) {
+	t.Run("defaults", func(t *testing.T) {
+		o := Options{}
+		o.setDefaults()
+		if o.MutateFraction != 0.3 || o.DeleteFraction != 0.15 || o.ModifyFraction != 0.1 {
+			t.Fatalf("defaults = %v/%v/%v", o.MutateFraction, o.DeleteFraction, o.ModifyFraction)
+		}
+	})
+	t.Run("disabled means zero", func(t *testing.T) {
+		o := Options{MutateFraction: Disabled, DeleteFraction: Disabled, ModifyFraction: Disabled}
+		o.setDefaults()
+		if o.MutateFraction != 0 || o.DeleteFraction != 0 || o.ModifyFraction != 0 {
+			t.Fatalf("Disabled resolved to %v/%v/%v, want 0/0/0",
+				o.MutateFraction, o.DeleteFraction, o.ModifyFraction)
+		}
+	})
+	t.Run("pure valid campaign", func(t *testing.T) {
+		f, _ := newFuzzer(t, Options{Seed: 11, MutateFraction: Disabled,
+			DeleteFraction: Disabled, ModifyFraction: Disabled})
+		for i := 0; i < 500; i++ {
+			gu, err := f.GenerateUpdate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gu.Mutation != "" {
+				t.Fatalf("update %d mutated (%s) with MutateFraction Disabled", i, gu.Mutation)
+			}
+			if gu.Update.Type != p4rt.Insert {
+				t.Fatalf("update %d is %v with Delete/ModifyFraction Disabled", i, gu.Update.Type)
+			}
+			f.NoteAccepted(gu.Update)
+		}
+		if f.MutatedCount != 0 {
+			t.Fatalf("MutatedCount = %d, want 0", f.MutatedCount)
+		}
+	})
+}
+
+// TestGuidedScheduleIsDeterministic is the seeded determinism guarantee:
+// two coverage-guided fuzzers with the same seed (and therefore the same
+// evolving coverage state) must emit identical batches.
+func TestGuidedScheduleIsDeterministic(t *testing.T) {
+	mk := func() *Fuzzer {
+		f, _ := newFuzzer(t, Options{Seed: 21, CoverageGuided: true, UpdatesPerRequest: 40})
+		return f
+	}
+	f1, f2 := mk(), mk()
+	for batch := 0; batch < 20; batch++ {
+		r1, m1, err := f1.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, m2, err := f2.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("batch %d diverged", batch)
+		}
+		if !reflect.DeepEqual(m1, m2) {
+			t.Fatalf("batch %d metadata diverged", batch)
+		}
+		// Keep both coverage states in lockstep, as a real campaign would.
+		for i := range r1.Updates {
+			f1.NoteAccepted(r1.Updates[i])
+			f2.NoteAccepted(r2.Updates[i])
+		}
 	}
 }
 

@@ -268,27 +268,44 @@ func (f *Fuzzer) mutate(gu GeneratedUpdate) GeneratedUpdate {
 		if f.mutateConstraintViolation(&u) {
 			f.MutatedCount++
 			f.PerMutation["ConstraintViolation"]++
+			f.cov.NoteMutation("ConstraintViolation")
 			return GeneratedUpdate{Update: u, Mutation: "ConstraintViolation"}
 		}
 	}
-	order := f.rng.Perm(len(mutations))
+	// Blind campaigns try the catalog in a uniform random order; guided
+	// ones order it by mutation-class energy, so classes the campaign has
+	// applied least come up first (their verdict-outcome cells are the
+	// least covered).
+	var order []int
+	if f.guide != nil {
+		order = f.guide.PickMutationOrder(f.rng, mutationNames)
+	} else {
+		order = f.rng.Perm(len(mutations))
+	}
 	for _, i := range order {
 		m := mutations[i]
 		u := gu.Update // shallow copy; apply mutates in place
 		if m.apply(f, &u) {
 			f.MutatedCount++
 			f.PerMutation[m.name]++
+			f.cov.NoteMutation(m.name)
 			return GeneratedUpdate{Update: u, Mutation: m.name}
 		}
 	}
 	return gu
 }
 
-// MutationNames lists the catalog for reporting.
-func MutationNames() []string {
+// mutationNames caches the catalog's names in catalog order (the order
+// PickMutationOrder indexes into).
+var mutationNames = func() []string {
 	out := make([]string, len(mutations))
 	for i, m := range mutations {
 		out[i] = m.name
 	}
 	return out
+}()
+
+// MutationNames lists the catalog for reporting.
+func MutationNames() []string {
+	return append([]string(nil), mutationNames...)
 }

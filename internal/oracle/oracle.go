@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 
+	"switchv/internal/coverage"
 	"switchv/internal/p4/constraints"
 	"switchv/internal/p4/p4info"
 	"switchv/internal/p4/pdpi"
@@ -71,12 +72,18 @@ func (v Violation) String() string {
 type Oracle struct {
 	info  *p4info.Info
 	state *pdpi.Store
+	cov   *coverage.Map
 }
 
 // New returns an oracle starting from an empty switch.
 func New(info *p4info.Info) *Oracle {
 	return &Oracle{info: info, state: pdpi.NewStore()}
 }
+
+// SetCoverage attaches a coverage map; CheckBatch then accounts every
+// update's (table, verdict, switch decision) cell into it, so campaigns
+// can see which verdict outcomes each table has been tested under.
+func (o *Oracle) SetCoverage(m *coverage.Map) { o.cov = m }
 
 // State exposes the oracle's last observed switch state.
 func (o *Oracle) State() *pdpi.Store { return o.state }
@@ -306,6 +313,13 @@ func (o *Oracle) CheckBatch(req p4rt.WriteRequest, resp p4rt.WriteResponse, obse
 		}
 		verdicts[i] = verdict
 		accepted := resp.Statuses[i].Code == p4rt.OK
+		if o.cov != nil {
+			table := "?" // undecodable updates have no table
+			if e, err := p4rt.FromWire(o.info, &u.Entry); err == nil {
+				table = e.Table.Name
+			}
+			o.cov.NoteVerdictOutcome(table, verdict.String(), accepted)
+		}
 		switch verdict {
 		case MustReject:
 			if accepted {

@@ -381,6 +381,134 @@ func TestBatchCollisionsAreMayReject(t *testing.T) {
 	}
 }
 
+// TestBatchOrderNonDeterminism drives CheckBatch through every admissible
+// execution order of batches that insert and delete the same key: the
+// P4Runtime spec lets the switch apply a batch in any order (§4 Example 2),
+// so any status combination consistent with *some* order — and a read-back
+// matching it — must pass with zero violations. Only behaviors consistent
+// with *no* order are flagged.
+func TestBatchOrderNonDeterminism(t *testing.T) {
+	info := infoMB()
+	ok := p4rt.Status{}
+	entry := func(id byte) p4rt.TableEntry {
+		u := vrfInsert(info, id)
+		e, err := p4rt.FromWire(info, &u.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p4rt.ToWire(e)
+	}
+
+	cases := []struct {
+		name       string
+		preInstall []byte // vrf ids present before the batch
+		updates    []p4rt.Update
+		statuses   []p4rt.Status
+		readback   []p4rt.TableEntry
+		wantClean  bool
+	}{
+		{
+			name:       "delete+insert, delete-first order",
+			preInstall: []byte{4},
+			updates:    []p4rt.Update{wire(vrfInsert(info, 4), p4rt.Delete), vrfInsert(info, 4)},
+			statuses:   []p4rt.Status{ok, ok},
+			readback:   []p4rt.TableEntry{entry(4)},
+			wantClean:  true,
+		},
+		{
+			name:       "delete+insert, insert-first order",
+			preInstall: []byte{4},
+			updates:    []p4rt.Update{wire(vrfInsert(info, 4), p4rt.Delete), vrfInsert(info, 4)},
+			statuses:   []p4rt.Status{ok, p4rt.Statusf(p4rt.AlreadyExists, "dup")},
+			readback:   nil, // delete applied, insert rejected
+			wantClean:  true,
+		},
+		{
+			name:      "insert+delete of a fresh key, insert-first order",
+			updates:   []p4rt.Update{vrfInsert(info, 5), wire(vrfInsert(info, 5), p4rt.Delete)},
+			statuses:  []p4rt.Status{ok, ok},
+			readback:  nil,
+			wantClean: true,
+		},
+		{
+			name:      "insert+delete of a fresh key, delete-first order",
+			updates:   []p4rt.Update{vrfInsert(info, 5), wire(vrfInsert(info, 5), p4rt.Delete)},
+			statuses:  []p4rt.Status{ok, p4rt.Statusf(p4rt.NotFound, "missing")},
+			readback:  []p4rt.TableEntry{entry(5)},
+			wantClean: true,
+		},
+		{
+			name:       "modify+delete, modify-first order",
+			preInstall: []byte{6},
+			updates:    []p4rt.Update{wire(vrfInsert(info, 6), p4rt.Modify), wire(vrfInsert(info, 6), p4rt.Delete)},
+			statuses:   []p4rt.Status{ok, ok},
+			readback:   nil,
+			wantClean:  true,
+		},
+		{
+			name:       "modify+delete, delete-first order",
+			preInstall: []byte{6},
+			updates:    []p4rt.Update{wire(vrfInsert(info, 6), p4rt.Modify), wire(vrfInsert(info, 6), p4rt.Delete)},
+			statuses:   []p4rt.Status{p4rt.Statusf(p4rt.NotFound, "gone"), ok},
+			readback:   nil,
+			wantClean:  true,
+		},
+		{
+			// Both accepted implies the entry survives (delete-then-insert
+			// is the only all-OK order); an empty read-back matches no order.
+			name:       "delete+insert, all accepted but entry lost",
+			preInstall: []byte{4},
+			updates:    []p4rt.Update{wire(vrfInsert(info, 4), p4rt.Delete), vrfInsert(info, 4)},
+			statuses:   []p4rt.Status{ok, ok},
+			readback:   nil,
+			wantClean:  false,
+		},
+		{
+			// Rejecting every update of the colliding pair leaves the
+			// pre-installed entry; losing it anyway is a violation.
+			name:       "delete+insert, all rejected but entry gone",
+			preInstall: []byte{4},
+			updates:    []p4rt.Update{wire(vrfInsert(info, 4), p4rt.Delete), vrfInsert(info, 4)},
+			statuses:   []p4rt.Status{p4rt.Statusf(p4rt.Internal, "x"), p4rt.Statusf(p4rt.Internal, "x")},
+			readback:   nil,
+			wantClean:  false,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := New(info)
+			for _, id := range tc.preInstall {
+				u := vrfInsert(info, id)
+				e, err := p4rt.FromWire(info, &u.Entry)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := o.State().Insert(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			verdicts, violations := o.CheckBatch(
+				p4rt.WriteRequest{Updates: tc.updates},
+				p4rt.WriteResponse{Statuses: tc.statuses},
+				p4rt.ReadResponse{Entries: tc.readback})
+			if tc.wantClean && len(violations) != 0 {
+				t.Fatalf("violations: %v", violations)
+			}
+			if !tc.wantClean && len(violations) == 0 {
+				t.Fatalf("expected violations, got none (verdicts %v)", verdicts)
+			}
+			// Colliding state-dependent updates are never must-accept or
+			// must-reject: both orders must stay admissible.
+			for i, v := range verdicts {
+				if v != MayReject {
+					t.Errorf("verdict %d = %v, want may-reject", i, v)
+				}
+			}
+		})
+	}
+}
+
 func TestVerdictStrings(t *testing.T) {
 	if MustAccept.String() != "must-accept" || MayReject.String() != "may-reject" || MustReject.String() != "must-reject" {
 		t.Error("verdict strings")

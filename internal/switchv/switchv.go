@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"switchv/internal/bmv2"
+	"switchv/internal/coverage"
 	"switchv/internal/fuzzer"
 	"switchv/internal/oracle"
 	"switchv/internal/p4/p4info"
@@ -59,6 +60,15 @@ func (h *Harness) PushPipeline() error {
 	})
 }
 
+// BatchCoverage is one sample of a campaign's coverage trajectory, taken
+// after each batch.
+type BatchCoverage struct {
+	// Points is the number of distinct coverage points exercised so far.
+	Points int64
+	// Tables is the number of tables with at least one accepted update.
+	Tables int
+}
+
 // ControlPlaneReport summarizes a fuzzing campaign (§4).
 type ControlPlaneReport struct {
 	Batches     int
@@ -69,6 +79,13 @@ type ControlPlaneReport struct {
 	Incidents   []Incident
 	Elapsed     time.Duration
 	PerMutation map[string]int
+	// Coverage is the final coverage snapshot of the campaign.
+	Coverage *coverage.Snapshot
+	// Trajectory holds one BatchCoverage sample per executed batch.
+	Trajectory []BatchCoverage
+	// PlateauStopped reports that the campaign ended early because
+	// Options.PlateauBatches consecutive batches added no new coverage.
+	PlateauStopped bool
 }
 
 // EntriesPerSecond is the fuzzer throughput metric of Table 3.
@@ -83,15 +100,22 @@ func (r *ControlPlaneReport) EntriesPerSecond() float64 {
 // and mutated updates, each followed by a full read-back that the oracle
 // judges (§4.3, §4.4).
 func (h *Harness) RunControlPlane(opts fuzzer.Options) (*ControlPlaneReport, error) {
+	if opts.Coverage == nil {
+		opts.Coverage = coverage.NewMap(h.Info)
+	}
+	cov := opts.Coverage
 	f := fuzzer.New(h.Info, opts)
 	orc := oracle.New(h.Info)
+	orc.SetCoverage(cov)
 	rep := &ControlPlaneReport{}
 	start := time.Now()
 	n := opts.NumRequests
 	if n == 0 {
 		n = 1000
 	}
+	plateauRun := 0
 	for batch := 0; batch < n; batch++ {
+		covBefore := cov.Covered()
 		req, meta, err := f.NextBatch()
 		if err != nil {
 			return rep, err
@@ -108,7 +132,7 @@ func (h *Harness) RunControlPlane(opts fuzzer.Options) (*ControlPlaneReport, err
 			continue
 		}
 		verdicts, violations := orc.CheckBatch(req, resp, observed)
-		for _, v := range verdicts {
+		for i, v := range verdicts {
 			switch v {
 			case oracle.MustAccept:
 				rep.MustAccept++
@@ -116,6 +140,12 @@ func (h *Harness) RunControlPlane(opts fuzzer.Options) (*ControlPlaneReport, err
 				rep.MustReject++
 			case oracle.MayReject:
 				rep.MayReject++
+			}
+			// Per-mutation-class verdict-outcome accounting: which oracle
+			// verdict and switch decision each mutation class has reached.
+			if i < len(meta) && i < len(resp.Statuses) {
+				cov.NoteMutationOutcome(meta[i].Mutation, v.String(),
+					resp.Statuses[i].Code == p4rt.OK)
 			}
 		}
 		for _, viol := range violations {
@@ -137,12 +167,29 @@ func (h *Harness) RunControlPlane(opts fuzzer.Options) (*ControlPlaneReport, err
 				f.NoteAccepted(req.Updates[i])
 			}
 		}
+		rep.Trajectory = append(rep.Trajectory, BatchCoverage{
+			Points: cov.Covered(),
+			Tables: cov.TablesAccepted(),
+		})
 		if opts.StopAfterIncidents > 0 && len(rep.Incidents) >= opts.StopAfterIncidents {
 			break
+		}
+		// Coverage-plateau early stop: a batch that exercises no new point
+		// extends the plateau; PlateauBatches of them in a row end the
+		// campaign (nothing left that this schedule is going to reach).
+		if cov.Covered() == covBefore {
+			plateauRun++
+			if opts.PlateauBatches > 0 && plateauRun >= opts.PlateauBatches {
+				rep.PlateauStopped = true
+				break
+			}
+		} else {
+			plateauRun = 0
 		}
 	}
 	rep.Elapsed = time.Since(start)
 	rep.PerMutation = f.PerMutation
+	rep.Coverage = cov.Snapshot()
 	return rep, nil
 }
 
@@ -158,6 +205,9 @@ type DataPlaneReport struct {
 	GenElapsed   time.Duration // packet generation (SMT) time
 	TestElapsed  time.Duration // switch+simulator execution and compare
 	SolverReport symbolic.Report
+	// Coverage is the final snapshot of Options.Coverage (nil when the
+	// campaign ran without a map).
+	Coverage *coverage.Snapshot
 }
 
 // DataPlaneOptions configures a data-plane campaign.
@@ -171,6 +221,10 @@ type DataPlaneOptions struct {
 	Churn bool
 	// MaxBehaviors bounds the simulator behavior-set loop.
 	MaxBehaviors int
+	// CoverageMap, when non-nil, is seeded with the symbolic trace map's
+	// goal list and credited with per-table/per-entry hits harvested from
+	// the reference simulator's execution traces.
+	CoverageMap *coverage.Map
 }
 
 // RunDataPlane installs the given entries on the switch, generates test
@@ -250,6 +304,16 @@ func (h *Harness) RunDataPlane(entries []*pdpi.Entry, opts DataPlaneOptions) (*D
 		if err != nil {
 			return rep, err
 		}
+		// The trace map's goal list is the campaign's coverage universe:
+		// every goal registers at zero so the map knows the denominator.
+		if opts.CoverageMap != nil {
+			for _, g := range ex.Goals(opts.Coverage) {
+				opts.CoverageMap.Register(coverage.KeyGoal(g.Key))
+			}
+			for _, g := range ex.EnrichedGoals() {
+				opts.CoverageMap.Register(coverage.KeyGoal(g.Key))
+			}
+		}
 		var srep symbolic.Report
 		packets, srep, err = ex.GeneratePackets(opts.Coverage)
 		if err != nil {
@@ -289,7 +353,10 @@ func (h *Harness) RunDataPlane(entries []*pdpi.Entry, opts DataPlaneOptions) (*D
 	}
 	for i := range packets {
 		pkt := &packets[i]
-		if inc := h.testPacket(sim, pkt, opts.MaxBehaviors); inc != nil {
+		if opts.CoverageMap != nil {
+			opts.CoverageMap.NoteGoal(pkt.GoalKey)
+		}
+		if inc := h.testPacket(sim, pkt, opts.MaxBehaviors, opts.CoverageMap); inc != nil {
 			rep.Incidents = append(rep.Incidents, *inc)
 		}
 	}
@@ -300,7 +367,7 @@ func (h *Harness) RunDataPlane(entries []*pdpi.Entry, opts DataPlaneOptions) (*D
 	for _, bg := range backgroundFrames() {
 		pkt := &symbolic.TestPacket{GoalKey: "background:" + bg.name, Port: 1, Data: bg.frame}
 		rep.Packets++
-		if inc := h.testPacket(sim, pkt, opts.MaxBehaviors); inc != nil {
+		if inc := h.testPacket(sim, pkt, opts.MaxBehaviors, opts.CoverageMap); inc != nil {
 			rep.Incidents = append(rep.Incidents, *inc)
 		}
 	}
@@ -314,6 +381,9 @@ func (h *Harness) RunDataPlane(entries []*pdpi.Entry, opts DataPlaneOptions) (*D
 			Tool: "p4-symbolic", Kind: "teardown-rejected",
 			Detail: fmt.Sprintf("cleaning up installed entries: %v", err),
 		})
+	}
+	if opts.CoverageMap != nil {
+		rep.Coverage = opts.CoverageMap.Snapshot()
 	}
 	return rep, nil
 }
@@ -356,8 +426,10 @@ func backgroundFrames() []struct {
 }
 
 // testPacket runs one test packet through the switch and the simulator's
-// behavior set and compares.
-func (h *Harness) testPacket(sim *bmv2.Simulator, pkt *symbolic.TestPacket, maxBehaviors int) *Incident {
+// behavior set and compares. When cov is non-nil, the simulator's
+// execution traces (which tables matched which entries, which actions
+// ran) are harvested into it — the data-plane half of the coverage map.
+func (h *Harness) testPacket(sim *bmv2.Simulator, pkt *symbolic.TestPacket, maxBehaviors int, cov *coverage.Map) *Incident {
 	swRes, err := h.DP.InjectFrame(p4rt.InjectRequest{Port: pkt.Port, Frame: pkt.Data})
 	if err != nil {
 		return &Incident{Tool: "p4-symbolic", Kind: "switch-error",
@@ -371,6 +443,13 @@ func (h *Harness) testPacket(sim *bmv2.Simulator, pkt *symbolic.TestPacket, maxB
 	if err != nil {
 		return &Incident{Tool: "p4-symbolic", Kind: "simulator-error",
 			Detail: fmt.Sprintf("goal %s: simulator failed: %v", pkt.GoalKey, err)}
+	}
+	if cov != nil {
+		for _, b := range behaviors {
+			for _, th := range b.Trace {
+				cov.NoteDataPlaneHit(th.Table, th.EntryKey, th.Action)
+			}
+		}
 	}
 	swSig, err := h.switchSignature(swRes)
 	if err != nil {

@@ -1,8 +1,10 @@
 package switchv
 
 import (
+	"strings"
 	"testing"
 
+	"switchv/internal/coverage"
 	"switchv/internal/fuzzer"
 	"switchv/internal/p4/p4info"
 	"switchv/internal/p4/pdpi"
@@ -156,6 +158,92 @@ func TestFaultsDetected(t *testing.T) {
 			}
 			t.Logf("%s: %d incidents, first: %s", fc.fault, len(incidents), incidents[0])
 		})
+	}
+}
+
+// TestControlPlaneReportsCoverage: every campaign (guided or not) carries
+// a final snapshot and a per-batch trajectory.
+func TestControlPlaneReportsCoverage(t *testing.T) {
+	h, _ := newHarness(t, "middleblock")
+	rep, err := h.RunControlPlane(smallFuzz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage == nil {
+		t.Fatal("report has no coverage snapshot")
+	}
+	if rep.Coverage.Covered == 0 {
+		t.Error("campaign covered nothing")
+	}
+	if len(rep.Trajectory) != rep.Batches {
+		t.Fatalf("trajectory has %d samples for %d batches", len(rep.Trajectory), rep.Batches)
+	}
+	for i := 1; i < len(rep.Trajectory); i++ {
+		if rep.Trajectory[i].Points < rep.Trajectory[i-1].Points ||
+			rep.Trajectory[i].Tables < rep.Trajectory[i-1].Tables {
+			t.Fatalf("trajectory not monotone at batch %d: %+v -> %+v",
+				i, rep.Trajectory[i-1], rep.Trajectory[i])
+		}
+	}
+	if last := rep.Trajectory[len(rep.Trajectory)-1]; int64(rep.Coverage.Covered) < last.Points {
+		t.Errorf("final snapshot (%d) behind trajectory (%d)", rep.Coverage.Covered, last.Points)
+	}
+}
+
+// TestPlateauEarlyStop: the control-plane coverage universe is finite, so
+// a long enough campaign must hit a plateau and stop early.
+func TestPlateauEarlyStop(t *testing.T) {
+	h, _ := newHarness(t, "middleblock")
+	opts := fuzzer.Options{Seed: 5, NumRequests: 400, UpdatesPerRequest: 20, PlateauBatches: 8}
+	rep, err := h.RunControlPlane(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.PlateauStopped {
+		t.Fatalf("campaign ran all %d batches without plateauing", rep.Batches)
+	}
+	if rep.Batches >= opts.NumRequests {
+		t.Fatalf("plateau stop did not shorten the campaign (%d batches)", rep.Batches)
+	}
+	t.Logf("plateaued after %d batches, %d points covered", rep.Batches, rep.Coverage.Covered)
+}
+
+// TestDataPlaneHarvestsCoverage: a data-plane run credits table hits,
+// action invocations, and symbolic goals into an injected map.
+func TestDataPlaneHarvestsCoverage(t *testing.T) {
+	h, _ := newHarness(t, "middleblock")
+	cov := coverage.NewMap(h.Info)
+	universeBefore := cov.Universe()
+	rep, err := h.RunDataPlane(fixtureEntries("middleblock"), DataPlaneOptions{
+		Coverage:    symbolic.CoverBranches,
+		CoverageMap: cov,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage == nil {
+		t.Fatal("report has no coverage snapshot")
+	}
+	if cov.Universe() <= universeBefore {
+		t.Error("symbolic goals were not registered into the universe")
+	}
+	hits, invokes, goals := 0, 0, 0
+	for key, n := range rep.Coverage.Counts {
+		if n == 0 {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(key, "table:") && strings.HasSuffix(key, ":hit"):
+			hits++
+		case strings.HasPrefix(key, "action:") && strings.HasSuffix(key, ":invoke"):
+			invokes++
+		case strings.HasPrefix(key, "goal:"):
+			goals++
+		}
+	}
+	if hits == 0 || invokes == 0 || goals == 0 {
+		t.Errorf("coverage not harvested: %d table hits, %d action invokes, %d goals",
+			hits, invokes, goals)
 	}
 }
 
