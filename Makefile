@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench
+.PHONY: ci build vet test race matrix bench bench-parallel
 
-# ci is the gate every change must pass: build, vet, and the full test
-# suite under the race detector.
-ci: build vet race
+# ci is the gate every change must pass: build, vet, the full test suite
+# under the race detector, and the fault-detection matrix.
+ci: build vet race matrix
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench reruns the paper-evaluation benchmarks once each.
-bench:
+# matrix runs the fault-detection matrix: every injectable fault must be
+# caught, and the union of all fixtures must stay incident-free.
+matrix:
+	$(GO) test -short -run 'TestFaultMatrix' ./internal/switchv
+
+# bench reruns the paper-evaluation benchmarks once each and records the
+# parallel-engine scaling run as machine-readable JSON.
+bench: bench-parallel
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelCampaign' -benchtime 1x -json . > BENCH_parallel.json

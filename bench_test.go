@@ -6,6 +6,8 @@ package switchv
 
 import (
 	"math/rand"
+	"runtime"
+	"strings"
 	"testing"
 
 	"switchv/internal/bugdb"
@@ -536,4 +538,58 @@ func BenchmarkAblationConstraintAware(b *testing.B) {
 	}
 	b.Run("default", func(b *testing.B) { run(b, false) })
 	b.Run("bdd-aware", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkParallelCampaign measures the sharded engine's scaling and,
+// at the same time, checks its determinism contract: the same
+// (seed, shards) campaign at workers=1 and workers=4 must merge to the
+// identical table-coverage set and incident signature, with worker
+// count changing only wall-clock time. The >=2x speedup assertion only
+// fires on machines with >=4 CPUs -- on smaller boxes the speedup is
+// still reported as a metric but not enforced.
+func BenchmarkParallelCampaign(b *testing.B) {
+	info := p4info.New(models.Middleblock())
+	factory := func(shard int) (p4rt.Device, func(), error) {
+		sw := switchsim.New("middleblock")
+		return sw, func() { sw.Close() }, nil
+	}
+	run := func(b *testing.B, workers int) *switchv.ParallelReport {
+		var rep *switchv.ParallelReport
+		for i := 0; i < b.N; i++ {
+			r, err := switchv.RunParallelCampaign(info, switchv.ParallelOptions{
+				Workers: workers,
+				Shards:  switchv.DefaultShards,
+				Fuzz:    fuzzer.Options{Seed: 11, NumRequests: 240, UpdatesPerRequest: 50},
+				Factory: factory,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.EntriesPerSecond(), "entries/s")
+			rep = r
+		}
+		return rep
+	}
+	var seq, par *switchv.ParallelReport
+	b.Run("workers=1", func(b *testing.B) { seq = run(b, 1) })
+	b.Run("workers=4", func(b *testing.B) { par = run(b, 4) })
+	if seq == nil || par == nil {
+		return
+	}
+	seqTables := strings.Join(seq.Coverage.TablesAccepted(), ",")
+	parTables := strings.Join(par.Coverage.TablesAccepted(), ",")
+	if seqTables != parTables {
+		b.Fatalf("merged table coverage differs across worker counts:\n  workers=1: %s\n  workers=4: %s", seqTables, parTables)
+	}
+	seqKinds := strings.Join(switchv.IncidentKinds(seq.Incidents), ",")
+	parKinds := strings.Join(switchv.IncidentKinds(par.Incidents), ",")
+	if seqKinds != parKinds {
+		b.Fatalf("incident signature differs across worker counts:\n  workers=1: %s\n  workers=4: %s", seqKinds, parKinds)
+	}
+	speedup := float64(seq.Elapsed) / float64(par.Elapsed)
+	b.ReportMetric(speedup, "speedup-x")
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+	if runtime.NumCPU() >= 4 && speedup < 2 {
+		b.Fatalf("workers=4 speedup %.2fx on a %d-CPU machine, want >= 2x", speedup, runtime.NumCPU())
+	}
 }

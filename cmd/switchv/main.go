@@ -40,6 +40,8 @@ func main() {
 	coverageGuided := flag.Bool("coverage", false, "coverage-guided fuzzing; prints the coverage table and writes -coverage-out")
 	coverageOut := flag.String("coverage-out", "coverage.json", "coverage snapshot output path (with -coverage)")
 	plateau := flag.Int("plateau", 0, "stop fuzzing after N consecutive batches with no new coverage (0 = never)")
+	workers := flag.Int("workers", 0, "fuzz with the parallel sharded engine using N workers (0 = sequential single-stack campaign)")
+	shards := flag.Int("shards", switchv.DefaultShards, "logical shard count for -workers (results depend on it; worker count only changes speed)")
 	flag.Parse()
 
 	prog, err := models.Load(*role)
@@ -89,27 +91,55 @@ func main() {
 
 	incidents := 0
 	if !*skipFuzz {
-		rep, err := h.RunControlPlane(fuzzer.Options{
+		fuzzOpts := fuzzer.Options{
 			Seed:              *seed,
 			NumRequests:       *requests,
 			UpdatesPerRequest: *updates,
 			CoverageGuided:    *coverageGuided,
 			Coverage:          cov,
 			PlateauBatches:    *plateau,
-		})
-		if err != nil {
-			log.Fatalf("control plane campaign: %v", err)
 		}
-		fmt.Printf("\n== p4-fuzzer ==\n")
-		fmt.Printf("batches: %d  updates: %d (%.0f entries/s)\n", rep.Batches, rep.Updates, rep.EntriesPerSecond())
-		fmt.Printf("verdicts: %d must-accept, %d must-reject, %d may-reject\n",
-			rep.MustAccept, rep.MustReject, rep.MayReject)
-		if rep.PlateauStopped {
-			fmt.Printf("stopped early: coverage plateaued for %d batches\n", *plateau)
+		if *workers > 0 {
+			factory, err := stackFactory(*connect, *role, *faultList, *shards)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := switchv.RunParallelCampaign(info, switchv.ParallelOptions{
+				Workers: *workers,
+				Shards:  *shards,
+				Fuzz:    fuzzOpts,
+				Factory: factory,
+			})
+			if err != nil {
+				log.Fatalf("parallel control plane campaign: %v", err)
+			}
+			fmt.Printf("\n== p4-fuzzer (parallel: %d workers, %d shards) ==\n", rep.Workers, rep.Shards)
+			fmt.Printf("batches: %d  updates: %d (%.0f entries/s)\n", rep.Batches, rep.Updates, rep.EntriesPerSecond())
+			fmt.Printf("verdicts: %d must-accept, %d must-reject, %d may-reject\n",
+				rep.MustAccept, rep.MustReject, rep.MayReject)
+			for _, s := range rep.PerShard {
+				fmt.Printf("  shard %d (worker %d, seed %d): %d batches, %d updates, %d incidents in %v\n",
+					s.Shard, s.Worker, s.Seed, s.Batches, s.Updates, s.Incidents, s.Elapsed.Round(1e6))
+			}
+			fmt.Printf("incidents: %d (%d duplicates merged)\n", len(rep.Incidents), rep.DuplicateIncidents)
+			printIncidents(rep.Incidents)
+			incidents += len(rep.Incidents)
+		} else {
+			rep, err := h.RunControlPlane(fuzzOpts)
+			if err != nil {
+				log.Fatalf("control plane campaign: %v", err)
+			}
+			fmt.Printf("\n== p4-fuzzer ==\n")
+			fmt.Printf("batches: %d  updates: %d (%.0f entries/s)\n", rep.Batches, rep.Updates, rep.EntriesPerSecond())
+			fmt.Printf("verdicts: %d must-accept, %d must-reject, %d may-reject\n",
+				rep.MustAccept, rep.MustReject, rep.MayReject)
+			if rep.PlateauStopped {
+				fmt.Printf("stopped early: coverage plateaued for %d batches\n", *plateau)
+			}
+			fmt.Printf("incidents: %d\n", len(rep.Incidents))
+			printIncidents(rep.Incidents)
+			incidents += len(rep.Incidents)
 		}
-		fmt.Printf("incidents: %d\n", len(rep.Incidents))
-		printIncidents(rep.Incidents)
-		incidents += len(rep.Incidents)
 	}
 
 	if !*skipData {
@@ -149,6 +179,41 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nSwitchV found no divergence between the switch and the model.\n")
+}
+
+// stackFactory builds the per-shard switch stacks for the parallel
+// engine. In-process mode gives every shard its own simulator with the
+// same fault set; -connect takes a comma-separated address list, one
+// switch per shard, since shards fuzzing one shared switch would
+// interfere with each other's read-backs.
+func stackFactory(connect, role, faultList string, shards int) (switchv.StackFactory, error) {
+	if connect == "" {
+		var faults []switchsim.Fault
+		if faultList != "" {
+			for _, name := range strings.Split(faultList, ",") {
+				f := switchsim.Fault(strings.TrimSpace(name))
+				if _, ok := switchsim.Meta(f); !ok {
+					return nil, fmt.Errorf("unknown fault %q", name)
+				}
+				faults = append(faults, f)
+			}
+		}
+		return func(shard int) (p4rt.Device, func(), error) {
+			sw := switchsim.New(role, faults...)
+			return sw, func() { sw.Close() }, nil
+		}, nil
+	}
+	addrs := strings.Split(connect, ",")
+	if len(addrs) != shards {
+		return nil, fmt.Errorf("-workers with -connect needs one address per shard: got %d addresses for %d shards", len(addrs), shards)
+	}
+	return func(shard int) (p4rt.Device, func(), error) {
+		cli, err := p4rt.Dial(strings.TrimSpace(addrs[shard]))
+		if err != nil {
+			return nil, nil, err
+		}
+		return cli, func() { cli.Close() }, nil
+	}, nil
 }
 
 func printIncidents(incidents []switchv.Incident) {

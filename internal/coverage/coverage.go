@@ -95,6 +95,9 @@ const shardCount = 16
 type shard struct {
 	mu     sync.RWMutex
 	counts map[string]*atomic.Int64
+	// registered marks the dynamic keys that belong to the universe, so
+	// snapshots can carry universe membership across a merge.
+	registered map[string]struct{}
 }
 
 // Map is the concurrent coverage map of one campaign.
@@ -115,7 +118,8 @@ type Map struct {
 	// tablesAccepted counts tables whose accept counter went nonzero; it
 	// is the "tables covered" metric of campaign trajectories.
 	tablesAccepted atomic.Int64
-	acceptIdx      []int // static indexes of the per-table accept counters
+	acceptIdx      []int  // static indexes of the per-table accept counters
+	isAccept       []bool // per-static-index: is this a table accept counter?
 }
 
 // NewMap allocates a map with every model-derived point pre-registered at
@@ -146,9 +150,14 @@ func NewMap(info *p4info.Info) *Map {
 		add(KeyActionInvoke(t.Name, t.DefaultAction.Name))
 	}
 	m.static = make([]atomic.Int64, len(m.staticKey))
+	m.isAccept = make([]bool, len(m.staticKey))
+	for _, idx := range m.acceptIdx {
+		m.isAccept[idx] = true
+	}
 	m.universe.Store(int64(len(m.staticKey)))
 	for i := range m.shards {
 		m.shards[i].counts = map[string]*atomic.Int64{}
+		m.shards[i].registered = map[string]struct{}{}
 	}
 	return m
 }
@@ -188,22 +197,36 @@ func (m *Map) Register(key string) {
 	s := m.shardOf(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.counts[key]; !ok {
-		s.counts[key] = &atomic.Int64{}
+	if _, ok := s.registered[key]; !ok {
+		s.registered[key] = struct{}{}
+		if _, ok := s.counts[key]; !ok {
+			s.counts[key] = &atomic.Int64{}
+		}
 		m.universe.Add(1)
 	}
 }
 
 // Inc bumps a point by one and returns its new count.
-func (m *Map) Inc(key string) int64 {
+func (m *Map) Inc(key string) int64 { return m.Add(key, 1) }
+
+// Add bumps a point by delta (> 0) and returns its new count. Counters
+// never decrease, so the point transitioned from uncovered to covered
+// exactly when the new count equals the delta. Table-accept transitions
+// also feed the tables-accepted metric, keeping merged maps consistent
+// with live campaigns.
+func (m *Map) Add(key string, delta int64) int64 {
 	var n int64
-	if idx, ok := m.staticIdx[key]; ok {
-		n = m.static[idx].Add(1)
+	idx, static := m.staticIdx[key]
+	if static {
+		n = m.static[idx].Add(delta)
 	} else {
-		n = m.counter(key).Add(1)
+		n = m.counter(key).Add(delta)
 	}
-	if n == 1 {
+	if n == delta {
 		m.covered.Add(1)
+		if static && m.isAccept[idx] {
+			m.tablesAccepted.Add(1)
+		}
 	}
 	return n
 }
@@ -238,12 +261,9 @@ func (m *Map) TablesAccepted() int { return int(m.tablesAccepted.Load()) }
 // NoteWrite records a generated update targeting a table.
 func (m *Map) NoteWrite(table string) { m.Inc(KeyTableWrite(table)) }
 
-// NoteAccept records a switch-accepted update for a table.
-func (m *Map) NoteAccept(table string) {
-	if m.Inc(KeyTableAccept(table)) == 1 {
-		m.tablesAccepted.Add(1)
-	}
-}
+// NoteAccept records a switch-accepted update for a table. The
+// tables-accepted transition is detected inside Add.
+func (m *Map) NoteAccept(table string) { m.Inc(KeyTableAccept(table)) }
 
 // NoteActionSelect records that an accepted entry programs an action.
 func (m *Map) NoteActionSelect(table, action string) { m.Inc(KeyActionSelect(table, action)) }
@@ -277,11 +297,33 @@ func (m *Map) NoteDataPlaneHit(table, entryKey, action string) {
 // NoteGoal records that a symbolic coverage goal was exercised.
 func (m *Map) NoteGoal(goal string) { m.Inc(KeyGoal(goal)) }
 
+// Merge folds a shard's snapshot into the map: counts add point-wise, and
+// registered zero-count points (the shard's universe) register here too,
+// so a map merged from N shard campaigns is indistinguishable from one
+// campaign that did all the work itself. Safe for concurrent use, though
+// the parallel engine merges shards in deterministic shard order.
+func (m *Map) Merge(s *Snapshot) {
+	// Universe membership first: the shard's registered dynamic points
+	// (e.g. symbolic goals) join this map's universe whether or not the
+	// shard ever exercised them.
+	for _, key := range s.Registered {
+		m.Register(key)
+	}
+	for key, n := range s.Counts {
+		if n > 0 {
+			m.Add(key, n)
+		}
+	}
+}
+
 // Snapshot is an immutable copy of the map at one instant.
 type Snapshot struct {
 	Universe int64            `json:"universe"`
 	Covered  int64            `json:"covered"`
 	Counts   map[string]int64 `json:"counts"`
+	// Registered lists the dynamic keys that belong to the universe, in
+	// sorted order; Merge needs it to preserve universe parity.
+	Registered []string `json:"registered,omitempty"`
 }
 
 // Snapshot copies every known point, including registered zero-count ones
@@ -301,9 +343,27 @@ func (m *Map) Snapshot() *Snapshot {
 		for key, c := range s.counts {
 			snap.Counts[key] = c.Load()
 		}
+		for key := range s.registered {
+			snap.Registered = append(snap.Registered, key)
+		}
 		s.mu.RUnlock()
 	}
+	sort.Strings(snap.Registered)
 	return snap
+}
+
+// TablesAccepted lists the tables with at least one accepted update, in
+// sorted order — the merged table-coverage set the parallel engine's
+// determinism contract is stated over.
+func (s *Snapshot) TablesAccepted() []string {
+	var out []string
+	for key, n := range s.Counts {
+		if n > 0 && strings.HasPrefix(key, "table:") && strings.HasSuffix(key, ":accept") {
+			out = append(out, strings.TrimSuffix(strings.TrimPrefix(key, "table:"), ":accept"))
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Diff returns the points that grew since prev: counts are deltas, and

@@ -1,0 +1,125 @@
+package coverage
+
+import (
+	"reflect"
+	"testing"
+)
+
+// driveShardA/driveShardB simulate the activity of two shard campaigns;
+// driving both onto one map simulates the equivalent single campaign.
+func driveShardA(m *Map) {
+	m.NoteWrite("ipv4_table")
+	m.NoteWrite("ipv4_table")
+	m.NoteAccept("ipv4_table")
+	m.NoteActionSelect("ipv4_table", "set_nexthop_id")
+	m.NoteMutation("InvalidTableID")
+	m.NoteMutationOutcome("InvalidTableID", "MustReject", false)
+	m.NoteDataPlaneHit("ipv4_table", "10.0.0.0/8", "set_nexthop_id")
+	m.Register(KeyGoal("g-shared"))
+	m.Register(KeyGoal("g-only-a"))
+	m.NoteGoal("g-shared")
+}
+
+func driveShardB(m *Map) {
+	m.NoteWrite("ipv4_table") // overlaps with shard A
+	m.NoteWrite("ipv6_table")
+	m.NoteAccept("ipv6_table")
+	m.NoteVerdictOutcome("ipv6_table", "MustAccept", true)
+	m.NoteDataPlaneHit("ipv6_table", "", "drop") // miss
+	m.Register(KeyGoal("g-shared"))              // overlaps with shard A
+	m.Register(KeyGoal("g-only-b"))
+}
+
+// TestMergeEqualsCombinedCampaign is the merge contract: a root map merged
+// from N shard snapshots must be indistinguishable — counts, covered,
+// universe, tables-accepted — from one map that did all the work itself.
+func TestMergeEqualsCombinedCampaign(t *testing.T) {
+	shardA, shardB := newTestMap(t), newTestMap(t)
+	driveShardA(shardA)
+	driveShardB(shardB)
+
+	combined := newTestMap(t)
+	driveShardA(combined)
+	driveShardB(combined)
+
+	merged := newTestMap(t)
+	merged.Merge(shardA.Snapshot())
+	merged.Merge(shardB.Snapshot())
+
+	ms, cs := merged.Snapshot(), combined.Snapshot()
+	if !reflect.DeepEqual(ms.Counts, cs.Counts) {
+		t.Errorf("merged counts differ from combined campaign:\nmerged:   %v\ncombined: %v", ms.Counts, cs.Counts)
+	}
+	if merged.Covered() != combined.Covered() {
+		t.Errorf("Covered: merged %d, combined %d", merged.Covered(), combined.Covered())
+	}
+	if merged.Universe() != combined.Universe() {
+		t.Errorf("Universe: merged %d, combined %d", merged.Universe(), combined.Universe())
+	}
+	if merged.TablesAccepted() != combined.TablesAccepted() {
+		t.Errorf("TablesAccepted: merged %d, combined %d",
+			merged.TablesAccepted(), combined.TablesAccepted())
+	}
+	if got, want := ms.TablesAccepted(), cs.TablesAccepted(); !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot TablesAccepted: merged %v, combined %v", got, want)
+	}
+}
+
+// TestMergeRegistersZeroCountPoints checks that a shard's registered-but-
+// unexercised points (symbolic goals it never reached) grow the merged
+// universe without inflating coverage.
+func TestMergeRegistersZeroCountPoints(t *testing.T) {
+	shard := newTestMap(t)
+	shard.Register(KeyGoal("unreached"))
+
+	root := newTestMap(t)
+	u := root.Universe()
+	root.Merge(shard.Snapshot())
+	if root.Universe() != u+1 {
+		t.Fatalf("universe = %d, want %d", root.Universe(), u+1)
+	}
+	if root.Covered() != 0 {
+		t.Fatalf("covered = %d, want 0 (goal never exercised)", root.Covered())
+	}
+	// A second shard registering the same goal must not double-count it.
+	root.Merge(shard.Snapshot())
+	if root.Universe() != u+1 {
+		t.Fatalf("universe after re-merge = %d, want %d", root.Universe(), u+1)
+	}
+}
+
+// TestAddDeltaTransition pins the covered/tables-accepted transition rule
+// Merge relies on: a point is newly covered exactly when new count ==
+// delta, regardless of delta's size.
+func TestAddDeltaTransition(t *testing.T) {
+	m := newTestMap(t)
+	if n := m.Add(KeyTableAccept("ipv4_table"), 5); n != 5 {
+		t.Fatalf("Add = %d, want 5", n)
+	}
+	if m.Covered() != 1 || m.TablesAccepted() != 1 {
+		t.Fatalf("after first Add: covered=%d tablesAccepted=%d, want 1/1",
+			m.Covered(), m.TablesAccepted())
+	}
+	if n := m.Add(KeyTableAccept("ipv4_table"), 3); n != 8 {
+		t.Fatalf("Add = %d, want 8", n)
+	}
+	if m.Covered() != 1 || m.TablesAccepted() != 1 {
+		t.Fatalf("after second Add: covered=%d tablesAccepted=%d, want 1/1 (no re-transition)",
+			m.Covered(), m.TablesAccepted())
+	}
+	// Dynamic keys follow the same rule.
+	if m.Add(KeyEntryHit("ipv4_table", "k"), 7); m.Covered() != 2 {
+		t.Fatalf("dynamic Add transition missed: covered=%d, want 2", m.Covered())
+	}
+}
+
+func TestSnapshotTablesAcceptedSet(t *testing.T) {
+	m := newTestMap(t)
+	m.NoteAccept("ipv6_table")
+	m.NoteAccept("ipv4_table")
+	m.NoteWrite("acl_ingress_table") // write only: not accepted
+	want := []string{"ipv4_table", "ipv6_table"}
+	if got := m.Snapshot().TablesAccepted(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("TablesAccepted = %v, want %v", got, want)
+	}
+}

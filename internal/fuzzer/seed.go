@@ -1,0 +1,18 @@
+package fuzzer
+
+// DeriveSeed maps a campaign's root seed and a shard index to that
+// shard's fuzzer seed via one splitmix64 step, so shards get
+// well-separated PRNG streams while staying a pure function of
+// (root, shard) — the parallel engine's determinism contract depends on
+// worker count never entering this computation.
+//
+// Shard 0 is NOT the root seed itself: a single-shard parallel campaign
+// is a different experiment from a sequential campaign with the same
+// seed, and keeping the streams disjoint avoids accidental coupling
+// between the two modes.
+func DeriveSeed(root int64, shard int) int64 {
+	z := uint64(root) + 0x9e3779b97f4a7c15*uint64(shard+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

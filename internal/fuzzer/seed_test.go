@@ -1,0 +1,31 @@
+package fuzzer
+
+import "testing"
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	if DeriveSeed(42, 3) != DeriveSeed(42, 3) {
+		t.Fatal("DeriveSeed is not a pure function")
+	}
+}
+
+func TestDeriveSeedDistinctAcrossShards(t *testing.T) {
+	const shards = 64
+	seen := map[int64]int{}
+	for s := 0; s < shards; s++ {
+		d := DeriveSeed(42, s)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("shards %d and %d collide on seed %d", prev, s, d)
+		}
+		seen[d] = s
+	}
+	// Shard 0 must not degenerate to the root seed (see DeriveSeed doc).
+	if DeriveSeed(42, 0) == 42 {
+		t.Fatal("shard 0 seed equals root seed")
+	}
+}
+
+func TestDeriveSeedDistinctAcrossRoots(t *testing.T) {
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("different roots produced the same shard-0 seed")
+	}
+}

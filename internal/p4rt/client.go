@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,7 +27,10 @@ type Client struct {
 	// fell behind; read it only after Close.
 	DroppedPacketIns int
 
-	timeout time.Duration
+	// timeout is the per-RPC deadline in nanoseconds, atomic so
+	// SetTimeout is safe while RPCs are in flight (the parallel engine
+	// tunes per-shard clients concurrently).
+	timeout atomic.Int64
 }
 
 var _ Device = (*Client)(nil)
@@ -41,8 +45,8 @@ func Dial(addr string) (*Client, error) {
 		conn:      conn,
 		pending:   map[uint64]chan frame{},
 		packetIns: make(chan PacketIn, 1024),
-		timeout:   30 * time.Second,
 	}
+	c.timeout.Store(int64(30 * time.Second))
 	go c.readLoop()
 	return c, nil
 }
@@ -121,7 +125,7 @@ func (c *Client) call(kind msgKind, payload []byte) (Status, []byte, error) {
 			return Status{}, nil, err
 		}
 		return st, body, nil
-	case <-time.After(c.timeout):
+	case <-time.After(time.Duration(c.timeout.Load())):
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
@@ -179,8 +183,10 @@ func (c *Client) PacketOut(p PacketOut) error {
 // PacketIns implements Device.
 func (c *Client) PacketIns() <-chan PacketIn { return c.packetIns }
 
-// SetTimeout adjusts the per-RPC timeout.
-func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+// SetTimeout adjusts the per-RPC timeout. Safe to call concurrently
+// with in-flight RPCs; calls already waiting keep the deadline they
+// started with.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
 
 // Close tears down the connection; pending calls fail.
 func (c *Client) Close() error { return c.conn.Close() }

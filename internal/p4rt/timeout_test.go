@@ -1,0 +1,112 @@
+package p4rt
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// silentListener accepts connections and reads frames but never
+// replies, so every RPC against it can only end via the client-side
+// deadline.
+func silentListener(t *testing.T) net.Addr {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr()
+}
+
+func TestClientRPCTimeout(t *testing.T) {
+	cli, err := Dial(silentListener(t).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetTimeout(50 * time.Millisecond)
+
+	start := time.Now()
+	_, rerr := cli.Read(ReadRequest{})
+	if rerr == nil || !strings.Contains(rerr.Error(), "RPC timeout") {
+		t.Fatalf("Read against a silent server returned %v, want RPC timeout", rerr)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, deadline was 50ms", elapsed)
+	}
+
+	// Write surfaces the timeout as a transport status, not a panic.
+	resp := cli.Write(WriteRequest{Updates: []Update{{Type: Insert}}})
+	if len(resp.Statuses) != 1 || resp.Statuses[0].Code != Internal ||
+		!strings.Contains(resp.Statuses[0].Message, "RPC timeout") {
+		t.Fatalf("Write against a silent server returned %v, want transport RPC timeout", resp)
+	}
+
+	// A timed-out call must not leave its pending-response entry behind.
+	cli.mu.Lock()
+	pending := len(cli.pending)
+	cli.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d pending entries leaked after timeouts", pending)
+	}
+}
+
+// TestSetTimeoutConcurrentWithRPCs is the race gate for SetTimeout: one
+// goroutine retunes the deadline while others run RPCs that time out.
+func TestSetTimeoutConcurrentWithRPCs(t *testing.T) {
+	cli, err := Dial(silentListener(t).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetTimeout(10 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				cli.SetTimeout(time.Duration(10+i%10) * time.Millisecond)
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := cli.Read(ReadRequest{}); err == nil {
+					t.Error("Read against a silent server succeeded")
+				}
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

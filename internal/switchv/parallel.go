@@ -1,0 +1,400 @@
+// Parallel campaign engine: shard a control-plane fuzzing campaign
+// across N independent switch stacks and merge the results.
+//
+// The paper's deployment runs campaigns continuously against fleets of
+// testbeds (§6); throughput is the binding constraint on bug yield. Two
+// axes of parallelism are exploited here:
+//
+//   - across shards: the campaign's batch budget is split over a fixed
+//     number of logical shards, each owning a private switch stack,
+//     fuzzer and coverage map, executed by a pool of workers;
+//   - within a shard: generation + write + read-back (the switch side)
+//     is pipelined against oracle checking (the model side), so the
+//     switch is never idle while the oracle judges the previous batch.
+//
+// Determinism contract: the merged result — coverage counts, table
+// coverage set, deduplicated incident set — is a pure function of
+// (root seed, shard count). The worker count only changes wall-clock
+// time. This holds because shard campaigns are fully independent (seed
+// fuzzer.DeriveSeed(root, shard), private stack, private map) and the
+// merge folds them in shard order, no matter which worker ran which
+// shard when.
+package switchv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"switchv/internal/coverage"
+	"switchv/internal/fuzzer"
+	"switchv/internal/oracle"
+	"switchv/internal/p4/p4info"
+	"switchv/internal/p4rt"
+)
+
+// StackFactory builds the switch stack for one shard. The parallel
+// engine calls it once per non-empty shard, possibly concurrently; the
+// returned close function (may be nil) is called when the shard's
+// campaign ends. Callers wire in-process simulators or per-shard P4RT
+// client connections here.
+type StackFactory func(shard int) (dev p4rt.Device, close func(), err error)
+
+const (
+	// DefaultShards is the logical shard count. It is deliberately
+	// decoupled from the worker count: results depend on the shard split,
+	// so keeping it fixed makes campaigns comparable across machines.
+	DefaultShards = 8
+	// DefaultPipelineDepth is how many batches a shard's switch side may
+	// run ahead of its oracle side.
+	DefaultPipelineDepth = 4
+)
+
+// ParallelOptions configures a sharded campaign.
+type ParallelOptions struct {
+	// Workers is the number of concurrent shard executors (default 1).
+	// More workers than shards is clamped to the shard count.
+	Workers int
+	// Shards is the logical shard count (default DefaultShards). The
+	// merged result depends on it; the worker count must not.
+	Shards int
+	// PipelineDepth bounds the per-shard write-ahead (default
+	// DefaultPipelineDepth); < 0 disables pipelining.
+	PipelineDepth int
+	// Fuzz seeds the per-shard campaigns: Seed is the root seed each
+	// shard's stream is derived from, NumRequests is the total batch
+	// budget across all shards, and Coverage (optional) is the map the
+	// shard results merge into.
+	Fuzz fuzzer.Options
+	// Factory builds each shard's switch stack (required).
+	Factory StackFactory
+}
+
+// ShardStats is the per-shard report slice surfaced to the CLI.
+type ShardStats struct {
+	Shard          int
+	Worker         int // which worker executed the shard (not deterministic)
+	Seed           int64
+	Batches        int
+	Updates        int
+	Incidents      int
+	PlateauStopped bool
+	Elapsed        time.Duration
+}
+
+// ParallelReport is the merged result of a sharded campaign.
+type ParallelReport struct {
+	Workers int
+	Shards  int
+
+	Batches    int
+	Updates    int
+	MustAccept int
+	MustReject int
+	MayReject  int
+
+	// Incidents is the deduplicated union of the shard incident sets, in
+	// shard order; DuplicateIncidents counts the drops.
+	Incidents          []Incident
+	DuplicateIncidents int
+
+	PerShard    []ShardStats
+	PerMutation map[string]int
+
+	// Coverage is the snapshot of the merged coverage map.
+	Coverage *coverage.Snapshot
+
+	Elapsed time.Duration
+}
+
+// EntriesPerSecond is the campaign throughput across all shards.
+func (r *ParallelReport) EntriesPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Updates) / r.Elapsed.Seconds()
+}
+
+// IncidentKinds is the campaign's incident signature: the sorted set of
+// distinct tool/kind pairs. Determinism tests and the benchmark compare
+// runs on it (incident Details embed batch numbers, which depend on the
+// shard split, so the raw set is the wrong thing to compare across
+// configurations).
+func IncidentKinds(incidents []Incident) []string {
+	set := map[string]struct{}{}
+	for _, inc := range incidents {
+		set[inc.Tool+"/"+inc.Kind] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shardBatches splits a total batch budget over shards: the first
+// total%shards shards take one extra batch.
+func shardBatches(total, shards, shard int) int {
+	n := total / shards
+	if shard < total%shards {
+		n++
+	}
+	return n
+}
+
+type shardResult struct {
+	rep   *ControlPlaneReport
+	stats ShardStats
+	err   error
+}
+
+// RunParallelCampaign shards a control-plane fuzzing campaign over
+// independent switch stacks and merges the results. On a shard error
+// the remaining shards still run; the first error (in shard order) is
+// returned alongside the partial report.
+func RunParallelCampaign(info *p4info.Info, opts ParallelOptions) (*ParallelReport, error) {
+	if opts.Factory == nil {
+		return nil, fmt.Errorf("switchv: ParallelOptions.Factory is required")
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	depth := opts.PipelineDepth
+	if depth == 0 {
+		depth = DefaultPipelineDepth
+	}
+	total := opts.Fuzz.NumRequests
+	if total == 0 {
+		total = 1000
+	}
+
+	start := time.Now()
+	results := make([]shardResult, shards)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for shard := range jobs {
+				results[shard] = runShard(info, opts, worker, shard,
+					shardBatches(total, shards, shard), depth)
+			}
+		}(w)
+	}
+	for shard := 0; shard < shards; shard++ {
+		jobs <- shard
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Merge in shard order: fold coverage snapshots into the root map and
+	// deduplicate incidents on their full (tool, kind, detail) identity.
+	rootCov := opts.Fuzz.Coverage
+	if rootCov == nil {
+		rootCov = coverage.NewMap(info)
+	}
+	rep := &ParallelReport{Workers: workers, Shards: shards, PerMutation: map[string]int{}}
+	seen := map[Incident]bool{}
+	var firstErr error
+	for shard := 0; shard < shards; shard++ {
+		r := results[shard]
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		rep.PerShard = append(rep.PerShard, r.stats)
+		if r.rep == nil {
+			continue
+		}
+		rep.Batches += r.rep.Batches
+		rep.Updates += r.rep.Updates
+		rep.MustAccept += r.rep.MustAccept
+		rep.MustReject += r.rep.MustReject
+		rep.MayReject += r.rep.MayReject
+		for class, n := range r.rep.PerMutation {
+			rep.PerMutation[class] += n
+		}
+		for _, inc := range r.rep.Incidents {
+			if seen[inc] {
+				rep.DuplicateIncidents++
+				continue
+			}
+			seen[inc] = true
+			rep.Incidents = append(rep.Incidents, inc)
+		}
+		if r.rep.Coverage != nil {
+			rootCov.Merge(r.rep.Coverage)
+		}
+	}
+	rep.Coverage = rootCov.Snapshot()
+	rep.Elapsed = time.Since(start)
+	return rep, firstErr
+}
+
+// runShard executes one shard's campaign on a freshly built stack.
+func runShard(info *p4info.Info, opts ParallelOptions, worker, shard, batches, depth int) shardResult {
+	res := shardResult{stats: ShardStats{
+		Shard:  shard,
+		Worker: worker,
+		Seed:   fuzzer.DeriveSeed(opts.Fuzz.Seed, shard),
+	}}
+	if batches == 0 {
+		res.rep = &ControlPlaneReport{}
+		return res
+	}
+	begin := time.Now()
+	dev, closeStack, err := opts.Factory(shard)
+	if err != nil {
+		res.err = fmt.Errorf("shard %d: building stack: %w", shard, err)
+		return res
+	}
+	if closeStack != nil {
+		defer closeStack()
+	}
+	h := New(info, dev, nil)
+	if err := h.PushPipeline(); err != nil {
+		res.err = fmt.Errorf("shard %d: pushing pipeline: %w", shard, err)
+		return res
+	}
+	fo := opts.Fuzz
+	fo.Seed = res.stats.Seed
+	fo.NumRequests = batches
+	fo.Coverage = coverage.NewMap(info) // private map, merged later
+	rep, err := h.RunControlPlanePipelined(fo, depth)
+	if err != nil {
+		res.err = fmt.Errorf("shard %d: %w", shard, err)
+	}
+	res.rep = rep
+	res.stats.Elapsed = time.Since(begin)
+	if rep != nil {
+		res.stats.Batches = rep.Batches
+		res.stats.Updates = rep.Updates
+		res.stats.Incidents = len(rep.Incidents)
+		res.stats.PlateauStopped = rep.PlateauStopped
+	}
+	return res
+}
+
+// RunControlPlanePipelined is RunControlPlane with the switch side and
+// the oracle side overlapped: a producer goroutine generates batches,
+// writes them and reads the switch back, while the caller's goroutine
+// drains the FIFO and runs the oracle. Up to depth batches are in
+// flight, so the switch never waits for verdict bookkeeping.
+//
+// The pipeline preserves the sequential loop's results exactly — the
+// producer performs the same generate/write/read/NoteAccepted sequence,
+// the checker sees batches in FIFO order, and the oracle (whose state
+// is adopted from each read-back) runs single-threaded — except that
+// Trajectory is not sampled (a mid-pipeline coverage reading would
+// depend on producer timing, breaking run-to-run determinism).
+//
+// Campaign modes that feed checker results back into generation cannot
+// be overlapped: plateau stops, incident-count stops, and
+// coverage-guided scheduling all fall back to the sequential loop, as
+// does depth < 1.
+func (h *Harness) RunControlPlanePipelined(opts fuzzer.Options, depth int) (*ControlPlaneReport, error) {
+	if depth < 1 || opts.PlateauBatches > 0 || opts.StopAfterIncidents > 0 || opts.CoverageGuided {
+		return h.RunControlPlane(opts)
+	}
+	if opts.Coverage == nil {
+		opts.Coverage = coverage.NewMap(h.Info)
+	}
+	cov := opts.Coverage
+	f := fuzzer.New(h.Info, opts)
+	orc := oracle.New(h.Info)
+	orc.SetCoverage(cov)
+	rep := &ControlPlaneReport{}
+	start := time.Now()
+	n := opts.NumRequests
+	if n == 0 {
+		n = 1000
+	}
+
+	type batchWork struct {
+		batch    int
+		req      p4rt.WriteRequest
+		meta     []fuzzer.GeneratedUpdate
+		resp     p4rt.WriteResponse
+		observed p4rt.ReadResponse
+		readErr  error
+	}
+	work := make(chan batchWork, depth-1)
+	var genErr error
+	go func() {
+		defer close(work)
+		for batch := 0; batch < n; batch++ {
+			req, meta, err := f.NextBatch()
+			if err != nil {
+				genErr = err
+				return
+			}
+			resp := h.Dev.Write(req)
+			observed, readErr := h.Dev.Read(p4rt.ReadRequest{})
+			if readErr == nil {
+				// The fuzzer's reference pool must track switch acceptance
+				// before the next NextBatch, so this lives on the producer
+				// side (it only touches fuzzer + coverage state, both safe
+				// against the concurrent checker).
+				for i, st := range resp.Statuses {
+					if i < len(req.Updates) && st.Code == p4rt.OK {
+						f.NoteAccepted(req.Updates[i])
+					}
+				}
+			}
+			work <- batchWork{batch, req, meta, resp, observed, readErr}
+		}
+	}()
+
+	for w := range work {
+		rep.Batches++
+		rep.Updates += len(w.req.Updates)
+		if w.readErr != nil {
+			rep.Incidents = append(rep.Incidents, Incident{
+				Tool: "p4-fuzzer", Kind: "read-failed",
+				Detail: fmt.Sprintf("reading back after batch %d: %v", w.batch, w.readErr),
+			})
+			continue
+		}
+		verdicts, violations := orc.CheckBatch(w.req, w.resp, w.observed)
+		for i, v := range verdicts {
+			switch v {
+			case oracle.MustAccept:
+				rep.MustAccept++
+			case oracle.MustReject:
+				rep.MustReject++
+			case oracle.MayReject:
+				rep.MayReject++
+			}
+			if i < len(w.meta) && i < len(w.resp.Statuses) {
+				cov.NoteMutationOutcome(w.meta[i].Mutation, v.String(),
+					w.resp.Statuses[i].Code == p4rt.OK)
+			}
+		}
+		for _, viol := range violations {
+			detail := viol.String()
+			if viol.UpdateIndex >= 0 && viol.UpdateIndex < len(w.meta) {
+				m := w.meta[viol.UpdateIndex]
+				detail += fmt.Sprintf(" (update: %s %v", m.Update.Type, m.Update.Entry.TableID)
+				if m.Mutation != "" {
+					detail += ", mutation: " + m.Mutation
+				}
+				detail += ")"
+			}
+			rep.Incidents = append(rep.Incidents, Incident{Tool: "p4-fuzzer", Kind: viol.Kind, Detail: detail})
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	rep.PerMutation = f.PerMutation
+	rep.Coverage = cov.Snapshot()
+	return rep, genErr
+}

@@ -78,88 +78,8 @@ func TestNoFalsePositivesDataPlane(t *testing.T) {
 	}
 }
 
-// faultCase describes how a fault should be caught.
-type faultCase struct {
-	fault        switchsim.Fault
-	role         string
-	tool         string // which campaign must catch it
-	needChurn    bool
-	defaultRoute bool
-	tunnel       bool
-	batches      int // override the default small campaign length
-}
-
-var faultCases = []faultCase{
-	{fault: switchsim.FaultBatchAbortOnDeleteMissing, role: "middleblock", tool: "p4-fuzzer"},
-	{fault: switchsim.FaultAcceptInvalidReference, role: "middleblock", tool: "p4-fuzzer"},
-	{fault: switchsim.FaultWrongDuplicateStatus, role: "middleblock", tool: "p4-fuzzer"},
-	{fault: switchsim.FaultReadDropsTernary, role: "middleblock", tool: "p4-fuzzer"},
-	{fault: switchsim.FaultModifyKeepsOldParams, role: "middleblock", tool: "p4-fuzzer"},
-	{fault: switchsim.FaultVRFDeleteFails, role: "middleblock", tool: "p4-fuzzer", batches: 300},
-	{fault: switchsim.FaultZeroBytesAccepted, role: "middleblock", tool: "p4-fuzzer"},
-	{fault: switchsim.FaultRejectACLEntries, role: "middleblock", tool: "p4-symbolic"},
-	{fault: switchsim.FaultTTL1NoTrap, role: "middleblock", tool: "p4-symbolic"},
-	{fault: switchsim.FaultPortSpeedDrop, role: "middleblock", tool: "p4-symbolic"},
-	{fault: switchsim.FaultLPMTiebreakWrong, role: "middleblock", tool: "p4-symbolic"},
-	{fault: switchsim.FaultDSCPRemarkZero, role: "middleblock", tool: "p4-symbolic"},
-	{fault: switchsim.FaultModelBroadcastDrop, role: "middleblock", tool: "p4-symbolic", defaultRoute: true},
-	{fault: switchsim.FaultWCMPUpdateDropsMember, role: "middleblock", tool: "p4-symbolic", needChurn: true},
-	{fault: switchsim.FaultPacketOutPuntedBack, role: "middleblock", tool: "p4-symbolic"},
-	{fault: switchsim.FaultSubmitIngressDropped, role: "middleblock", tool: "p4-symbolic"},
-	{fault: switchsim.FaultDefaultRouteDelete, role: "middleblock", tool: "p4-symbolic", defaultRoute: true},
-	{fault: switchsim.FaultLLDPPunt, role: "middleblock", tool: "p4-symbolic"},
-	{fault: switchsim.FaultVLANReservedAccepted, role: "wan", tool: "p4-fuzzer"},
-	{fault: switchsim.FaultEncapDstReversed, role: "wan", tool: "p4-symbolic", tunnel: true},
-}
-
-// TestFaultsDetected runs the matching campaign against each injected
-// fault and requires at least one incident.
-func TestFaultsDetected(t *testing.T) {
-	for _, fc := range faultCases {
-		t.Run(string(fc.fault), func(t *testing.T) {
-			h, _ := newHarness(t, fc.role, fc.fault)
-			var incidents []Incident
-			switch fc.tool {
-			case "p4-fuzzer":
-				opts := smallFuzz
-				if fc.batches != 0 {
-					opts.NumRequests = fc.batches
-				}
-				rep, err := h.RunControlPlane(opts)
-				if err != nil {
-					t.Fatal(err)
-				}
-				incidents = rep.Incidents
-			case "p4-symbolic":
-				prog := models.MustLoad(fc.role)
-				store := pdpi.NewStore()
-				if fc.defaultRoute {
-					// Installed (and therefore torn down) before the other
-					// routes, which is what the default-route deletion bug
-					// needs to fire.
-					testutil.DefaultRouteFixture(prog, store)
-				}
-				testutil.RoutingFixture(prog, store)
-				if fc.tunnel {
-					testutil.TunnelFixture(prog, store)
-				}
-				entries := testutil.InstallOrder(p4info.New(prog), store)
-				rep, err := h.RunDataPlane(entries, DataPlaneOptions{
-					Coverage: symbolic.CoverBranches,
-					Churn:    fc.needChurn,
-				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				incidents = rep.Incidents
-			}
-			if len(incidents) == 0 {
-				t.Fatalf("fault %s not detected by %s", fc.fault, fc.tool)
-			}
-			t.Logf("%s: %d incidents, first: %s", fc.fault, len(incidents), incidents[0])
-		})
-	}
-}
+// Fault-detection tests live in matrix_test.go: the matrix covers every
+// fault in switchsim's registry, not just a curated subset.
 
 // TestControlPlaneReportsCoverage: every campaign (guided or not) carries
 // a final snapshot and a per-batch trajectory.

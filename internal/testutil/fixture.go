@@ -204,6 +204,99 @@ func TunnelFixture(prog *ir.Program, store *pdpi.Store) {
 	})
 }
 
+// WideWCMPFixture adds WCMP group 6 with three distinct buckets over
+// nexthops 1 and 2. Valid everywhere; a switch whose orchagent cannot
+// create groups with more than two members (partial-cleanup bug) fails
+// the install. RoutingFixture must already be installed.
+func WideWCMPFixture(prog *ir.Program, store *pdpi.Store) {
+	mustAdd(store, &pdpi.Entry{
+		Table:   tbl(prog, "wcmp_group_table"),
+		Matches: []pdpi.Match{{Key: "wcmp_group_id", Kind: ir.MatchExact, Value: value.New(6, 10)}},
+		ActionSet: []pdpi.WeightedAction{
+			{ActionInvocation: pdpi.ActionInvocation{Action: act(prog, "set_nexthop_id"), Args: []value.V{value.New(1, 10)}}, Weight: 1},
+			{ActionInvocation: pdpi.ActionInvocation{Action: act(prog, "set_nexthop_id"), Args: []value.V{value.New(2, 10)}}, Weight: 1},
+			{ActionInvocation: pdpi.ActionInvocation{Action: act(prog, "set_nexthop_id"), Args: []value.V{value.New(1, 10)}}, Weight: 2},
+		},
+	})
+}
+
+// DupBucketWCMPFixture adds WCMP group 7 whose two buckets are
+// identical — valid per the P4Runtime spec, rejected by the
+// same-buckets orchagent bug. RoutingFixture must already be installed.
+func DupBucketWCMPFixture(prog *ir.Program, store *pdpi.Store) {
+	mustAdd(store, &pdpi.Entry{
+		Table:   tbl(prog, "wcmp_group_table"),
+		Matches: []pdpi.Match{{Key: "wcmp_group_id", Kind: ir.MatchExact, Value: value.New(7, 10)}},
+		ActionSet: []pdpi.WeightedAction{
+			{ActionInvocation: pdpi.ActionInvocation{Action: act(prog, "set_nexthop_id"), Args: []value.V{value.New(1, 10)}}, Weight: 2},
+			{ActionInvocation: pdpi.ActionInvocation{Action: act(prog, "set_nexthop_id"), Args: []value.V{value.New(1, 10)}}, Weight: 2},
+		},
+	})
+}
+
+// ManyRIFsFixture adds router interfaces 3..11, taking the total (with
+// RoutingFixture's two) to eleven — within the model's guarantee, past
+// the real chip's capacity of eight.
+func ManyRIFsFixture(prog *ir.Program, store *pdpi.Store) {
+	for id := uint64(3); id <= 11; id++ {
+		mustAdd(store, &pdpi.Entry{
+			Table:   tbl(prog, "router_interface_table"),
+			Matches: []pdpi.Match{{Key: "router_interface_id", Kind: ir.MatchExact, Value: value.New(id, 10)}},
+			Action: &pdpi.ActionInvocation{Action: act(prog, "set_port_and_src_mac"),
+				Args: []value.V{value.New(id + 20, 16), value.New(0x0200000000aa, 48)}},
+		})
+	}
+}
+
+// ACLShadowFixture adds a priority-1 ingress drop for all TCP traffic,
+// shadowed (for TCP/179) by RoutingFixture's priority-10 BGP trap. On
+// correct hardware the trap wins; a TCAM that picks the lowest-priority
+// match drops BGP instead.
+func ACLShadowFixture(prog *ir.Program, store *pdpi.Store) {
+	mustAdd(store, &pdpi.Entry{
+		Table: tbl(prog, "acl_ingress_table"),
+		Matches: []pdpi.Match{
+			{Key: "ip_protocol", Kind: ir.MatchTernary, Value: value.New(6, 8), Mask: value.Ones(8)},
+		},
+		Priority: 1,
+		Action:   &pdpi.ActionInvocation{Action: act(prog, "acl_drop")},
+	})
+}
+
+// ICMPTrapFixture adds an ingress trap for ICMP echo requests
+// (ip_protocol 1, icmp type 8), restriction-compliant per the model's
+// "icmp_type requires ip_protocol == 1" rule. A switch matching the
+// ICMP code field instead of the type field misses echo requests, whose
+// code is 0.
+func ICMPTrapFixture(prog *ir.Program, store *pdpi.Store) {
+	mustAdd(store, &pdpi.Entry{
+		Table: tbl(prog, "acl_ingress_table"),
+		Matches: []pdpi.Match{
+			{Key: "ip_protocol", Kind: ir.MatchTernary, Value: value.New(1, 8), Mask: value.Ones(8)},
+			{Key: "icmp_type", Kind: ir.MatchTernary, Value: value.New(8, 8), Mask: value.Ones(8)},
+		},
+		Priority: 20,
+		Action:   &pdpi.ActionInvocation{Action: act(prog, "acl_trap")},
+	})
+}
+
+// PostRewriteDropFixture adds an ingress drop keyed on nexthop 1's
+// neighbor MAC — a destination MAC that only exists after the routing
+// rewrite. The model applies the ingress ACL to the rewritten headers,
+// so traffic routed via nexthop 1 must be dropped; a switch evaluating
+// the ACL before the rewrite forwards it. RoutingFixture must already
+// be installed.
+func PostRewriteDropFixture(prog *ir.Program, store *pdpi.Store) {
+	mustAdd(store, &pdpi.Entry{
+		Table: tbl(prog, "acl_ingress_table"),
+		Matches: []pdpi.Match{
+			{Key: "dst_mac", Kind: ir.MatchTernary, Value: value.New(0x020000000101, 48), Mask: value.Ones(48)},
+		},
+		Priority: 30,
+		Action:   &pdpi.ActionInvocation{Action: act(prog, "acl_drop")},
+	})
+}
+
 // DefaultRouteFixture adds a 0.0.0.0/0 route via nexthop 1 in VRF 1.
 func DefaultRouteFixture(prog *ir.Program, store *pdpi.Store) {
 	mustAdd(store, &pdpi.Entry{
