@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet test race matrix bench bench-parallel
+.PHONY: ci build vet test race matrix bench bench-parallel bench-symbolic
 
 # ci is the gate every change must pass: build, vet, the full test suite
 # under the race detector, and the fault-detection matrix.
@@ -25,8 +25,14 @@ matrix:
 
 # bench reruns the paper-evaluation benchmarks once each and records the
 # parallel-engine scaling run as machine-readable JSON.
-bench: bench-parallel
+bench: bench-parallel bench-symbolic
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelCampaign' -benchtime 1x -json . > BENCH_parallel.json
+
+# bench-symbolic records the data-plane generation ablation (serial vs
+# pruned vs pruned+parallel) with its built-in reduction/identity/speedup
+# gates as machine-readable JSON.
+bench-symbolic:
+	$(GO) test -run '^$$' -bench 'BenchmarkDataPlaneGen' -benchtime 1x -json . > BENCH_symbolic.json

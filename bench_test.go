@@ -5,10 +5,12 @@
 package switchv
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"switchv/internal/bugdb"
 	"switchv/internal/experiments"
@@ -111,7 +113,9 @@ func BenchmarkTable3Generation(b *testing.B) {
 }
 
 // BenchmarkTable3GenerationCached measures the warm-cache path (the "(w/c)"
-// column): same model and entries, packets served from the cache.
+// column): same model and entries, every goal outcome served from the
+// per-goal cache — no SMT checks, one symbolic execution for the
+// fingerprints.
 func BenchmarkTable3GenerationCached(b *testing.B) {
 	for _, c := range table3Cases {
 		b.Run(c.name, func(b *testing.B) {
@@ -124,24 +128,154 @@ func BenchmarkTable3GenerationCached(b *testing.B) {
 				}
 			}
 			cache := symbolic.NewCache()
-			fp := symbolic.Fingerprint(prog, store.All(prog), symbolic.CoverEntries)
+			gopts := symbolic.GenOptions{Mode: symbolic.CoverEntries, Cache: cache}
+			if _, _, err := symbolic.GeneratePacketsParallel(prog, store, symbolic.Options{}, gopts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, rep, err := symbolic.GeneratePacketsParallel(prog, store, symbolic.Options{}, gopts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Cached != rep.Goals || rep.SMTChecks != 0 {
+					b.Fatalf("warm run not fully cached: %+v", rep)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDataPlaneGen is the ablation for the parallel, solve-avoiding
+// generator (DESIGN.md §5c): serial one-check-per-goal baseline vs
+// model-reuse pruning at workers=1 vs pruning+parallelism at workers=4,
+// over the full goal universe RunDataPlane solves (branch coverage plus
+// the enriched goals). Two middleblock instances, because the gates
+// stress different regimes:
+//
+//   - small (150 entries): the check-reduction gate. Pruning headroom
+//     is bounded by the mutually-disjoint big tables (each ipv4/ipv6
+//     entry genuinely needs its own packet); at 798 entries those are
+//     ~63% of all goals and no pruner can beat ~31% reduction, while at
+//     150 the downstream prunable mass (wcmp/nexthop/neighbor/rif
+//     chains, branches, enriched) clears 40%.
+//   - large (798 entries, the Table 3 Inst1 workload): the wall-clock
+//     gate, where solving dominates the per-shard symbolic-execution
+//     cost and parallel solving pays off.
+//
+// Gates asserted: pruning cuts CheckAssuming calls by >=40% (small);
+// packet set and report are bit-identical across worker counts (both);
+// on a >=4-CPU machine pruning+parallelism beat the serial baseline's
+// wall-clock by >=2x (large).
+func BenchmarkDataPlaneGen(b *testing.B) {
+	prog := models.Middleblock()
+	const mode = symbolic.CoverBranches
+	type result struct {
+		pkts    []symbolic.TestPacket
+		rep     symbolic.Report
+		elapsed time.Duration
+	}
+	mkStore := func(b *testing.B, n int) *pdpi.Store {
+		store := pdpi.NewStore()
+		for _, e := range workload.MustEntries(prog, n, 42) {
+			if err := store.Insert(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return store
+	}
+	runSerial := func(b *testing.B, store *pdpi.Store) *result {
+		var res *result
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
 			ex, err := symbolic.New(prog, store, symbolic.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
-			pkts, _, err := ex.GeneratePackets(symbolic.CoverEntries)
+			// One check per goal over the same universe the generator
+			// covers: structural goals of the mode plus enriched goals.
+			goals := append(ex.Goals(mode), ex.EnrichedGoals()...)
+			var pkts []symbolic.TestPacket
+			rep := symbolic.Report{Goals: len(goals)}
+			for _, g := range goals {
+				pkt, ok, err := ex.SolveGoal(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep.SMTChecks++
+				if ok {
+					rep.Covered++
+					pkts = append(pkts, *pkt)
+				} else {
+					rep.Unreachable++
+				}
+			}
+			res = &result{pkts, rep, time.Since(start)}
+			b.ReportMetric(float64(rep.SMTChecks), "smt-checks")
+			b.ReportMetric(float64(rep.Goals), "goals")
+		}
+		return res
+	}
+	runParallel := func(b *testing.B, store *pdpi.Store, workers int) *result {
+		var res *result
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			pkts, rep, err := symbolic.GeneratePacketsParallel(prog, store, symbolic.Options{},
+				symbolic.GenOptions{Mode: mode, Enriched: true, Workers: workers})
 			if err != nil {
 				b.Fatal(err)
 			}
-			cache.Put(fp, pkts)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				fp2 := symbolic.Fingerprint(prog, store.All(prog), symbolic.CoverEntries)
-				if _, ok := cache.Get(fp2); !ok {
-					b.Fatal("cache miss")
-				}
-			}
-		})
+			res = &result{pkts, rep, time.Since(start)}
+			b.ReportMetric(float64(rep.SMTChecks), "smt-checks")
+			b.ReportMetric(float64(rep.Pruned), "pruned")
+			b.ReportMetric(float64(rep.Goals), "goals")
+		}
+		return res
+	}
+	render := func(pkts []symbolic.TestPacket) string {
+		var sb strings.Builder
+		for _, p := range pkts {
+			fmt.Fprintf(&sb, "%s|%d|%x\n", p.GoalKey, p.Port, p.Data)
+		}
+		return sb.String()
+	}
+	checkIdentity := func(b *testing.B, w1, w4 *result) {
+		if render(w1.pkts) != render(w4.pkts) {
+			b.Fatal("packet set differs across worker counts")
+		}
+		if w1.rep != w4.rep {
+			b.Fatalf("report differs across worker counts:\n  workers=1: %+v\n  workers=4: %+v", w1.rep, w4.rep)
+		}
+	}
+
+	var serialS, pruned1S, pruned4S, serialL, pruned1L, pruned4L *result
+	small, large := mkStore(b, 150), mkStore(b, 798)
+	b.Run("small/serial", func(b *testing.B) { serialS = runSerial(b, small) })
+	b.Run("small/pruned-workers=1", func(b *testing.B) { pruned1S = runParallel(b, small, 1) })
+	b.Run("small/pruned-workers=4", func(b *testing.B) { pruned4S = runParallel(b, small, 4) })
+	b.Run("large/serial", func(b *testing.B) { serialL = runSerial(b, large) })
+	b.Run("large/pruned-workers=1", func(b *testing.B) { pruned1L = runParallel(b, large, 1) })
+	b.Run("large/pruned-workers=4", func(b *testing.B) { pruned4L = runParallel(b, large, 4) })
+	if serialS == nil || pruned1S == nil || pruned4S == nil ||
+		serialL == nil || pruned1L == nil || pruned4L == nil {
+		return
+	}
+
+	// Gate 1: model-reuse pruning avoids >=40% of the solver calls.
+	if lim := serialS.rep.SMTChecks * 6 / 10; pruned1S.rep.SMTChecks > lim {
+		b.Fatalf("pruning saved too little: %d checks vs serial %d (want <= %d)",
+			pruned1S.rep.SMTChecks, serialS.rep.SMTChecks, lim)
+	}
+	// Gate 2: worker count changes wall-clock only — packet set and
+	// report are bit-identical, on both instances.
+	checkIdentity(b, pruned1S, pruned4S)
+	checkIdentity(b, pruned1L, pruned4L)
+	// Gate 3: >=2x wall-clock over the serial baseline on >=4 CPUs.
+	speedup := float64(serialL.elapsed) / float64(pruned4L.elapsed)
+	b.ReportMetric(speedup, "speedup-x")
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+	if runtime.NumCPU() >= 4 && speedup < 2 {
+		b.Fatalf("pruned+parallel speedup %.2fx over serial on a %d-CPU machine, want >= 2x", speedup, runtime.NumCPU())
 	}
 }
 

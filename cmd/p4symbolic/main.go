@@ -23,6 +23,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	coverage := flag.String("coverage", "entries", "coverage mode: entries or branches")
 	emit := flag.Bool("emit", false, "print each synthesized packet")
+	dpWorkers := flag.Int("dp-workers", 0, "solve goals with the parallel pruning generator using N workers (0 = sequential one-check-per-goal)")
+	dpShards := flag.Int("dp-shards", 0, "goal-shard count for -dp-workers (0 = default; results depend on it)")
 	flag.Parse()
 
 	prog, err := models.Load(*role)
@@ -42,24 +44,43 @@ func main() {
 		mode = symbolic.CoverBranches
 	}
 
-	t0 := time.Now()
-	ex, err := symbolic.New(prog, store, symbolic.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	execTime := time.Since(t0)
+	var packets []symbolic.TestPacket
+	var rep symbolic.Report
+	var execTime, genTime time.Duration
+	if *dpWorkers > 0 {
+		t0 := time.Now()
+		packets, rep, err = symbolic.GeneratePacketsParallel(prog, store, symbolic.Options{},
+			symbolic.GenOptions{Mode: mode, Workers: *dpWorkers, Shards: *dpShards})
+		if err != nil {
+			log.Fatal(err)
+		}
+		genTime = time.Since(t0)
+	} else {
+		t0 := time.Now()
+		ex, err := symbolic.New(prog, store, symbolic.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		execTime = time.Since(t0)
 
-	t1 := time.Now()
-	packets, rep, err := ex.GeneratePackets(mode)
-	if err != nil {
-		log.Fatal(err)
+		t1 := time.Now()
+		packets, rep, err = ex.GeneratePackets(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		genTime = time.Since(t1)
 	}
-	genTime := time.Since(t1)
 
 	fmt.Printf("p4-symbolic: model %q, %d entries\n", prog.Name, len(entries))
-	fmt.Printf("symbolic execution: %v (%d terms, %d clauses)\n", execTime.Round(time.Millisecond), rep.Terms, rep.Clauses)
-	fmt.Printf("generation: %v for %d goals (%d covered, %d unreachable)\n",
-		genTime.Round(time.Millisecond), rep.Goals, rep.Covered, rep.Unreachable)
+	if *dpWorkers > 0 {
+		fmt.Printf("symbolic execution: %d shards (%d terms, %d clauses)\n", rep.Shards, rep.Terms, rep.Clauses)
+		fmt.Printf("generation: %v for %d goals (%d covered, %d unreachable; %d solved, %d pruned, %d checks)\n",
+			genTime.Round(time.Millisecond), rep.Goals, rep.Covered, rep.Unreachable, rep.Solved, rep.Pruned, rep.SMTChecks)
+	} else {
+		fmt.Printf("symbolic execution: %v (%d terms, %d clauses)\n", execTime.Round(time.Millisecond), rep.Terms, rep.Clauses)
+		fmt.Printf("generation: %v for %d goals (%d covered, %d unreachable)\n",
+			genTime.Round(time.Millisecond), rep.Goals, rep.Covered, rep.Unreachable)
+	}
 	fmt.Printf("solver: %d decisions, %d propagations, %d conflicts\n",
 		rep.SATStats.Decisions, rep.SATStats.Propagations, rep.SATStats.Conflicts)
 	if *emit {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"switchv/internal/coverage"
@@ -42,7 +43,28 @@ func main() {
 	plateau := flag.Int("plateau", 0, "stop fuzzing after N consecutive batches with no new coverage (0 = never)")
 	workers := flag.Int("workers", 0, "fuzz with the parallel sharded engine using N workers (0 = sequential single-stack campaign)")
 	shards := flag.Int("shards", switchv.DefaultShards, "logical shard count for -workers (results depend on it; worker count only changes speed)")
+	dpWorkers := flag.Int("dp-workers", 0, "workers for data-plane generation and simulation (0 = 1; results are identical for any count)")
+	dpShards := flag.Int("dp-shards", 0, "goal-shard count for data-plane generation (0 = default; results depend on it)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		// os.Exit skips defers, so the failure path below calls this
+		// explicitly; StopCPUProfile is idempotent.
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfile()
+	}
 
 	prog, err := models.Load(*role)
 	if err != nil {
@@ -148,14 +170,26 @@ func main() {
 		if *branches {
 			mode = symbolic.CoverBranches
 		}
-		rep, err := h.RunDataPlane(ents, switchv.DataPlaneOptions{Coverage: mode, Churn: *churn, CoverageMap: cov})
+		rep, err := h.RunDataPlane(ents, switchv.DataPlaneOptions{
+			Coverage:    mode,
+			Churn:       *churn,
+			CoverageMap: cov,
+			Workers:     *dpWorkers,
+			Shards:      *dpShards,
+		})
 		if err != nil {
 			log.Fatalf("data plane campaign: %v", err)
 		}
+		srep := rep.SolverReport
 		fmt.Printf("\n== p4-symbolic ==\n")
 		fmt.Printf("entries: %d  goals: %d  covered: %d  unreachable: %d\n",
 			rep.Entries, rep.Goals, rep.Covered, rep.Unreachable)
 		fmt.Printf("generation: %v  testing: %v  packets: %d\n", rep.GenElapsed, rep.TestElapsed, rep.Packets)
+		fmt.Printf("solver: %d checks (%d solved, %d pruned, %d cached) over %d shards\n",
+			srep.SMTChecks, srep.Solved, srep.Pruned, srep.Cached, srep.Shards)
+		fmt.Printf("        %d terms, %d clauses, %d vars; %d decisions, %d propagations, %d conflicts\n",
+			srep.Terms, srep.Clauses, srep.Vars,
+			srep.SATStats.Decisions, srep.SATStats.Propagations, srep.SATStats.Conflicts)
 		fmt.Printf("incidents: %d\n", len(rep.Incidents))
 		printIncidents(rep.Incidents)
 		incidents += len(rep.Incidents)
@@ -176,6 +210,7 @@ func main() {
 
 	if incidents > 0 {
 		fmt.Printf("\nSwitchV found %d incidents; inspect the logs above to root-cause them.\n", incidents)
+		stopProfile()
 		os.Exit(1)
 	}
 	fmt.Printf("\nSwitchV found no divergence between the switch and the model.\n")

@@ -3,6 +3,7 @@ package pdpi
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"switchv/internal/p4/ir"
 )
@@ -10,7 +11,12 @@ import (
 // Store holds the installed entries of a switch or simulator, keyed by
 // table and canonical match key. It implements the P4Runtime insert,
 // modify and delete semantics on the semantic entry representation.
+//
+// A Store is safe for concurrent readers (the parallel symbolic-
+// generation and simulation engines share one store across workers);
+// mutations must not race with reads, as everywhere else.
 type Store struct {
+	mu     sync.Mutex
 	tables map[string]map[string]*Entry
 	order  int
 	seq    map[string]int // insertion order per entry key, for stable wins
@@ -30,6 +36,8 @@ func NewStore() *Store {
 
 // Len returns the total number of installed entries.
 func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := 0
 	for _, t := range s.tables {
 		n += len(t)
@@ -38,11 +46,17 @@ func (s *Store) Len() int {
 }
 
 // TableLen returns the number of entries installed in a table.
-func (s *Store) TableLen(table string) int { return len(s.tables[table]) }
+func (s *Store) TableLen(table string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tables[table])
+}
 
 // Insert adds an entry; it fails if an entry with the same match already
 // exists.
 func (s *Store) Insert(e *Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	key := e.Key()
 	t := s.tables[e.Table.Name]
 	if t == nil {
@@ -62,6 +76,8 @@ func (s *Store) Insert(e *Entry) error {
 // Modify replaces the action of an existing entry; it fails if the entry
 // does not exist.
 func (s *Store) Modify(e *Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	key := e.Key()
 	t := s.tables[e.Table.Name]
 	if _, ok := t[key]; !ok {
@@ -74,6 +90,8 @@ func (s *Store) Modify(e *Entry) error {
 
 // Delete removes an entry by match; it fails if the entry does not exist.
 func (s *Store) Delete(e *Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	key := e.Key()
 	t := s.tables[e.Table.Name]
 	if _, ok := t[key]; !ok {
@@ -87,6 +105,8 @@ func (s *Store) Delete(e *Entry) error {
 
 // Get returns the entry with the same match as e, if installed.
 func (s *Store) Get(e *Entry) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	got, ok := s.tables[e.Table.Name][e.Key()]
 	return got, ok
 }
@@ -95,6 +115,12 @@ func (s *Store) Get(e *Entry) (*Entry, bool) {
 // order. The result is cached until the table changes; callers must not
 // mutate it.
 func (s *Store) Entries(table string) []*Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entriesLocked(table)
+}
+
+func (s *Store) entriesLocked(table string) []*Entry {
 	if out, ok := s.ordered[table]; ok {
 		return out
 	}
@@ -111,6 +137,8 @@ func (s *Store) Entries(table string) []*Entry {
 // All returns every installed entry, grouped by table in the program's
 // declaration order when prog is non-nil, else by table name.
 func (s *Store) All(prog *ir.Program) []*Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var names []string
 	if prog != nil {
 		for _, t := range prog.Tables {
@@ -124,7 +152,7 @@ func (s *Store) All(prog *ir.Program) []*Entry {
 	}
 	var out []*Entry
 	for _, name := range names {
-		out = append(out, s.Entries(name)...)
+		out = append(out, s.entriesLocked(name)...)
 	}
 	return out
 }
@@ -134,6 +162,8 @@ func (s *Store) All(prog *ir.Program) []*Entry {
 // the entries themselves are shared, making Clone cheap enough for the
 // oracle's per-batch replay.
 func (s *Store) Clone() *Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := NewStore()
 	out.order = s.order
 	for table, entries := range s.tables {
@@ -149,6 +179,8 @@ func (s *Store) Clone() *Store {
 
 // Clear removes all entries.
 func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.tables = map[string]map[string]*Entry{}
 	s.seq = map[string]int{}
 	s.ordered = map[string][]*Entry{}
@@ -157,4 +189,8 @@ func (s *Store) Clear() {
 
 // Seq returns the insertion sequence number of an installed entry (0 if
 // not installed). Lower numbers were installed earlier.
-func (s *Store) Seq(e *Entry) int { return s.seq[e.Key()] }
+func (s *Store) Seq(e *Entry) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq[e.Key()]
+}

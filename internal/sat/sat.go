@@ -111,6 +111,16 @@ type Stats struct {
 	Learnt       int64
 }
 
+// Add accumulates another solver's counters into s (aggregating work
+// across the per-shard solvers of a parallel campaign).
+func (s *Stats) Add(o Stats) {
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Conflicts += o.Conflicts
+	s.Restarts += o.Restarts
+	s.Learnt += o.Learnt
+}
+
 // New returns an empty solver.
 func New() *Solver {
 	return &Solver{varInc: 1, clauseInc: 1, maxLearn: 4000}

@@ -1,0 +1,162 @@
+// Concrete evaluation of terms under a SAT model. After the solver finds
+// a model for one coverage goal, Eval lets the caller check — without any
+// further SMT work — which other goal conditions that model already
+// satisfies. The symbolic engine uses this for greedy test-suite
+// reduction: on typical programs most goals fall to a handful of models,
+// so almost all per-goal solver calls are skipped.
+package smt
+
+import (
+	"fmt"
+
+	"switchv/internal/p4/value"
+)
+
+// Model is a concrete assignment to the bitvector variables of a
+// formula, captured from the solver after a Sat result. Variables the
+// solver never saw are unconstrained by the formula and read as zero,
+// matching ValueBV. Evaluation results are memoized over the hash-consed
+// term DAG, so repeated Eval calls against the same model share work.
+//
+// A Model is independent of the solver it was captured from and stays
+// valid after further Check calls; it is not safe for concurrent use.
+type Model struct {
+	vars   map[*Term]value.V
+	memoBV map[*Term]value.V
+	memoB  map[*Term]bool
+}
+
+// Model captures the current model. It must only be called after a Sat
+// result from Check or CheckAssuming.
+func (s *Solver) Model() *Model {
+	vars := make(map[*Term]value.V)
+	for t, bits := range s.bvBits {
+		if t.op != OpBVVar {
+			continue
+		}
+		v := value.Zero(t.width)
+		for i, l := range bits {
+			if s.sat.LitValue(l) {
+				v = v.SetBit(i, true)
+			}
+		}
+		vars[t] = v
+	}
+	return &Model{
+		vars:   vars,
+		memoBV: map[*Term]value.V{},
+		memoB:  map[*Term]bool{},
+	}
+}
+
+// Var returns the model value of a bitvector variable (zero if the
+// variable never appeared in the formula).
+func (m *Model) Var(t *Term) value.V {
+	if t.op != OpBVVar {
+		panic("smt: Model.Var on non-variable term")
+	}
+	if v, ok := m.vars[t]; ok {
+		return v
+	}
+	return value.Zero(t.width)
+}
+
+// Eval evaluates a term under a model. Boolean terms evaluate to a 1-bit
+// vector (1 = true); use EvalBool for the boolean directly.
+func Eval(m *Model, t *Term) value.V {
+	if t.IsBool() {
+		if m.evalBool(t) {
+			return value.New(1, 1)
+		}
+		return value.Zero(1)
+	}
+	return m.evalBV(t)
+}
+
+// EvalBool evaluates a boolean term under a model.
+func EvalBool(m *Model, t *Term) bool {
+	if !t.IsBool() {
+		panic("smt: EvalBool on bitvector term")
+	}
+	return m.evalBool(t)
+}
+
+func (m *Model) evalBool(t *Term) bool {
+	if v, ok := m.memoB[t]; ok {
+		return v
+	}
+	var v bool
+	switch t.op {
+	case OpBoolConst:
+		v = t.b
+	case OpNot:
+		v = !m.evalBool(t.kids[0])
+	case OpAnd:
+		v = m.evalBool(t.kids[0]) && m.evalBool(t.kids[1])
+	case OpOr:
+		v = m.evalBool(t.kids[0]) || m.evalBool(t.kids[1])
+	case OpImplies:
+		v = !m.evalBool(t.kids[0]) || m.evalBool(t.kids[1])
+	case OpIff:
+		v = m.evalBool(t.kids[0]) == m.evalBool(t.kids[1])
+	case OpBoolIte:
+		if m.evalBool(t.kids[0]) {
+			v = m.evalBool(t.kids[1])
+		} else {
+			v = m.evalBool(t.kids[2])
+		}
+	case OpEq:
+		v = m.evalBV(t.kids[0]).Equal(m.evalBV(t.kids[1]))
+	case OpUlt:
+		v = m.evalBV(t.kids[0]).Less(m.evalBV(t.kids[1]))
+	case OpUle:
+		v = !m.evalBV(t.kids[1]).Less(m.evalBV(t.kids[0]))
+	default:
+		panic(fmt.Sprintf("smt: cannot evaluate boolean op %v", t.op))
+	}
+	m.memoB[t] = v
+	return v
+}
+
+func (m *Model) evalBV(t *Term) value.V {
+	if v, ok := m.memoBV[t]; ok {
+		return v
+	}
+	var v value.V
+	switch t.op {
+	case OpBVConst:
+		v = t.val
+	case OpBVVar:
+		v = m.Var(t)
+	case OpBVAnd:
+		v = m.evalBV(t.kids[0]).And(m.evalBV(t.kids[1]))
+	case OpBVOr:
+		v = m.evalBV(t.kids[0]).Or(m.evalBV(t.kids[1]))
+	case OpBVXor:
+		v = m.evalBV(t.kids[0]).Xor(m.evalBV(t.kids[1]))
+	case OpBVNot:
+		v = m.evalBV(t.kids[0]).Not()
+	case OpBVAdd:
+		v = m.evalBV(t.kids[0]).Add(m.evalBV(t.kids[1]))
+	case OpBVSub:
+		v = m.evalBV(t.kids[0]).Sub(m.evalBV(t.kids[1]))
+	case OpBVShl:
+		v = m.evalBV(t.kids[0]).Shl(int(t.kids[1].val.Uint64()))
+	case OpBVShr:
+		v = m.evalBV(t.kids[0]).Shr(int(t.kids[1].val.Uint64()))
+	case OpIte:
+		if m.evalBool(t.kids[0]) {
+			v = m.evalBV(t.kids[1])
+		} else {
+			v = m.evalBV(t.kids[2])
+		}
+	case OpBVZext:
+		v = m.evalBV(t.kids[0]).WithWidth(t.width)
+	case OpBVTrunc:
+		v = m.evalBV(t.kids[0]).WithWidth(t.width)
+	default:
+		panic(fmt.Sprintf("smt: cannot evaluate bitvector op %v", t.op))
+	}
+	m.memoBV[t] = v
+	return v
+}

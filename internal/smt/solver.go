@@ -20,6 +20,9 @@ type Solver struct {
 
 	// NumClauses counts Tseitin clauses emitted (benchmark metric).
 	NumClauses int
+	// NumChecks counts Check/CheckAssuming calls (the per-goal solver
+	// invocations the pruning path avoids).
+	NumChecks int
 }
 
 // NewSolver returns a solver sharing the builder's terms.
@@ -291,11 +294,15 @@ func (s *Solver) Assert(t *Term) {
 }
 
 // Check decides the asserted formula.
-func (s *Solver) Check() sat.Result { return s.sat.Solve() }
+func (s *Solver) Check() sat.Result {
+	s.NumChecks++
+	return s.sat.Solve()
+}
 
 // CheckAssuming decides the asserted formula conjoined with the given
 // boolean terms, without making them permanent.
 func (s *Solver) CheckAssuming(terms ...*Term) sat.Result {
+	s.NumChecks++
 	lits := make([]sat.Lit, len(terms))
 	for i, t := range terms {
 		lits[i] = s.BlastBool(t)

@@ -7,6 +7,7 @@ package switchv
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"switchv/internal/bmv2"
@@ -213,8 +214,7 @@ type DataPlaneReport struct {
 // DataPlaneOptions configures a data-plane campaign.
 type DataPlaneOptions struct {
 	Coverage symbolic.CoverageMode
-	// Cache, when non-nil, is consulted before invoking the solver
-	// (§6.3).
+	// Cache, when non-nil, serves per-goal generation outcomes (§6.3).
 	Cache *symbolic.Cache
 	// Churn re-applies every installed entry with MODIFY before testing,
 	// exercising update paths (the class of WCMP-update bugs).
@@ -225,6 +225,14 @@ type DataPlaneOptions struct {
 	// goal list and credited with per-table/per-entry hits harvested from
 	// the reference simulator's execution traces.
 	CoverageMap *coverage.Map
+	// Workers is the number of concurrent workers for packet generation
+	// and simulation (default 1). The campaign result is identical for
+	// any worker count; only wall-clock time changes.
+	Workers int
+	// Shards is the generator's logical goal-shard count (default
+	// symbolic.DefaultGoalShards). Results depend on it — it is a
+	// campaign parameter, not a concurrency knob.
+	Shards int
 }
 
 // RunDataPlane installs the given entries on the switch, generates test
@@ -288,86 +296,99 @@ func (h *Harness) RunDataPlane(entries []*pdpi.Entry, opts DataPlaneOptions) (*D
 	// that the model punts must come back on the stream.
 	rep.Incidents = append(rep.Incidents, h.checkPacketIO(store)...)
 
-	// Generate test packets (or reuse cached ones).
+	// Generate test packets: structural goals of the coverage mode plus
+	// the standing "test engineer" assertions (§5 "Coverage
+	// Constraints"), via the parallel, solve-avoiding generator.
 	prog := h.Info.Program()
-	var packets []symbolic.TestPacket
-	fp := symbolic.Fingerprint(prog, store.All(prog), opts.Coverage)
 	genStart := time.Now()
-	if opts.Cache != nil {
-		if cached, ok := opts.Cache.Get(fp); ok {
-			packets = cached
-			rep.CacheHit = true
-		}
-	}
-	if packets == nil {
-		ex, err := symbolic.New(prog, store, symbolic.Options{})
-		if err != nil {
-			return rep, err
-		}
-		// The trace map's goal list is the campaign's coverage universe:
-		// every goal registers at zero so the map knows the denominator.
-		if opts.CoverageMap != nil {
-			for _, g := range ex.Goals(opts.Coverage) {
-				opts.CoverageMap.Register(coverage.KeyGoal(g.Key))
-			}
-			for _, g := range ex.EnrichedGoals() {
-				opts.CoverageMap.Register(coverage.KeyGoal(g.Key))
-			}
-		}
-		var srep symbolic.Report
-		packets, srep, err = ex.GeneratePackets(opts.Coverage)
-		if err != nil {
-			return rep, err
-		}
-		// The standing "test engineer" assertions over X and Y (§5
-		// "Coverage Constraints") complement the structural goals.
-		for _, g := range ex.EnrichedGoals() {
-			pkt, ok, err := ex.SolveGoal(g)
-			srep.Goals++
-			if err != nil {
-				return rep, err
-			}
-			if !ok {
-				srep.Unreachable++
-				continue
-			}
-			srep.Covered++
-			packets = append(packets, *pkt)
-		}
-		rep.SolverReport = srep
-		rep.Goals = srep.Goals
-		rep.Covered = srep.Covered
-		rep.Unreachable = srep.Unreachable
-		if opts.Cache != nil {
-			opts.Cache.Put(fp, packets)
-		}
-	}
-	rep.GenElapsed = time.Since(genStart)
-	rep.Packets = len(packets)
-
-	// Differential execution.
-	testStart := time.Now()
-	sim, err := bmv2.New(prog, store)
+	gen, err := symbolic.NewGenerator(prog, store, symbolic.Options{}, symbolic.GenOptions{
+		Mode:     opts.Coverage,
+		Enriched: true,
+		Cache:    opts.Cache,
+		Workers:  opts.Workers,
+		Shards:   opts.Shards,
+	})
 	if err != nil {
 		return rep, err
 	}
-	for i := range packets {
-		pkt := &packets[i]
-		if opts.CoverageMap != nil {
-			opts.CoverageMap.NoteGoal(pkt.GoalKey)
-		}
-		if inc := h.testPacket(sim, pkt, opts.MaxBehaviors, opts.CoverageMap); inc != nil {
-			rep.Incidents = append(rep.Incidents, *inc)
+	// The goal universe is the campaign's coverage denominator: every
+	// goal registers at zero so the map knows what was never reached.
+	if opts.CoverageMap != nil {
+		for _, key := range gen.GoalKeys() {
+			opts.CoverageMap.Register(coverage.KeyGoal(key))
 		}
 	}
-	// Background traffic: frames a production network carries regardless
-	// of the installed entries (LLDP, ARP, IPv6 ND). Daemon-level bugs
-	// (e.g. an LLDP agent punting frames the model says to drop) only
-	// show up under this mix.
+	packets, srep, err := gen.Run()
+	if err != nil {
+		return rep, err
+	}
+	rep.SolverReport = srep
+	rep.Goals = srep.Goals
+	rep.Covered = srep.Covered
+	rep.Unreachable = srep.Unreachable
+	rep.CacheHit = srep.Goals > 0 && srep.Cached == srep.Goals
+	rep.GenElapsed = time.Since(genStart)
+
+	// Differential execution. Background traffic rides along: frames a
+	// production network carries regardless of the installed entries
+	// (LLDP, ARP, IPv6 ND). Daemon-level bugs (e.g. an LLDP agent
+	// punting frames the model says to drop) only show up under this
+	// mix.
+	testStart := time.Now()
+	all := packets
 	for _, bg := range backgroundFrames() {
-		pkt := &symbolic.TestPacket{GoalKey: "background:" + bg.name, Port: 1, Data: bg.frame}
-		rep.Packets++
-		if inc := h.testPacket(sim, pkt, opts.MaxBehaviors, opts.CoverageMap); inc != nil {
+		all = append(all, symbolic.TestPacket{GoalKey: "background:" + bg.name, Port: 1, Data: bg.frame})
+	}
+	rep.Packets = len(all)
+
+	// Phase 1 (serial): inject every packet into the switch in packet
+	// order — the switch is one stateful device and injection order is
+	// part of the campaign's definition.
+	injected := make([]p4rt.InjectResult, len(all))
+	incidents := make([]*Incident, len(all))
+	for i := range all {
+		pkt := &all[i]
+		if opts.CoverageMap != nil && i < len(packets) {
+			opts.CoverageMap.NoteGoal(pkt.GoalKey)
+		}
+		injected[i], incidents[i] = h.injectPacket(pkt)
+	}
+
+	// Phase 2 (parallel): simulate each packet's behavior set and
+	// compare against the observed switch behavior. Every packet gets a
+	// fresh simulator, so per-packet verdicts are independent of
+	// scheduling and the worker count changes wall-clock time only.
+	// Incidents merge in packet order below.
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sim, err := bmv2.New(prog, store)
+				if err != nil {
+					incidents[i] = &Incident{Tool: "p4-symbolic", Kind: "simulator-error",
+						Detail: fmt.Sprintf("goal %s: building simulator: %v", all[i].GoalKey, err)}
+					continue
+				}
+				incidents[i] = h.comparePacket(sim, &all[i], injected[i], opts.MaxBehaviors, opts.CoverageMap)
+			}
+		}()
+	}
+	for i := range all {
+		if incidents[i] == nil {
+			jobs <- i
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, inc := range incidents {
+		if inc != nil {
 			rep.Incidents = append(rep.Incidents, *inc)
 		}
 	}
@@ -425,20 +446,29 @@ func backgroundFrames() []struct {
 	}
 }
 
-// testPacket runs one test packet through the switch and the simulator's
-// behavior set and compares. When cov is non-nil, the simulator's
-// execution traces (which tables matched which entries, which actions
-// ran) are harvested into it — the data-plane half of the coverage map.
-func (h *Harness) testPacket(sim *bmv2.Simulator, pkt *symbolic.TestPacket, maxBehaviors int, cov *coverage.Map) *Incident {
+// injectPacket runs one test packet through the switch (phase 1 of the
+// differential execution). It returns the observed result, or an
+// incident when injection itself fails — such packets skip simulation.
+func (h *Harness) injectPacket(pkt *symbolic.TestPacket) (p4rt.InjectResult, *Incident) {
 	swRes, err := h.DP.InjectFrame(p4rt.InjectRequest{Port: pkt.Port, Frame: pkt.Data})
 	if err != nil {
-		return &Incident{Tool: "p4-symbolic", Kind: "switch-error",
+		return swRes, &Incident{Tool: "p4-symbolic", Kind: "switch-error",
 			Detail: fmt.Sprintf("goal %s: switch rejected packet: %v", pkt.GoalKey, err)}
 	}
 	if len(swRes.Spontaneous) > 0 {
-		return &Incident{Tool: "p4-symbolic", Kind: "unexpected-packet-in",
+		return swRes, &Incident{Tool: "p4-symbolic", Kind: "unexpected-packet-in",
 			Detail: fmt.Sprintf("goal %s: switch sent %d unexpected packets to the controller", pkt.GoalKey, len(swRes.Spontaneous))}
 	}
+	return swRes, nil
+}
+
+// comparePacket checks one observed switch behavior against the
+// simulator's valid behavior set (phase 2, safe to run concurrently
+// across packets given a private simulator). When cov is non-nil, the
+// simulator's execution traces (which tables matched which entries,
+// which actions ran) are harvested into it — the data-plane half of the
+// coverage map.
+func (h *Harness) comparePacket(sim *bmv2.Simulator, pkt *symbolic.TestPacket, swRes p4rt.InjectResult, maxBehaviors int, cov *coverage.Map) *Incident {
 	behaviors, err := sim.BehaviorSet(bmv2.Input{Port: pkt.Port, Packet: pkt.Data}, maxBehaviors)
 	if err != nil {
 		return &Incident{Tool: "p4-symbolic", Kind: "simulator-error",

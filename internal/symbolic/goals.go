@@ -1,6 +1,7 @@
 package symbolic
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -94,19 +95,38 @@ type Report struct {
 	Goals       int
 	Covered     int
 	Unreachable int
-	// SATStats aggregates the decision-procedure work.
+	// Solved, Pruned and Cached classify how each goal was decided: by
+	// its own SMT check, by reusing an earlier goal's SAT model (the
+	// solve-avoiding path), or from the per-goal cache.
+	Solved int
+	Pruned int
+	Cached int
+	// SMTChecks counts the CheckAssuming calls actually issued; the gap
+	// to Goals is the work pruning and caching avoided.
+	SMTChecks int
+	// Shards is the logical goal-shard count of the parallel path
+	// (0 for the sequential path). Results depend on it; worker count
+	// never changes them.
+	Shards int
+	// SATStats aggregates the decision-procedure work, summed across
+	// every shard solver of a parallel run.
 	SATStats sat.Stats
-	// Terms and Clauses measure formula size.
+	// Terms and Clauses measure formula size, and Vars the SAT variables
+	// allocated — summed across shard solvers.
 	Terms   int
 	Clauses int
+	Vars    int
 }
 
-// GeneratePackets solves every goal of the mode and returns the packets
-// for the reachable ones.
+// GeneratePackets solves every goal of the mode sequentially, one SMT
+// check per goal, and returns the packets for the reachable ones. This
+// is the paper's baseline; see Generator for the parallel,
+// solve-avoiding engine.
 func (ex *Executor) GeneratePackets(mode CoverageMode) ([]TestPacket, Report, error) {
 	goals := ex.Goals(mode)
 	var packets []TestPacket
 	rep := Report{Goals: len(goals)}
+	startChecks := ex.solver.NumChecks
 	for _, g := range goals {
 		pkt, ok, err := ex.SolveGoal(g)
 		if err != nil {
@@ -119,36 +139,65 @@ func (ex *Executor) GeneratePackets(mode CoverageMode) ([]TestPacket, Report, er
 		rep.Covered++
 		packets = append(packets, *pkt)
 	}
+	rep.Solved = rep.Covered + rep.Unreachable
+	rep.SMTChecks = ex.solver.NumChecks - startChecks
 	rep.SATStats = ex.solver.Stats()
 	rep.Terms = ex.b.NumTerms()
 	rep.Clauses = ex.solver.NumClauses
+	rep.Vars = ex.solver.NumVars()
 	return packets, rep, nil
 }
 
-// Cache memoizes generated packets keyed by a fingerprint of the model,
-// the installed entries, and the coverage mode (§6.3 "Caching"): when the
-// specification and entries are unchanged, the expensive SMT generation
-// stage is skipped entirely.
+// DefaultCacheCap bounds the per-goal cache (§6.3 "Caching"). At one
+// entry per goal it comfortably holds several campaigns of the paper's
+// largest instance while keeping memory bounded under entry churn.
+const DefaultCacheCap = 8192
+
+// Cache memoizes the per-goal generation outcome — a synthesized packet
+// or an unreachability verdict — keyed by GoalFingerprint (§6.3
+// "Caching"). Keys cover only the entries that can influence the goal's
+// guard, so a small entry delta re-solves just the affected goals
+// instead of invalidating the whole campaign. Eviction is LRU with a
+// fixed capacity.
 type Cache struct {
-	mu      sync.Mutex
-	packets map[string][]TestPacket
-	hits    int
-	misses  int
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   int
+	misses int
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
-	return &Cache{packets: map[string][]TestPacket{}}
+type cacheItem struct {
+	fp  string
+	pkt *TestPacket // nil records an unreachable goal
 }
 
-// Fingerprint computes the cache key.
-func Fingerprint(prog *ir.Program, entries []*pdpi.Entry, mode CoverageMode) string {
+// NewCache returns an empty cache with the default capacity.
+func NewCache() *Cache { return NewCacheCap(DefaultCacheCap) }
+
+// NewCacheCap returns an empty cache holding at most n goal outcomes.
+func NewCacheCap(n int) *Cache {
+	if n < 1 {
+		n = 1
+	}
+	return &Cache{cap: n, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// GoalFingerprint computes a goal's cache key from the model, the
+// executor options, the goal identity, and the entries that can reach
+// it (Executor.DepEntries).
+func GoalFingerprint(prog *ir.Program, opts Options, goalKey string, deps []*pdpi.Entry) string {
+	maxPort := opts.MaxPort
+	if maxPort == 0 {
+		maxPort = 32
+	}
 	h := sha256.New()
-	fmt.Fprintf(h, "model:%s;mode:%d;", prog.Name, mode)
-	// Entries in deterministic order.
-	keys := make([]string, 0, len(entries))
+	fmt.Fprintf(h, "v2;model:%s;maxport:%d;goal:%s;", prog.Name, maxPort, goalKey)
+	// Dependency entries in deterministic order.
+	keys := make([]string, 0, len(deps))
 	render := map[string]string{}
-	for _, e := range entries {
+	for _, e := range deps {
 		k := e.Key()
 		keys = append(keys, k)
 		render[k] = e.String()
@@ -164,24 +213,49 @@ func Fingerprint(prog *ir.Program, entries []*pdpi.Entry, mode CoverageMode) str
 func (c *Cache) Hits() int   { c.mu.Lock(); defer c.mu.Unlock(); return c.hits }
 func (c *Cache) Misses() int { c.mu.Lock(); defer c.mu.Unlock(); return c.misses }
 
-// Get returns the cached packets for a fingerprint.
-func (c *Cache) Get(fp string) ([]TestPacket, bool) {
+// Len returns the number of cached goal outcomes.
+func (c *Cache) Len() int { c.mu.Lock(); defer c.mu.Unlock(); return c.ll.Len() }
+
+// Cap returns the cache capacity.
+func (c *Cache) Cap() int { return c.cap }
+
+// GetGoal returns the cached outcome for a per-goal fingerprint:
+// (packet, true) for a covered goal, (nil, true) for an unreachable
+// one, (nil, false) on a miss. A hit refreshes the entry's LRU
+// position.
+func (c *Cache) GetGoal(fp string) (*TestPacket, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	pkts, ok := c.packets[fp]
-	if ok {
-		c.hits++
-	} else {
+	el, ok := c.items[fp]
+	if !ok {
 		c.misses++
+		return nil, false
 	}
-	return pkts, ok
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).pkt, true
 }
 
-// Put stores packets under a fingerprint.
-func (c *Cache) Put(fp string, pkts []TestPacket) {
+// PutGoal stores a goal outcome (pkt == nil records unreachability),
+// evicting the least-recently-used entry when full.
+func (c *Cache) PutGoal(fp string, pkt *TestPacket) {
+	if pkt != nil {
+		cp := *pkt
+		pkt = &cp
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.packets[fp] = append([]TestPacket(nil), pkts...)
+	if el, ok := c.items[fp]; ok {
+		el.Value.(*cacheItem).pkt = pkt
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).fp)
+	}
+	c.items[fp] = c.ll.PushFront(&cacheItem{fp: fp, pkt: pkt})
 }
 
 // EnrichedGoals returns the "test engineer" goal set (§5 "Coverage

@@ -21,6 +21,7 @@ package symbolic
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"switchv/internal/bmv2"
 	"switchv/internal/p4/ir"
@@ -54,6 +55,13 @@ type Executor struct {
 	returned *smt.Term // guard under which return was executed (per control)
 
 	branchSeq int
+
+	// Table application order, for per-goal dependency tracking: a
+	// goal on table T can only be influenced by entries of tables
+	// applied no later than T's last application.
+	applySeq   int
+	firstApply map[string]int
+	lastApply  map[string]int
 }
 
 // TraceKeyEntry names the trace guard for a concrete entry of a table.
@@ -72,12 +80,14 @@ func New(prog *ir.Program, store *pdpi.Store, opts Options) (*Executor, error) {
 	}
 	b := smt.NewBuilder()
 	ex := &Executor{
-		prog:   prog,
-		store:  store,
-		opts:   opts,
-		b:      b,
-		solver: smt.NewSolver(b),
-		trace:  map[string]*smt.Term{},
+		prog:       prog,
+		store:      store,
+		opts:       opts,
+		b:          b,
+		solver:     smt.NewSolver(b),
+		trace:      map[string]*smt.Term{},
+		firstApply: map[string]int{},
+		lastApply:  map[string]int{},
 	}
 	ex.halt = b.False()
 
@@ -388,6 +398,11 @@ func (ex *Executor) evalBool(state []*smt.Term, e *ir.Expr, args []*smt.Term) *s
 // fires when nothing matches.
 func (ex *Executor) applyTable(state []*smt.Term, t *ir.Table, g *smt.Term) {
 	b := ex.b
+	ex.applySeq++
+	if _, ok := ex.firstApply[t.Name]; !ok {
+		ex.firstApply[t.Name] = ex.applySeq
+	}
+	ex.lastApply[t.Name] = ex.applySeq
 	entries := orderEntries(t, ex.store)
 	notHigher := b.True()
 	for entryIdx, e := range entries {
@@ -459,7 +474,9 @@ func (ex *Executor) matchCond(state []*smt.Term, t *ir.Table, e *pdpi.Entry) *sm
 // mirroring the reference simulator's selection: priority tables by
 // (priority desc, insertion asc); LPM tables by prefix length desc.
 func orderEntries(t *ir.Table, store *pdpi.Store) []*pdpi.Entry {
-	entries := store.Entries(t.Name)
+	// Copy before sorting: Entries returns the store's shared cache in
+	// insertion order, which the simulator's tie-breaking depends on.
+	entries := append([]*pdpi.Entry(nil), store.Entries(t.Name)...)
 	if pdpi.NeedsPriority(t) {
 		sort.SliceStable(entries, func(i, j int) bool {
 			return entries[i].Priority > entries[j].Priority
@@ -482,6 +499,46 @@ func orderEntries(t *ir.Table, store *pdpi.Store) []*pdpi.Entry {
 		sort.SliceStable(entries, func(i, j int) bool { return plen(entries[i]) > plen(entries[j]) })
 	}
 	return entries
+}
+
+// DepEntries returns the installed entries that can influence a goal's
+// guard, in deterministic store order: for a goal on table T (an entry
+// or default-action goal), the entries of every table applied no later
+// than T's last application; for any other goal (branch or enriched,
+// whose condition may range over the whole of X, Y and T), every entry.
+// Per-goal cache keys are derived from this set, so entry churn in
+// tables applied after T leaves T's goals cached.
+func (ex *Executor) DepEntries(goalKey string) []*pdpi.Entry {
+	all := ex.store.All(ex.prog)
+	table := goalTable(goalKey)
+	if table == "" {
+		return all
+	}
+	cutoff, ok := ex.lastApply[table]
+	if !ok {
+		return all
+	}
+	deps := make([]*pdpi.Entry, 0, len(all))
+	for _, e := range all {
+		if first, applied := ex.firstApply[e.Table.Name]; applied && first <= cutoff {
+			deps = append(deps, e)
+		}
+	}
+	return deps
+}
+
+// goalTable extracts the table name from a "table:<t>:..." goal key
+// ("" for branch and enriched goals).
+func goalTable(key string) string {
+	const p = "table:"
+	if !strings.HasPrefix(key, p) {
+		return ""
+	}
+	rest := key[len(p):]
+	if i := strings.IndexByte(rest, ':'); i >= 0 {
+		return rest[:i]
+	}
+	return ""
 }
 
 // Drop/punt/forward observables over Y.

@@ -1,6 +1,7 @@
 package symbolic
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -238,33 +239,50 @@ func TestCache(t *testing.T) {
 	prog := models.Middleblock()
 	store := pdpi.NewStore()
 	testutil.RoutingFixture(prog, store)
-	cache := NewCache()
-	fp := Fingerprint(prog, store.All(prog), CoverEntries)
-	if _, ok := cache.Get(fp); ok {
-		t.Fatal("empty cache hit")
-	}
 	ex, err := New(prog, store, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkts, _, err := ex.GeneratePackets(CoverEntries)
-	if err != nil {
-		t.Fatal(err)
+	goal := ex.Goals(CoverEntries)[0]
+	fp := GoalFingerprint(prog, Options{}, goal.Key, ex.DepEntries(goal.Key))
+	cache := NewCache()
+	if _, ok := cache.GetGoal(fp); ok {
+		t.Fatal("empty cache hit")
 	}
-	cache.Put(fp, pkts)
-	got, ok := cache.Get(fp)
-	if !ok || len(got) != len(pkts) {
-		t.Fatalf("cache miss after put: %v %d", ok, len(got))
+	pkt, ok, err := ex.SolveGoal(goal)
+	if err != nil || !ok {
+		t.Fatalf("solving %s: ok=%v err=%v", goal.Key, ok, err)
+	}
+	cache.PutGoal(fp, pkt)
+	got, ok := cache.GetGoal(fp)
+	if !ok || got == nil || got.GoalKey != pkt.GoalKey {
+		t.Fatalf("cache miss after put: ok=%v got=%v", ok, got)
 	}
 	if cache.Hits() != 1 || cache.Misses() != 1 {
 		t.Errorf("hits=%d misses=%d", cache.Hits(), cache.Misses())
 	}
-	// Fingerprint changes when entries change.
+	// An unreachability verdict (nil packet) is cacheable and distinct
+	// from a miss.
+	cache.PutGoal("unreachable-goal", nil)
+	if got, ok := cache.GetGoal("unreachable-goal"); !ok || got != nil {
+		t.Errorf("unreachable verdict: ok=%v got=%v", ok, got)
+	}
+	// Fingerprints are stable for an identical store...
 	store2 := pdpi.NewStore()
 	testutil.RoutingFixture(prog, store2)
-	if Fingerprint(prog, store2.All(prog), CoverEntries) != fp {
+	ex2, err := New(prog, store2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if GoalFingerprint(prog, Options{}, goal.Key, ex2.DepEntries(goal.Key)) != fp {
 		t.Error("fingerprint not stable for identical entries")
 	}
+	// ...distinct per goal...
+	other := ex.Goals(CoverEntries)[1]
+	if GoalFingerprint(prog, Options{}, other.Key, ex.DepEntries(other.Key)) == fp {
+		t.Error("fingerprint identical across distinct goals")
+	}
+	// ...sensitive to the goal's dependency entries...
 	vrf, _ := prog.TableByName("vrf_table")
 	extra := &pdpi.Entry{
 		Table:   vrf,
@@ -274,11 +292,73 @@ func TestCache(t *testing.T) {
 	if err := store2.Insert(extra); err != nil {
 		t.Fatal(err)
 	}
-	if Fingerprint(prog, store2.All(prog), CoverEntries) == fp {
-		t.Error("fingerprint unchanged after entry change")
+	ex3, err := New(prog, store2, Options{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if Fingerprint(prog, store.All(prog), CoverBranches) == fp {
-		t.Error("fingerprint unchanged across coverage modes")
+	vrfGoal := ""
+	for _, g := range ex.Goals(CoverEntries) {
+		if strings.HasPrefix(g.Key, "table:vrf_table:") {
+			vrfGoal = g.Key
+			break
+		}
+	}
+	if vrfGoal == "" {
+		t.Fatal("no vrf_table goal")
+	}
+	// ex reads store (without the extra entry), ex3 reads store2 (with
+	// it): the vrf goal's dependency set differs, so must its key.
+	if GoalFingerprint(prog, Options{}, vrfGoal, ex.DepEntries(vrfGoal)) ==
+		GoalFingerprint(prog, Options{}, vrfGoal, ex3.DepEntries(vrfGoal)) {
+		t.Error("fingerprint unchanged after dependency entry change")
+	}
+	// ...and sensitive to the executor options.
+	if GoalFingerprint(prog, Options{MaxPort: 8}, goal.Key, ex.DepEntries(goal.Key)) == fp {
+		t.Error("fingerprint unchanged across options")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	cache := NewCacheCap(4)
+	if cache.Cap() != 4 {
+		t.Fatalf("cap = %d", cache.Cap())
+	}
+	// Churn far past the capacity: the bound must hold throughout.
+	for i := 0; i < 100; i++ {
+		cache.PutGoal(fmt.Sprintf("goal-%d", i), &TestPacket{GoalKey: fmt.Sprintf("g%d", i), Port: 1})
+		if cache.Len() > cache.Cap() {
+			t.Fatalf("after %d puts: len %d exceeds cap %d", i+1, cache.Len(), cache.Cap())
+		}
+	}
+	if cache.Len() != 4 {
+		t.Fatalf("len = %d, want 4", cache.Len())
+	}
+	// The most recent entries survive; the oldest were evicted.
+	if _, ok := cache.GetGoal("goal-99"); !ok {
+		t.Error("most recent entry evicted")
+	}
+	if _, ok := cache.GetGoal("goal-0"); ok {
+		t.Error("oldest entry not evicted")
+	}
+	// A Get refreshes recency: touch goal-96, add one more, and the
+	// untouched goal-97 goes instead.
+	if _, ok := cache.GetGoal("goal-96"); !ok {
+		t.Fatal("goal-96 missing")
+	}
+	cache.PutGoal("goal-100", nil)
+	if _, ok := cache.GetGoal("goal-96"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := cache.GetGoal("goal-97"); ok {
+		t.Error("least recently used entry survived")
+	}
+	// Cached packets are private copies: mutating the caller's packet
+	// after Put must not leak into the cache.
+	pkt := &TestPacket{GoalKey: "mut", Data: []byte{1}}
+	cache.PutGoal("mut", pkt)
+	pkt.GoalKey = "changed"
+	if got, _ := cache.GetGoal("mut"); got == nil || got.GoalKey != "mut" {
+		t.Error("cache aliased the caller's packet")
 	}
 }
 
