@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet test race matrix bench bench-parallel bench-symbolic
+.PHONY: ci build vet lint test race matrix precheck bench bench-parallel bench-symbolic
 
-# ci is the gate every change must pass: build, vet, the full test suite
-# under the race detector, and the fault-detection matrix.
-ci: build vet race matrix
+# ci is the gate every change must pass: build, vet, the determinism
+# lint, the full test suite under the race detector, the fault-detection
+# matrix, and the static model preflight.
+ci: build vet lint race matrix precheck
 
 build:
 	$(GO) build ./...
@@ -18,10 +19,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# lint enforces the determinism invariants on result-path packages: no
+# wall-clock time or process-global randomness in results, no map
+# iteration order leaking into ordered output (see tools/detlint).
+lint:
+	$(GO) run ./tools/detlint ./internal/fuzzer ./internal/symbolic ./internal/switchv ./internal/coverage
+
 # matrix runs the fault-detection matrix: every injectable fault must be
 # caught, and the union of all fixtures must stay incident-free.
 matrix:
 	$(GO) test -short -run 'TestFaultMatrix' ./internal/switchv
+
+# precheck runs the static preflight analyzer over every P4 model in the
+# repo (models/ plus any example models); error-severity findings fail.
+precheck:
+	$(GO) run ./cmd/p4check $$(find models examples -name '*.p4' | sort)
 
 # bench reruns the paper-evaluation benchmarks once each and records the
 # parallel-engine scaling run as machine-readable JSON.

@@ -1,0 +1,82 @@
+// Command p4check runs SwitchV's static preflight analyzer over P4
+// models: structural defects, unreachable control flow, and
+// solver-proved dead constraints, each with a stable diagnostic code.
+//
+//	p4check                       # analyze every embedded model
+//	p4check models/wan.p4 ...     # analyze specific sources
+//	p4check -json models/wan.p4   # machine-readable findings
+//
+// Exit status is 1 when any model has error-severity findings (the
+// same condition under which campaigns refuse to launch), 2 when a
+// source does not even compile.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"switchv/internal/p4/check"
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/parser"
+	"switchv/models"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "print findings as JSON (one report per model)")
+	flag.Parse()
+
+	var reports []*check.Report
+	exit := 0
+	if flag.NArg() == 0 {
+		for _, name := range models.Names() {
+			prog, err := models.Load(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "p4check: %s: %v\n", name, err)
+				os.Exit(2)
+			}
+			reports = append(reports, check.Check(prog))
+		}
+	} else {
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "p4check: %v\n", err)
+				os.Exit(2)
+			}
+			ast, err := parser.Parse(string(src))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "p4check: %s: %v\n", path, err)
+				os.Exit(2)
+			}
+			prog, err := ir.Compile(ast)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "p4check: %s: %v\n", path, err)
+				os.Exit(2)
+			}
+			rep := check.Check(prog)
+			rep.Program = path
+			reports = append(reports, rep)
+		}
+	}
+
+	for _, rep := range reports {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "p4check: %v\n", err)
+				os.Exit(2)
+			}
+		} else {
+			fmt.Print(rep.Text())
+			fmt.Printf("%s: %d findings (%d errors), %d solver checks\n",
+				rep.Program, len(rep.Findings), rep.Errors(), rep.SolverChecks)
+		}
+		if rep.HasErrors() {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -33,7 +33,13 @@ func main() {
 	plateau := flag.Int("plateau", 0, "stop after N consecutive batches with no new coverage (0 = never)")
 	workers := flag.Int("workers", 0, "fuzz with the parallel sharded engine using N workers (0 = sequential single-stack campaign)")
 	shards := flag.Int("shards", switchv.DefaultShards, "logical shard count for -workers (results depend on it; worker count only changes speed)")
+	precheck := flag.String("precheck", "on", "static model preflight: on (refuse on error findings), warn (report only), off (skip)")
 	flag.Parse()
+
+	pm, err := precheckMode(*precheck)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	prog, err := models.Load(*role)
 	if err != nil {
@@ -58,10 +64,11 @@ func main() {
 			log.Fatal(err)
 		}
 		rep, err := switchv.RunParallelCampaign(info, switchv.ParallelOptions{
-			Workers: *workers,
-			Shards:  *shards,
-			Fuzz:    opts,
-			Factory: factory,
+			Workers:  *workers,
+			Shards:   *shards,
+			Fuzz:     opts,
+			Factory:  factory,
+			Precheck: pm,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -92,6 +99,7 @@ func main() {
 		}
 
 		h := switchv.New(info, dev, nil)
+		h.Precheck = pm
 		if err := h.PushPipeline(); err != nil {
 			log.Fatal(err)
 		}
@@ -136,6 +144,19 @@ func main() {
 	if len(incidents) > 0 {
 		os.Exit(1)
 	}
+}
+
+// precheckMode parses the -precheck flag shared by the SwitchV CLIs.
+func precheckMode(s string) (switchv.PrecheckMode, error) {
+	switch s {
+	case "on", "":
+		return switchv.PrecheckOn, nil
+	case "warn":
+		return switchv.PrecheckWarn, nil
+	case "off":
+		return switchv.PrecheckOff, nil
+	}
+	return 0, fmt.Errorf("invalid -precheck %q (want on, warn, or off)", s)
 }
 
 // stackFactory builds per-shard switch stacks: in-process simulators, or

@@ -9,8 +9,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
+	"switchv/internal/p4/check"
 	"switchv/internal/p4/pdpi"
 	"switchv/internal/symbolic"
 	"switchv/internal/workload"
@@ -25,11 +27,33 @@ func main() {
 	emit := flag.Bool("emit", false, "print each synthesized packet")
 	dpWorkers := flag.Int("dp-workers", 0, "solve goals with the parallel pruning generator using N workers (0 = sequential one-check-per-goal)")
 	dpShards := flag.Int("dp-shards", 0, "goal-shard count for -dp-workers (0 = default; results depend on it)")
+	precheck := flag.String("precheck", "on", "static model preflight: on (refuse on error findings), warn (report only), off (skip)")
 	flag.Parse()
 
 	prog, err := models.Load(*role)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	switch *precheck {
+	case "on", "", "warn", "off":
+	default:
+		log.Fatalf("invalid -precheck %q (want on, warn, or off)", *precheck)
+	}
+
+	// Static preflight: refuse defective models before the first solver
+	// call, and feed the unreachable-table proof set into goal pruning.
+	var dead map[string]bool
+	if *precheck != "off" {
+		crep := check.Cached(prog)
+		if len(crep.Findings) > 0 {
+			fmt.Printf("== p4check preflight ==\n%s", crep.Text())
+		}
+		if crep.HasErrors() && *precheck != "warn" {
+			fmt.Fprintf(os.Stderr, "p4symbolic: model failed preflight with %d error finding(s); fix the model or pass -precheck=warn\n", crep.Errors())
+			os.Exit(1)
+		}
+		dead = crep.UnreachableSet()
 	}
 	entries := workload.MustEntries(prog, *n, *seed)
 	store := pdpi.NewStore()
@@ -50,7 +74,7 @@ func main() {
 	if *dpWorkers > 0 {
 		t0 := time.Now()
 		packets, rep, err = symbolic.GeneratePacketsParallel(prog, store, symbolic.Options{},
-			symbolic.GenOptions{Mode: mode, Workers: *dpWorkers, Shards: *dpShards})
+			symbolic.GenOptions{Mode: mode, Workers: *dpWorkers, Shards: *dpShards, UnreachableTables: dead})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,8 +98,8 @@ func main() {
 	fmt.Printf("p4-symbolic: model %q, %d entries\n", prog.Name, len(entries))
 	if *dpWorkers > 0 {
 		fmt.Printf("symbolic execution: %d shards (%d terms, %d clauses)\n", rep.Shards, rep.Terms, rep.Clauses)
-		fmt.Printf("generation: %v for %d goals (%d covered, %d unreachable; %d solved, %d pruned, %d checks)\n",
-			genTime.Round(time.Millisecond), rep.Goals, rep.Covered, rep.Unreachable, rep.Solved, rep.Pruned, rep.SMTChecks)
+		fmt.Printf("generation: %v for %d goals (%d covered, %d unreachable; %d solved, %d pruned, %d precheck-skipped, %d checks)\n",
+			genTime.Round(time.Millisecond), rep.Goals, rep.Covered, rep.Unreachable, rep.Solved, rep.Pruned, rep.Precheck, rep.SMTChecks)
 	} else {
 		fmt.Printf("symbolic execution: %v (%d terms, %d clauses)\n", execTime.Round(time.Millisecond), rep.Terms, rep.Clauses)
 		fmt.Printf("generation: %v for %d goals (%d covered, %d unreachable)\n",

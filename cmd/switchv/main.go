@@ -46,7 +46,13 @@ func main() {
 	dpWorkers := flag.Int("dp-workers", 0, "workers for data-plane generation and simulation (0 = 1; results are identical for any count)")
 	dpShards := flag.Int("dp-shards", 0, "goal-shard count for data-plane generation (0 = default; results depend on it)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	precheck := flag.String("precheck", "on", "static model preflight: on (refuse on error findings), warn (report only), off (skip)")
 	flag.Parse()
+
+	pm, err := precheckMode(*precheck)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	stopProfile := func() {}
 	if *cpuprofile != "" {
@@ -98,17 +104,28 @@ func main() {
 	}
 
 	h := switchv.New(info, dev, dp)
+	h.Precheck = pm
 	if err := h.PushPipeline(); err != nil {
 		log.Fatalf("pushing pipeline: %v", err)
 	}
 	fmt.Printf("SwitchV: validating %s switch against model %q (%d tables)\n",
 		*role, prog.Name, len(prog.Tables))
 
+	// Surface preflight findings up front; the campaigns below refuse on
+	// error findings themselves (unless -precheck=warn/off).
+	var dead map[string]bool
+	if crep := h.PrecheckReport(); crep != nil {
+		dead = crep.UnreachableSet()
+		if len(crep.Findings) > 0 {
+			fmt.Printf("\n== p4check preflight ==\n%s", crep.Text())
+		}
+	}
+
 	// One coverage map spans both campaigns: control-plane accepts and
 	// data-plane trace hits land in the same table/action counters.
 	var cov *coverage.Map
 	if *coverageGuided {
-		cov = coverage.NewMap(info)
+		cov = coverage.NewMapExcluding(info, dead)
 	}
 
 	incidents := 0
@@ -127,10 +144,11 @@ func main() {
 				log.Fatal(err)
 			}
 			rep, err := switchv.RunParallelCampaign(info, switchv.ParallelOptions{
-				Workers: *workers,
-				Shards:  *shards,
-				Fuzz:    fuzzOpts,
-				Factory: factory,
+				Workers:  *workers,
+				Shards:   *shards,
+				Fuzz:     fuzzOpts,
+				Factory:  factory,
+				Precheck: pm,
 			})
 			if err != nil {
 				log.Fatalf("parallel control plane campaign: %v", err)
@@ -185,8 +203,8 @@ func main() {
 		fmt.Printf("entries: %d  goals: %d  covered: %d  unreachable: %d\n",
 			rep.Entries, rep.Goals, rep.Covered, rep.Unreachable)
 		fmt.Printf("generation: %v  testing: %v  packets: %d\n", rep.GenElapsed, rep.TestElapsed, rep.Packets)
-		fmt.Printf("solver: %d checks (%d solved, %d pruned, %d cached) over %d shards\n",
-			srep.SMTChecks, srep.Solved, srep.Pruned, srep.Cached, srep.Shards)
+		fmt.Printf("solver: %d checks (%d solved, %d pruned, %d cached, %d precheck-skipped) over %d shards\n",
+			srep.SMTChecks, srep.Solved, srep.Pruned, srep.Cached, srep.Precheck, srep.Shards)
 		fmt.Printf("        %d terms, %d clauses, %d vars; %d decisions, %d propagations, %d conflicts\n",
 			srep.Terms, srep.Clauses, srep.Vars,
 			srep.SATStats.Decisions, srep.SATStats.Propagations, srep.SATStats.Conflicts)
@@ -249,6 +267,19 @@ func stackFactory(connect, role, faultList string, shards int) (switchv.StackFac
 		}
 		return cli, func() { cli.Close() }, nil
 	}, nil
+}
+
+// precheckMode parses the -precheck flag shared by the SwitchV CLIs.
+func precheckMode(s string) (switchv.PrecheckMode, error) {
+	switch s {
+	case "on", "":
+		return switchv.PrecheckOn, nil
+	case "warn":
+		return switchv.PrecheckWarn, nil
+	case "off":
+		return switchv.PrecheckOff, nil
+	}
+	return 0, fmt.Errorf("invalid -precheck %q (want on, warn, or off)", s)
 }
 
 func printIncidents(incidents []switchv.Incident) {

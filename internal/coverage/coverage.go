@@ -126,6 +126,16 @@ type Map struct {
 // count zero: per-table write/accept/hit/miss and per-(table, action)
 // select/invoke.
 func NewMap(info *p4info.Info) *Map {
+	return NewMapExcluding(info, nil)
+}
+
+// NewMapExcluding is NewMap minus the data-plane points of tables the
+// static preflight proved unreachable: their hit/miss and action-invoke
+// counters never leave zero, so keeping them in the universe makes
+// every coverage percentage lie. Control-plane points (write, accept,
+// action-select) stay — an unreachable table still takes entries, and
+// control-plane campaigns must still exercise it.
+func NewMapExcluding(info *p4info.Info, unreachable map[string]bool) *Map {
 	m := &Map{staticIdx: map[string]int{}}
 	add := func(key string) int {
 		// Idempotent: a table's default action may also appear in its
@@ -141,13 +151,20 @@ func NewMap(info *p4info.Info) *Map {
 	for _, t := range info.Tables() {
 		add(KeyTableWrite(t.Name))
 		m.acceptIdx = append(m.acceptIdx, add(KeyTableAccept(t.Name)))
-		add(KeyTableHit(t.Name))
-		add(KeyTableMiss(t.Name))
+		dead := unreachable[t.Name]
+		if !dead {
+			add(KeyTableHit(t.Name))
+			add(KeyTableMiss(t.Name))
+		}
 		for _, a := range t.Actions {
 			add(KeyActionSelect(t.Name, a.Name))
-			add(KeyActionInvoke(t.Name, a.Name))
+			if !dead {
+				add(KeyActionInvoke(t.Name, a.Name))
+			}
 		}
-		add(KeyActionInvoke(t.Name, t.DefaultAction.Name))
+		if !dead {
+			add(KeyActionInvoke(t.Name, t.DefaultAction.Name))
+		}
 	}
 	m.static = make([]atomic.Int64, len(m.staticKey))
 	m.isAccept = make([]bool, len(m.staticKey))

@@ -271,3 +271,41 @@ func TestConcurrentCounters(t *testing.T) {
 		t.Fatalf("Covered() = %d, snapshot says %d", m.Covered(), covered)
 	}
 }
+
+func TestNewMapExcluding(t *testing.T) {
+	info := p4info.New(models.Middleblock())
+	full := NewMap(info)
+	dead := "mirror_session_table"
+	if _, ok := full.staticIdx[KeyTableHit(dead)]; !ok {
+		t.Fatalf("fixture table %s not in the model", dead)
+	}
+	m := NewMapExcluding(info, map[string]bool{dead: true})
+
+	if m.Universe() >= full.Universe() {
+		t.Errorf("exclusion did not shrink the universe: %d vs %d", m.Universe(), full.Universe())
+	}
+	// Data-plane points of the dead table are out of the denominator...
+	for _, key := range []string{KeyTableHit(dead), KeyTableMiss(dead)} {
+		if _, ok := m.staticIdx[key]; ok {
+			t.Errorf("dead table kept data-plane point %q", key)
+		}
+	}
+	// ...but its control-plane points remain: it still takes entries.
+	for _, key := range []string{KeyTableWrite(dead), KeyTableAccept(dead)} {
+		if _, ok := m.staticIdx[key]; !ok {
+			t.Errorf("dead table lost control-plane point %q", key)
+		}
+	}
+	for _, tab := range info.Tables() {
+		for _, a := range tab.Actions {
+			_, hasSelect := m.staticIdx[KeyActionSelect(tab.Name, a.Name)]
+			_, hasInvoke := m.staticIdx[KeyActionInvoke(tab.Name, a.Name)]
+			if !hasSelect {
+				t.Errorf("missing action select for %s/%s", tab.Name, a.Name)
+			}
+			if hasInvoke == (tab.Name == dead) {
+				t.Errorf("action invoke for %s/%s: present=%v", tab.Name, a.Name, hasInvoke)
+			}
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/parser"
+	"switchv/models"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ir.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// clean is a defect-free model in the style of the compiler tests:
+// every action named, every table applied under satisfiable guards,
+// every branch arm feasible.
+const clean = `
+typedef bit<32> addr_t;
+
+header ipv4_t { bit<8> ttl; addr_t dst_addr; }
+struct headers_t { ipv4_t ipv4; }
+struct meta_t { bit<10> vrf_id; }
+
+control ingress(inout headers_t headers, inout meta_t meta,
+                inout standard_metadata_t standard_metadata) {
+  action drop() { mark_to_drop(); }
+  action fwd(bit<16> port) { set_egress_port(port); }
+
+  @entry_restriction("vrf_id != 0")
+  table route {
+    key = {
+      meta.vrf_id : exact;
+      headers.ipv4.dst_addr : lpm @name("dst");
+    }
+    actions = { drop; fwd; }
+    const default_action = drop;
+    size = 100;
+  }
+
+  apply {
+    if (headers.ipv4.isValid()) {
+      if (headers.ipv4.ttl <= 1) { punt_to_cpu(); } else { route.apply(); }
+      headers.ipv4.ttl = headers.ipv4.ttl - 1;
+    }
+  }
+}
+`
+
+// defects seeds exactly one model defect per diagnostic code, in the
+// style of internal/switchv's fault matrix: the completeness test
+// below enforces the bijection between this map and the Codes()
+// registry in both directions, and each fixture must produce exactly
+// one finding — the seeded code and nothing else.
+var defects = map[string]string{
+	CodeRefersToCycle: `
+struct m_t { bit<8> a; bit<8> b; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t1 { key = { m.a : exact @refers_to(t2, b); } actions = { nop; } }
+  table t2 { key = { m.b : exact @refers_to(t1, a); } actions = { nop; } }
+  apply { t1.apply(); t2.apply(); }
+}`,
+	CodeRefersToWidth: `
+struct m_t { bit<8> a; bit<16> b; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t1 { key = { m.b : exact; } actions = { nop; } }
+  table t2 { key = { m.a : exact @refers_to(t1, b); } actions = { nop; } }
+  apply { t1.apply(); t2.apply(); }
+}`,
+	CodeShadowedKey: `
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t {
+    key = { m.a : exact @name("k1"); m.a : ternary @name("k2"); }
+    actions = { nop; }
+  }
+  apply { t.apply(); }
+}`,
+	CodeInvalidDefault: `
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  action other() { no_op(); }
+  table t {
+    key = { m.a : exact; }
+    actions = { nop; }
+    default_action = other;
+  }
+  apply { t.apply(); }
+}`,
+	CodeDeadAction: `
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  action ghost() { no_op(); }
+  table t { key = { m.a : exact; } actions = { nop; } }
+  apply { t.apply(); }
+}`,
+	CodeBadRestriction: `
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  @entry_restriction("a !=")
+  table t { key = { m.a : exact; } actions = { nop; } }
+  apply { t.apply(); }
+}`,
+	CodeUnreachableTable: `
+struct m_t { bit<8> a; bit<8> b; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t1 { key = { m.a : exact; } actions = { nop; } }
+  table t2 { key = { m.b : exact; } actions = { nop; } }
+  apply { t1.apply(); }
+}`,
+	CodeUnreachableBranch: `
+const bit<8> MODE = 1;
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  apply {
+    if (MODE == 2) { m.a = 3; }
+  }
+}`,
+	CodeInfeasibleGuard: `
+struct m_t { bit<8> a; bit<8> b; }
+control c(inout m_t m) {
+  apply {
+    if (m.a < 4) {
+      if (m.a > 10) { m.b = 1; }
+    }
+  }
+}`,
+	CodeUnsatRestriction: `
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  @entry_restriction("a == 1 && a == 2")
+  table t { key = { m.a : exact; } actions = { nop; } }
+  apply { t.apply(); }
+}`,
+}
+
+// TestDefectMatrix pins the seeded-defect -> diagnostic-code bijection:
+// each fixture yields exactly one finding, carrying the seeded code at
+// the registry's severity.
+func TestDefectMatrix(t *testing.T) {
+	for code, src := range defects {
+		t.Run(code, func(t *testing.T) {
+			r := Check(compile(t, src))
+			if len(r.Findings) != 1 {
+				t.Fatalf("got %d findings, want exactly 1:\n%s", len(r.Findings), r.Text())
+			}
+			f := r.Findings[0]
+			if f.Code != code {
+				t.Errorf("finding code = %s, want %s (%s)", f.Code, code, f)
+			}
+			if want := Codes()[code]; f.Severity != want {
+				t.Errorf("severity = %s, want %s", f.Severity, want)
+			}
+		})
+	}
+}
+
+// TestDefectMatrixComplete enforces the bijection in both directions:
+// every registered code has a seeded fixture, and every fixture seeds a
+// registered code.
+func TestDefectMatrixComplete(t *testing.T) {
+	for code := range Codes() {
+		if _, ok := defects[code]; !ok {
+			t.Errorf("diagnostic %s has no seeded-defect fixture", code)
+		}
+	}
+	for code := range defects {
+		if _, ok := Codes()[code]; !ok {
+			t.Errorf("fixture %s seeds an unregistered diagnostic", code)
+		}
+	}
+}
+
+// TestCleanFixtures: defect-free models produce zero findings — the
+// hand-written clean fixture and both embedded models.
+func TestCleanFixtures(t *testing.T) {
+	if r := Check(compile(t, clean)); len(r.Findings) != 0 {
+		t.Errorf("clean fixture: %d findings:\n%s", len(r.Findings), r.Text())
+	}
+	for _, name := range models.Names() {
+		prog, err := models.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := Check(prog); len(r.Findings) != 0 {
+			t.Errorf("%s: %d findings:\n%s", name, len(r.Findings), r.Text())
+		}
+	}
+}
+
+// TestRootCauseSuppression: a table applied only inside a reported-dead
+// branch arm produces no finding of its own (the arm is the root
+// cause), but still joins the unreachable set that goal pruning and
+// coverage exclusion consume.
+func TestRootCauseSuppression(t *testing.T) {
+	src := `
+const bit<8> MODE = 1;
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t { key = { m.a : exact; } actions = { nop; } }
+  apply {
+    if (MODE == 2) { t.apply(); }
+  }
+}`
+	r := Check(compile(t, src))
+	if len(r.Findings) != 1 || r.Findings[0].Code != CodeUnreachableBranch {
+		t.Fatalf("want exactly one %s finding, got:\n%s", CodeUnreachableBranch, r.Text())
+	}
+	if !r.TableUnreachable("t") {
+		t.Error("t not in unreachable set")
+	}
+	if got := r.UnreachableTables(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("UnreachableTables = %v", got)
+	}
+	if set := r.UnreachableSet(); !set["t"] {
+		t.Errorf("UnreachableSet = %v", set)
+	}
+}
+
+// TestDeadCodeAfterExit: statements after exit are dead but no branch
+// arm was ever reported, so a table applied there gets its own P4C007.
+func TestDeadCodeAfterExit(t *testing.T) {
+	src := `
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t { key = { m.a : exact; } actions = { nop; } }
+  apply {
+    exit;
+    t.apply();
+  }
+}`
+	r := Check(compile(t, src))
+	if len(r.Findings) != 1 || r.Findings[0].Code != CodeUnreachableTable {
+		t.Fatalf("want exactly one %s finding, got:\n%s", CodeUnreachableTable, r.Text())
+	}
+	if !strings.Contains(r.Findings[0].Detail, "unreachable guards") {
+		t.Errorf("detail = %q", r.Findings[0].Detail)
+	}
+}
+
+// TestErrorsGate: severity accounting drives the launch gate.
+func TestErrorsGate(t *testing.T) {
+	warnOnly := Check(compile(t, defects[CodeDeadAction]))
+	if warnOnly.HasErrors() {
+		t.Error("warn-only report reports errors")
+	}
+	withError := Check(compile(t, defects[CodeInvalidDefault]))
+	if !withError.HasErrors() || withError.Errors() != 1 {
+		t.Errorf("Errors() = %d, want 1", withError.Errors())
+	}
+}
+
+// TestCached: one analysis per program pointer.
+func TestCached(t *testing.T) {
+	prog := compile(t, clean)
+	a, b := Cached(prog), Cached(prog)
+	if a != b {
+		t.Error("Cached returned distinct reports for one program")
+	}
+}

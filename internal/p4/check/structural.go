@@ -1,0 +1,217 @@
+// Structural passes: pure walks over the IR, no solver involved.
+package check
+
+import (
+	"sort"
+	"strings"
+
+	"switchv/internal/p4/constraints"
+	"switchv/internal/p4/ir"
+)
+
+// refersToEdges collects the table-level @refers_to graph: an edge
+// T -> R for every key of T referring to R, and for every parameter of
+// an action T names (in its action list or as its default) referring
+// to R. Edge order is deterministic (tables in declaration order, keys
+// then actions in declaration order).
+type refEdge struct {
+	from, to string
+	// where describes the reference site for diagnostics.
+	where string
+	// srcWidth and dstWidth are the endpoint widths (0 when the target
+	// key does not resolve, which compilation already rejects).
+	srcWidth, dstWidth int
+}
+
+func refersToEdges(prog *ir.Program) []refEdge {
+	var edges []refEdge
+	target := func(r *ir.Reference) int {
+		t, ok := prog.TableByName(r.Table)
+		if !ok {
+			return 0
+		}
+		k, ok := t.KeyByName(r.Field)
+		if !ok {
+			return 0
+		}
+		return k.Field.Width
+	}
+	for _, t := range prog.Tables {
+		for _, k := range t.Keys {
+			if k.RefersTo == nil {
+				continue
+			}
+			edges = append(edges, refEdge{
+				from: t.Name, to: k.RefersTo.Table,
+				where:    "key " + k.Name + " -> " + k.RefersTo.Table + "." + k.RefersTo.Field,
+				srcWidth: k.Field.Width, dstWidth: target(k.RefersTo),
+			})
+		}
+		acts := append([]*ir.Action{}, t.Actions...)
+		if !t.HasAction(t.DefaultAction) {
+			acts = append(acts, t.DefaultAction)
+		}
+		for _, a := range acts {
+			for _, p := range a.Params {
+				if p.RefersTo == nil {
+					continue
+				}
+				edges = append(edges, refEdge{
+					from: t.Name, to: p.RefersTo.Table,
+					where:    "action " + a.Name + " param " + p.Name + " -> " + p.RefersTo.Table + "." + p.RefersTo.Field,
+					srcWidth: p.Width, dstWidth: target(p.RefersTo),
+				})
+			}
+		}
+	}
+	return edges
+}
+
+// checkReferences reports @refers_to cycles (P4C001) and endpoint
+// width mismatches (P4C002). Cycles are reported once per strongly
+// connected component, not once per edge.
+func checkReferences(r *Report, prog *ir.Program) {
+	edges := refersToEdges(prog)
+	for _, e := range edges {
+		if e.dstWidth != 0 && e.srcWidth != e.dstWidth {
+			r.addf(CodeRefersToWidth, Error, e.from,
+				"@refers_to width mismatch: %s (%d bits vs %d bits)", e.where, e.srcWidth, e.dstWidth)
+		}
+	}
+
+	// Cycle detection: iterative DFS over the table graph, reporting
+	// each cycle by its lexicographically-least member so the finding
+	// is stable no matter where the walk entered.
+	adj := map[string][]string{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var stack []string
+	reported := map[string]bool{}
+	var visit func(name string)
+	visit = func(name string) {
+		state[name] = onStack
+		stack = append(stack, name)
+		for _, next := range adj[name] {
+			switch state[next] {
+			case unvisited:
+				visit(next)
+			case onStack:
+				// Cycle: the stack suffix from next back to name.
+				i := len(stack) - 1
+				for i >= 0 && stack[i] != next {
+					i--
+				}
+				cycle := append([]string{}, stack[i:]...)
+				anchor := cycle[0]
+				for _, n := range cycle {
+					if n < anchor {
+						anchor = n
+					}
+				}
+				if !reported[anchor] {
+					reported[anchor] = true
+					r.addf(CodeRefersToCycle, Error, anchor,
+						"@refers_to cycle: %s", strings.Join(append(cycle, next), " -> "))
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[name] = done
+	}
+	for _, t := range prog.Tables {
+		if state[t.Name] == unvisited {
+			visit(t.Name)
+		}
+	}
+}
+
+// checkKeys reports shadowed match keys (P4C003): two keys of one
+// table matching on the same underlying field. Compilation rejects
+// duplicate key *names*, but an @name annotation lets the same field
+// in twice — entries over such a table can contradict themselves.
+func checkKeys(r *Report, prog *ir.Program) {
+	for _, t := range prog.Tables {
+		seen := map[int]string{} // field ID -> first key name
+		for _, k := range t.Keys {
+			if first, dup := seen[k.Field.ID]; dup {
+				r.addf(CodeShadowedKey, Warn, t.Name,
+					"keys %s and %s both match field %s", first, k.Name, k.Field.Name)
+				continue
+			}
+			seen[k.Field.ID] = k.Name
+		}
+	}
+}
+
+// checkDefaults reports default actions outside the table's action
+// list (P4C004). NoAction is exempt: it is the implicit default of
+// every table and deliberately absent from action lists.
+func checkDefaults(r *Report, prog *ir.Program) {
+	for _, t := range prog.Tables {
+		if t.DefaultAction == prog.NoAction {
+			continue
+		}
+		if !t.HasAction(t.DefaultAction) {
+			r.addf(CodeInvalidDefault, Error, t.Name,
+				"default action %s is not in the table's action list", t.DefaultAction.Name)
+		}
+	}
+}
+
+// checkDeadActions reports actions no table names (P4C005) — neither
+// in an action list nor as a default. Such an action is unreachable
+// from any control-plane write and any packet.
+func checkDeadActions(r *Report, prog *ir.Program) {
+	used := map[*ir.Action]bool{prog.NoAction: true}
+	for _, t := range prog.Tables {
+		used[t.DefaultAction] = true
+		for _, a := range t.Actions {
+			used[a] = true
+		}
+	}
+	var dead []string
+	for _, a := range prog.Actions {
+		if !used[a] {
+			dead = append(dead, a.Name)
+		}
+	}
+	sort.Strings(dead)
+	for _, name := range dead {
+		r.addf(CodeDeadAction, Warn, name, "action is named by no table")
+	}
+}
+
+// checkRestrictions compiles every @entry_restriction and, for the
+// ones that compile, asks the solver whether any entry can satisfy
+// them: a malformed source is P4C006, an unsatisfiable one P4C010
+// (the table is permanently empty — every write must be rejected).
+func checkRestrictions(r *Report, prog *ir.Program) {
+	for _, t := range prog.Tables {
+		if t.EntryRestriction == "" {
+			continue
+		}
+		c, err := constraints.Compile(t.EntryRestriction, t)
+		if err != nil {
+			r.addf(CodeBadRestriction, Error, t.Name, "@entry_restriction does not compile: %v", err)
+			continue
+		}
+		ok, checks, err := c.Satisfiable()
+		r.SolverChecks += checks
+		if err != nil {
+			// Encoding limits (none today) degrade to "assumed
+			// satisfiable" rather than a false error.
+			continue
+		}
+		if !ok {
+			r.addf(CodeUnsatRestriction, Error, t.Name,
+				"@entry_restriction is unsatisfiable: no entry can ever be installed (%q)", t.EntryRestriction)
+		}
+	}
+}

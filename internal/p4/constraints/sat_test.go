@@ -1,0 +1,61 @@
+package constraints
+
+import (
+	"testing"
+
+	"switchv/models"
+)
+
+// satCheck compiles src against a middleblock table and returns the
+// solver's verdict.
+func satCheck(t *testing.T, table, src string) (bool, int) {
+	t.Helper()
+	p := models.Middleblock()
+	tbl, ok := p.TableByName(table)
+	if !ok {
+		t.Fatalf("no table %q", table)
+	}
+	c, err := Compile(src, tbl)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	sat, checks, err := c.Satisfiable()
+	if err != nil {
+		t.Fatalf("solve %q: %v", src, err)
+	}
+	return sat, checks
+}
+
+func TestSatisfiable(t *testing.T) {
+	cases := []struct {
+		name, table, src string
+		want             bool
+	}{
+		{"model restriction", "vrf_table", "vrf_id != 0", true},
+		{"contradiction", "vrf_table", "vrf_id == 1 && vrf_id == 2", false},
+		{"excluded middle", "vrf_table", "vrf_id == 0 || vrf_id != 0", true},
+		{"vacuous implication", "vrf_table", "vrf_id == 1 -> vrf_id == 1", true},
+		{"unsat implication chain", "vrf_table", "vrf_id == 1; vrf_id == 1 -> vrf_id == 2", false},
+		// ttl is bit<8>: a value above the key width's range is unsat.
+		{"width bound", "acl_ingress_table", "ttl::value > 255", false},
+		{"width bound met", "acl_ingress_table", "ttl::value == 255", true},
+		// prefix_length carries the plen <= key-width coupling (ipv4_dst
+		// is a 32-bit lpm key); nothing else about the entry is coupled.
+		{"prefix length in range", "ipv4_table", "ipv4_dst::prefix_length == 32", true},
+		{"prefix length beyond width", "ipv4_table", "ipv4_dst::prefix_length > 32", false},
+		// the real multi-attribute acl restriction is satisfiable.
+		{"acl model restriction", "acl_ingress_table",
+			"ttl::mask != 0 -> (is_ipv4 == 1 || is_ipv6 == 1); icmp_type::mask != 0 -> ip_protocol::value == 1", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sat, checks := satCheck(t, tc.table, tc.src)
+			if sat != tc.want {
+				t.Errorf("Satisfiable(%q) = %v, want %v", tc.src, sat, tc.want)
+			}
+			if checks != 1 {
+				t.Errorf("Satisfiable(%q) spent %d checks, want exactly 1", tc.src, checks)
+			}
+		})
+	}
+}

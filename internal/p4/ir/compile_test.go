@@ -189,6 +189,40 @@ control c(inout m_t m) {
   }
   apply { t.apply(); }
 }`, "unknown table"},
+		{"refers_to unknown key", `
+struct m_t { bit<8> a; bit<8> b; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table target {
+    key = { m.a : exact @name("k"); }
+    actions = { nop; }
+  }
+  table src {
+    key = { m.b : exact @refers_to(target, missing); }
+    actions = { nop; }
+  }
+  apply { target.apply(); src.apply(); }
+}`, "unknown key"},
+		{"refers_to one argument", `
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t {
+    key = { m.a : exact @refers_to(t); }
+    actions = { nop; }
+  }
+  apply { t.apply(); }
+}`, "expects (table, field)"},
+		{"refers_to three arguments", `
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t {
+    key = { m.a : exact @refers_to(t, k, extra); }
+    actions = { nop; }
+  }
+  apply { t.apply(); }
+}`, "expects (table, field)"},
 		{"two lpm keys", `
 struct m_t { bit<8> a; bit<8> b; }
 control c(inout m_t m) {

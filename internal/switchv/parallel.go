@@ -69,6 +69,9 @@ type ParallelOptions struct {
 	Fuzz fuzzer.Options
 	// Factory builds each shard's switch stack (required).
 	Factory StackFactory
+	// Precheck selects the static-preflight gate mode, applied once
+	// before any shard stack is built (the default enforces it).
+	Precheck PrecheckMode
 }
 
 // ShardStats is the per-shard report slice surfaced to the CLI.
@@ -158,6 +161,17 @@ func RunParallelCampaign(info *p4info.Info, opts ParallelOptions) (*ParallelRepo
 	if opts.Factory == nil {
 		return nil, fmt.Errorf("switchv: ParallelOptions.Factory is required")
 	}
+	// Preflight once, before any stack is built: a model that fails the
+	// gate should not cost N switch stacks to find out.
+	gate := &Harness{Info: info, Precheck: opts.Precheck}
+	crep, err := gate.precheckGate("campaign")
+	if err != nil {
+		return nil, err
+	}
+	var dead map[string]bool
+	if crep != nil {
+		dead = crep.UnreachableSet()
+	}
 	shards := opts.Shards
 	if shards <= 0 {
 		shards = DefaultShards
@@ -202,7 +216,7 @@ func RunParallelCampaign(info *p4info.Info, opts ParallelOptions) (*ParallelRepo
 	// deduplicate incidents on their full (tool, kind, detail) identity.
 	rootCov := opts.Fuzz.Coverage
 	if rootCov == nil {
-		rootCov = coverage.NewMap(info)
+		rootCov = coverage.NewMapExcluding(info, dead)
 	}
 	rep := &ParallelReport{Workers: workers, Shards: shards, PerMutation: map[string]int{}}
 	seen := map[Incident]bool{}
@@ -262,14 +276,19 @@ func runShard(info *p4info.Info, opts ParallelOptions, worker, shard, batches, d
 		defer closeStack()
 	}
 	h := New(info, dev, nil)
+	h.Precheck = opts.Precheck
 	if err := h.PushPipeline(); err != nil {
 		res.err = fmt.Errorf("shard %d: pushing pipeline: %w", shard, err)
 		return res
 	}
+	var dead map[string]bool
+	if crep := h.PrecheckReport(); crep != nil {
+		dead = crep.UnreachableSet()
+	}
 	fo := opts.Fuzz
 	fo.Seed = res.stats.Seed
 	fo.NumRequests = batches
-	fo.Coverage = coverage.NewMap(info) // private map, merged later
+	fo.Coverage = coverage.NewMapExcluding(info, dead) // private map, merged later
 	rep, err := h.RunControlPlanePipelined(fo, depth)
 	if err != nil {
 		res.err = fmt.Errorf("shard %d: %w", shard, err)
@@ -306,8 +325,16 @@ func (h *Harness) RunControlPlanePipelined(opts fuzzer.Options, depth int) (*Con
 	if depth < 1 || opts.PlateauBatches > 0 || opts.StopAfterIncidents > 0 || opts.CoverageGuided {
 		return h.RunControlPlane(opts)
 	}
+	crep, err := h.precheckGate("p4-fuzzer")
+	if err != nil {
+		return nil, err
+	}
 	if opts.Coverage == nil {
-		opts.Coverage = coverage.NewMap(h.Info)
+		var dead map[string]bool
+		if crep != nil {
+			dead = crep.UnreachableSet()
+		}
+		opts.Coverage = coverage.NewMapExcluding(h.Info, dead)
 	}
 	cov := opts.Coverage
 	f := fuzzer.New(h.Info, opts)

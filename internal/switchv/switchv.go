@@ -14,6 +14,7 @@ import (
 	"switchv/internal/coverage"
 	"switchv/internal/fuzzer"
 	"switchv/internal/oracle"
+	"switchv/internal/p4/check"
 	"switchv/internal/p4/p4info"
 	"switchv/internal/p4/pdpi"
 	"switchv/internal/p4rt"
@@ -41,16 +42,60 @@ func (i Incident) String() string {
 	return fmt.Sprintf("[%s] %s: %s", i.Tool, i.Kind, i.Detail)
 }
 
+// PrecheckMode selects how the static preflight (internal/p4/check)
+// gates a campaign.
+type PrecheckMode int
+
+const (
+	// PrecheckOn — the default — refuses to launch on error-severity
+	// findings and prunes work the analyzer proved pointless
+	// (unreachable-table goals, dead coverage points).
+	PrecheckOn PrecheckMode = iota
+	// PrecheckWarn analyzes and prunes but never refuses; findings are
+	// the caller's to surface.
+	PrecheckWarn
+	// PrecheckOff skips the analyzer entirely: no gate, no pruning, no
+	// coverage exclusion.
+	PrecheckOff
+)
+
 // Harness validates one switch against one model.
 type Harness struct {
 	Info *p4info.Info
 	Dev  p4rt.Device
 	DP   DataPlane
+	// Precheck selects the preflight gate mode. The zero value enforces
+	// the gate: a defective model silently corrupts every downstream
+	// verdict, so opting out is the explicit choice.
+	Precheck PrecheckMode
 }
 
 // New builds a harness.
 func New(info *p4info.Info, dev p4rt.Device, dp DataPlane) *Harness {
 	return &Harness{Info: info, Dev: dev, DP: dp}
+}
+
+// PrecheckReport returns the memoized preflight report for the model,
+// or nil when the preflight is off.
+func (h *Harness) PrecheckReport() *check.Report {
+	if h.Precheck == PrecheckOff {
+		return nil
+	}
+	return check.Cached(h.Info.Program())
+}
+
+// precheckGate runs the preflight and refuses the campaign on
+// error-severity findings (PrecheckOn only).
+func (h *Harness) precheckGate(tool string) (*check.Report, error) {
+	rep := h.PrecheckReport()
+	if rep == nil {
+		return nil, nil
+	}
+	if h.Precheck == PrecheckOn && rep.HasErrors() {
+		return rep, fmt.Errorf("switchv: %s: model failed preflight with %d error finding(s); fix the model or launch with precheck=warn to override:\n%s",
+			tool, rep.Errors(), rep.Text())
+	}
+	return rep, nil
 }
 
 // PushPipeline pushes the model's P4Info to the switch.
@@ -101,8 +146,16 @@ func (r *ControlPlaneReport) EntriesPerSecond() float64 {
 // and mutated updates, each followed by a full read-back that the oracle
 // judges (§4.3, §4.4).
 func (h *Harness) RunControlPlane(opts fuzzer.Options) (*ControlPlaneReport, error) {
+	crep, err := h.precheckGate("p4-fuzzer")
+	if err != nil {
+		return nil, err
+	}
 	if opts.Coverage == nil {
-		opts.Coverage = coverage.NewMap(h.Info)
+		var dead map[string]bool
+		if crep != nil {
+			dead = crep.UnreachableSet()
+		}
+		opts.Coverage = coverage.NewMapExcluding(h.Info, dead)
 	}
 	cov := opts.Coverage
 	f := fuzzer.New(h.Info, opts)
@@ -243,6 +296,14 @@ func (h *Harness) RunDataPlane(entries []*pdpi.Entry, opts DataPlaneOptions) (*D
 	if opts.MaxBehaviors == 0 {
 		opts.MaxBehaviors = 32
 	}
+	crep, err := h.precheckGate("p4-symbolic")
+	if err != nil {
+		return nil, err
+	}
+	var dead map[string]bool
+	if crep != nil {
+		dead = crep.UnreachableSet()
+	}
 	rep := &DataPlaneReport{Entries: len(entries)}
 
 	// Reconcile the switch to an empty state first, as a controller would
@@ -302,19 +363,25 @@ func (h *Harness) RunDataPlane(entries []*pdpi.Entry, opts DataPlaneOptions) (*D
 	prog := h.Info.Program()
 	genStart := time.Now()
 	gen, err := symbolic.NewGenerator(prog, store, symbolic.Options{}, symbolic.GenOptions{
-		Mode:     opts.Coverage,
-		Enriched: true,
-		Cache:    opts.Cache,
-		Workers:  opts.Workers,
-		Shards:   opts.Shards,
+		Mode:              opts.Coverage,
+		Enriched:          true,
+		Cache:             opts.Cache,
+		Workers:           opts.Workers,
+		Shards:            opts.Shards,
+		UnreachableTables: dead,
 	})
 	if err != nil {
 		return rep, err
 	}
 	// The goal universe is the campaign's coverage denominator: every
-	// goal registers at zero so the map knows what was never reached.
+	// goal registers at zero so the map knows what was never reached —
+	// except goals the preflight proved unreachable, which would deflate
+	// every percentage for work no packet can ever do.
 	if opts.CoverageMap != nil {
 		for _, key := range gen.GoalKeys() {
+			if t := symbolic.GoalTable(key); t != "" && dead[t] {
+				continue
+			}
 			opts.CoverageMap.Register(coverage.KeyGoal(key))
 		}
 	}

@@ -95,12 +95,15 @@ type Report struct {
 	Goals       int
 	Covered     int
 	Unreachable int
-	// Solved, Pruned and Cached classify how each goal was decided: by
-	// its own SMT check, by reusing an earlier goal's SAT model (the
-	// solve-avoiding path), or from the per-goal cache.
-	Solved int
-	Pruned int
-	Cached int
+	// Solved, Pruned, Cached and Precheck classify how each goal was
+	// decided: by its own SMT check, by reusing an earlier goal's SAT
+	// model (the solve-avoiding path), from the per-goal cache, or by
+	// the static preflight's unreachability proof (no solver call at
+	// all).
+	Solved   int
+	Pruned   int
+	Cached   int
+	Precheck int
 	// SMTChecks counts the CheckAssuming calls actually issued; the gap
 	// to Goals is the work pruning and caching avoided.
 	SMTChecks int

@@ -70,6 +70,13 @@ type GenOptions struct {
 	// Cache, when non-nil, serves per-goal outcomes and absorbs the
 	// run's results.
 	Cache *Cache
+	// UnreachableTables is the static preflight's proof set
+	// (check.Report.UnreachableSet): table goals on these tables are
+	// decided unreachable before sharding, spending no solver check.
+	// Only "table:*" goals are dropped — branch goals are left to the
+	// solver, since the analyzer's branch numbering does not align with
+	// the executor's per-entry expansion.
+	UnreachableTables map[string]bool
 }
 
 // Generator runs parallel, solve-avoiding packet generation. Build one
@@ -119,6 +126,7 @@ const (
 	bySolve = iota
 	byPrune
 	byCache
+	byPrecheck
 )
 
 // shardState is one logical shard's solving context, owned by at most
@@ -150,11 +158,29 @@ func (g *Generator) Run() ([]TestPacket, Report, error) {
 	outcomes := make([]goalOutcome, len(g.goals))
 	decided := make([]bool, len(g.goals))
 
-	// Per-goal cache probe.
+	// Preflight-proved goals first: a table the static analyzer proved
+	// unreachable can never satisfy an entry or default goal, whatever
+	// the entry set — decide them without a solver check (and before
+	// the cache probe, so a fully-pruned campaign skips fingerprinting
+	// them too).
+	if len(g.gopts.UnreachableTables) > 0 {
+		for i, goal := range g.goals {
+			if t := goalTable(goal.Key); t != "" && g.gopts.UnreachableTables[t] {
+				outcomes[i] = goalOutcome{how: byPrecheck}
+				decided[i] = true
+			}
+		}
+	}
+
+	// Per-goal cache probe (precheck-decided goals never touch the
+	// cache in either direction: their verdict is free to recompute).
 	var fps []string
 	if g.gopts.Cache != nil {
 		fps = make([]string, len(g.goals))
 		for i, goal := range g.goals {
+			if decided[i] {
+				continue
+			}
 			fps[i] = GoalFingerprint(g.prog, g.opts, goal.Key, g.ex0.DepEntries(goal.Key))
 			if pkt, ok := g.gopts.Cache.GetGoal(fps[i]); ok {
 				outcomes[i] = goalOutcome{pkt: pkt, how: byCache}
@@ -317,6 +343,8 @@ func (g *Generator) Run() ([]TestPacket, Report, error) {
 			rep.Pruned++
 		case byCache:
 			rep.Cached++
+		case byPrecheck:
+			rep.Precheck++
 		}
 		if out.pkt != nil {
 			rep.Covered++
@@ -324,7 +352,7 @@ func (g *Generator) Run() ([]TestPacket, Report, error) {
 		} else {
 			rep.Unreachable++
 		}
-		if g.gopts.Cache != nil && out.how != byCache {
+		if g.gopts.Cache != nil && out.how != byCache && out.how != byPrecheck {
 			g.gopts.Cache.PutGoal(fps[i], out.pkt)
 		}
 	}

@@ -527,6 +527,11 @@ func (ex *Executor) DepEntries(goalKey string) []*pdpi.Entry {
 	return deps
 }
 
+// GoalTable extracts the table name from a "table:<t>:..." goal key
+// ("" for branch and enriched goals). The preflight pipeline uses it
+// to relate goals to the analyzer's unreachable-table set.
+func GoalTable(key string) string { return goalTable(key) }
+
 // goalTable extracts the table name from a "table:<t>:..." goal key
 // ("" for branch and enriched goals).
 func goalTable(key string) string {

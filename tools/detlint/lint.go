@@ -1,0 +1,350 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// finding is one rule violation at a source position.
+type finding struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+// ruleNames is the closed set of rule identifiers, used to parse
+// //detlint:allow directives.
+var ruleNames = map[string]bool{
+	"timenow":    true,
+	"globalrand": true,
+	"maprange":   true,
+}
+
+// lintDir parses the non-test .go files of one package directory,
+// type-checks them leniently, and runs every rule.
+func lintDir(dir string) ([]finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no non-test Go files", dir)
+	}
+	return lintFiles(fset, files), nil
+}
+
+// lintFiles type-checks the files of one package and runs the rules.
+// Type checking is best-effort: imports resolve to empty stub packages,
+// so cross-package types stay unknown and the map-range rule simply
+// skips expressions it cannot type (under-reporting, never crashing).
+func lintFiles(fset *token.FileSet, files []*ast.File) []finding {
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Error:    func(error) {}, // stub imports guarantee errors; ignore them
+		Importer: stubImporter{},
+	}
+	conf.Check(files[0].Name.Name, fset, files, info) //nolint:errcheck // lenient by design
+
+	var out []finding
+	for _, f := range files {
+		l := &linter{fset: fset, info: info, file: f, allow: allowDirectives(fset, f)}
+		l.run()
+		out = append(out, l.findings...)
+	}
+	return out
+}
+
+// stubImporter resolves every import path to an empty, complete
+// package. Member lookups through it fail — as type errors the lenient
+// config ignores — while package identifiers still resolve, which is
+// all the syntactic rules need.
+type stubImporter struct{}
+
+func (stubImporter) Import(path string) (*types.Package, error) {
+	base := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		base = path[i+1:]
+	}
+	pkg := types.NewPackage(path, base)
+	pkg.MarkComplete()
+	return pkg, nil
+}
+
+// allowDirectives collects //detlint:allow lines: line number -> set of
+// waived rules. A directive suppresses findings on its own line and on
+// the line directly below (so it can trail the statement or precede it).
+func allowDirectives(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
+	out := map[int]map[string]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "detlint:allow") {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if out[line] == nil {
+				out[line] = map[string]bool{}
+			}
+			for _, field := range strings.Fields(strings.TrimPrefix(text, "detlint:allow")) {
+				if ruleNames[field] {
+					out[line][field] = true
+				} else {
+					break // rules come first; anything else starts the rationale
+				}
+			}
+		}
+	}
+	return out
+}
+
+// timingName matches identifiers that mark a time.Now/Since result as
+// elapsed-time measurement rather than result data.
+var timingName = regexp.MustCompile(`(?i)(start|begin|elapsed|deadline|duration|took|t0|t1)`)
+
+type linter struct {
+	fset     *token.FileSet
+	info     *types.Info
+	file     *ast.File
+	allow    map[int]map[string]bool
+	findings []finding
+}
+
+func (l *linter) report(pos token.Pos, rule, format string, args ...any) {
+	p := l.fset.Position(pos)
+	if l.allow[p.Line][rule] || l.allow[p.Line-1][rule] {
+		return
+	}
+	l.findings = append(l.findings, finding{pos: p, rule: rule, msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *linter) run() {
+	timeName := importName(l.file, "time")
+	randName := importName(l.file, "math/rand")
+	sortName := importName(l.file, "sort")
+
+	// Pass 1: mark time.Now/Since calls whose result lands in a
+	// timing-named variable or field as measurement, not result data.
+	measured := map[*ast.CallExpr]bool{}
+	if timeName != "" {
+		ast.Inspect(l.file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			timing := false
+			for _, lhs := range as.Lhs {
+				if timingName.MatchString(exprString(lhs)) {
+					timing = true
+				}
+			}
+			if !timing {
+				return true
+			}
+			for _, rhs := range as.Rhs {
+				ast.Inspect(rhs, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok && l.isPkgCall(call, timeName, "time") != "" {
+						measured[call] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(l.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if timeName != "" {
+			switch sel := l.isPkgCall(call, timeName, "time"); sel {
+			case "Now", "Since":
+				if !measured[call] {
+					l.report(call.Pos(), "timenow",
+						"time.%s outside elapsed-time measurement: results must not depend on wall-clock time", sel)
+				}
+			}
+		}
+		if randName != "" {
+			if sel := l.isPkgCall(call, randName, "math/rand"); sel != "" && sel != "New" && sel != "NewSource" {
+				l.report(call.Pos(), "globalrand",
+					"rand.%s uses the process-global source: thread a seeded *rand.Rand instead", sel)
+			}
+		}
+		return true
+	})
+
+	l.checkMapRanges(sortName)
+}
+
+// isPkgCall reports the selector name when call is pkgName.Sel(...) and
+// pkgName resolves to the import of pkgPath (not a shadowing variable);
+// "" otherwise.
+func (l *linter) isPkgCall(call *ast.CallExpr, pkgName, pkgPath string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkgName {
+		return ""
+	}
+	if obj, ok := l.info.Uses[id]; ok {
+		pn, ok := obj.(*types.PkgName)
+		if !ok || pn.Imported().Path() != pkgPath {
+			return "" // a local variable shadows the package name
+		}
+	}
+	return sel.Sel.Name
+}
+
+// checkMapRanges flags `for k := range m` over a map whose body appends
+// to a slice declared outside the loop, when the enclosing function
+// never sorts that slice: map iteration order would leak into the
+// slice's element order.
+func (l *linter) checkMapRanges(sortName string) {
+	for _, decl := range l.file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		// Every expression the function passes to a sort.* call is
+		// considered order-laundered.
+		sorted := map[string]bool{}
+		if sortName != "" {
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if l.isPkgCall(call, sortName, "sort") != "" {
+					sorted[exprString(call.Args[0])] = true
+				}
+				return true
+			})
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !l.isMapType(rs.X) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fun, ok := call.Fun.(*ast.Ident)
+				if !ok || fun.Name != "append" || len(call.Args) == 0 {
+					return true
+				}
+				target := exprString(call.Args[0])
+				if target == "" || sorted[target] {
+					return true
+				}
+				if id, ok := call.Args[0].(*ast.Ident); ok {
+					if obj := l.objectOf(id); obj != nil && rs.Pos() <= obj.Pos() && obj.Pos() <= rs.End() {
+						return true // per-iteration slice; order does not escape the loop
+					}
+				}
+				l.report(call.Pos(), "maprange",
+					"append to %q inside a map range without a later sort: iteration order leaks into the slice", target)
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func (l *linter) isMapType(e ast.Expr) bool {
+	tv, ok := l.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false // cross-package type the stub importer cannot resolve
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func (l *linter) objectOf(id *ast.Ident) types.Object {
+	if obj := l.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return l.info.Uses[id]
+}
+
+// importName returns the identifier the file uses for an import path
+// ("" if not imported): the explicit alias, or the path's base name.
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// exprString renders the identifier/selector spine of an expression
+// ("rep.Elapsed", "keys"); "" for shapes the rules do not track.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := exprString(x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+		return x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return exprString(x.X)
+	}
+	return ""
+}
+
+// sortFindings orders findings by file, then line (used by tests).
+func sortFindings(fs []finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].pos.Filename != fs[j].pos.Filename {
+			return fs[i].pos.Filename < fs[j].pos.Filename
+		}
+		return fs[i].pos.Line < fs[j].pos.Line
+	})
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// lintSource runs the linter over one synthetic file.
+func lintSource(t *testing.T, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fs := lintFiles(fset, []*ast.File{f})
+	sortFindings(fs)
+	return fs
+}
+
+func rules(fs []finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.rule)
+	}
+	return out
+}
+
+func TestTimeNow(t *testing.T) {
+	fs := lintSource(t, `package p
+import "time"
+func stamp() int64 { return time.Now().UnixNano() }
+`)
+	if len(fs) != 1 || fs[0].rule != "timenow" {
+		t.Fatalf("want one timenow finding, got %v", fs)
+	}
+	if !strings.Contains(fs[0].msg, "wall-clock") {
+		t.Fatalf("message should explain the invariant: %q", fs[0].msg)
+	}
+}
+
+func TestTimeNowMeasurementAllowed(t *testing.T) {
+	fs := lintSource(t, `package p
+import "time"
+type rep struct{ Elapsed time.Duration }
+func run(r *rep) {
+	start := time.Now()
+	r.Elapsed = time.Since(start)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("elapsed-time measurement must not be flagged: %v", fs)
+	}
+}
+
+func TestTimeNowShadowedPackage(t *testing.T) {
+	fs := lintSource(t, `package p
+type clock struct{}
+func (clock) Now() int { return 0 }
+func f() int {
+	var time clock
+	return time.Now()
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("a local variable named time is not the time package: %v", fs)
+	}
+}
+
+func TestGlobalRand(t *testing.T) {
+	fs := lintSource(t, `package p
+import "math/rand"
+func pick(n int) int { return rand.Intn(n) }
+func seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`)
+	if got := rules(fs); len(got) != 1 || got[0] != "globalrand" {
+		t.Fatalf("want exactly the rand.Intn finding, got %v", fs)
+	}
+	if fs[0].pos.Line != 3 {
+		t.Fatalf("finding should be on the rand.Intn line, got line %d", fs[0].pos.Line)
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	fs := lintSource(t, `package p
+func leak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`)
+	if got := rules(fs); len(got) != 1 || got[0] != "maprange" {
+		t.Fatalf("want one maprange finding, got %v", fs)
+	}
+}
+
+func TestMapRangeSortedOK(t *testing.T) {
+	fs := lintSource(t, `package p
+import "sort"
+func keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("sorted accumulation must not be flagged: %v", fs)
+	}
+}
+
+func TestMapRangeLoopLocalOK(t *testing.T) {
+	fs := lintSource(t, `package p
+func sum(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("a slice local to the loop body cannot leak order: %v", fs)
+	}
+}
+
+func TestSliceRangeOK(t *testing.T) {
+	fs := lintSource(t, `package p
+func copyAll(in []int) []int {
+	var out []int
+	for _, v := range in {
+		out = append(out, v)
+	}
+	return out
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("range over a slice is ordered; must not be flagged: %v", fs)
+	}
+}
+
+func TestAllowDirective(t *testing.T) {
+	fs := lintSource(t, `package p
+import "time"
+func stampTrailing() int64 {
+	return time.Now().UnixNano() //detlint:allow timenow — log decoration only
+}
+func stampPreceding() int64 {
+	//detlint:allow timenow — log decoration only
+	return time.Now().UnixNano()
+}
+func stampFlagged() int64 {
+	return time.Now().UnixNano()
+}
+`)
+	if len(fs) != 1 || fs[0].pos.Line != 11 {
+		t.Fatalf("only the unannotated call should be flagged, got %v", fs)
+	}
+}
+
+func TestAllowDirectiveWrongRule(t *testing.T) {
+	fs := lintSource(t, `package p
+import "time"
+func stamp() int64 {
+	return time.Now().UnixNano() //detlint:allow maprange
+}
+`)
+	if got := rules(fs); len(got) != 1 || got[0] != "timenow" {
+		t.Fatalf("an allow for a different rule must not suppress timenow: %v", fs)
+	}
+}
+
+// TestRepoPackagesClean is the invariant the lint target enforces in CI:
+// the determinism-critical packages carry no findings (modulo explicit
+// //detlint:allow waivers, which this test exercises end-to-end).
+func TestRepoPackagesClean(t *testing.T) {
+	for _, dir := range []string{
+		"../../internal/fuzzer",
+		"../../internal/symbolic",
+		"../../internal/switchv",
+		"../../internal/coverage",
+	} {
+		fs, err := lintDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, f := range fs {
+			t.Errorf("%s:%d: %s: %s", f.pos.Filename, f.pos.Line, f.rule, f.msg)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command detlint enforces the repo's determinism invariants on result
+// paths. Campaign results must be a pure function of (model, entries,
+// seed, shard count) — see the determinism contracts in
+// internal/switchv and internal/symbolic — so the checked packages must
+// not consult wall-clock time or process-global randomness when
+// computing results, and must not let map iteration order leak into
+// ordered output.
+//
+//	detlint ./internal/fuzzer ./internal/symbolic ...
+//
+// Rules:
+//
+//	timenow    time.Now / time.Since outside elapsed-time measurement
+//	           (allowed when the result lands in a variable or field
+//	           whose name marks it as timing: start, begin, elapsed,
+//	           deadline, t0, t1)
+//	globalrand calls through the global math/rand source (rand.Intn,
+//	           rand.Shuffle, ...); seeded *rand.Rand instances and
+//	           rand.New/NewSource are fine
+//	maprange   a range over a map whose body appends to an outer slice
+//	           that the function never sorts — iteration order would
+//	           leak into the slice's order
+//
+// A finding can be waived where determinism is genuinely not at stake
+// with a trailing or preceding comment:
+//
+//	//detlint:allow <rule> — <why this use is deterministic/benign>
+//
+// The checker is deliberately stdlib-only (go/parser + go/types with a
+// lenient, import-less type-checker): it under-reports across package
+// boundaries rather than requiring the x/tools machinery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: detlint <package-dir>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var all []finding
+	for _, dir := range flag.Args() {
+		fs, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			os.Exit(2)
+		}
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	for _, f := range all {
+		fmt.Printf("%s:%d: %s: %s\n", f.pos.Filename, f.pos.Line, f.rule, f.msg)
+	}
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+}
