@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet lint test race matrix precheck bench bench-parallel bench-symbolic
+.PHONY: ci build vet lint test race matrix precheck daemon-smoke bench bench-parallel bench-symbolic
 
 # ci is the gate every change must pass: build, vet, the determinism
 # lint, the full test suite under the race detector, the fault-detection
-# matrix, and the static model preflight.
-ci: build vet lint race matrix precheck
+# matrix, the static model preflight, and the daemon smoke test.
+ci: build vet lint race matrix precheck daemon-smoke
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ race:
 # wall-clock time or process-global randomness in results, no map
 # iteration order leaking into ordered output (see tools/detlint).
 lint:
-	$(GO) run ./tools/detlint ./internal/fuzzer ./internal/symbolic ./internal/switchv ./internal/coverage
+	$(GO) run ./tools/detlint ./internal/fuzzer ./internal/symbolic ./internal/switchv ./internal/coverage ./internal/daemon
 
 # matrix runs the fault-detection matrix: every injectable fault must be
 # caught, and the union of all fixtures must stay incident-free.
@@ -34,6 +34,12 @@ matrix:
 # repo (models/ plus any example models); error-severity findings fail.
 precheck:
 	$(GO) run ./cmd/p4check $$(find models examples -name '*.p4' | sort)
+
+# daemon-smoke boots a faulty switchd over TCP, runs a one-target
+# switchvd round against it, and asserts through the HTTP API that the
+# fault surfaced as a fleet incident record.
+daemon-smoke:
+	$(GO) run ./tools/daemonsmoke
 
 # bench reruns the paper-evaluation benchmarks once each and records the
 # parallel-engine scaling run as machine-readable JSON.

@@ -3,29 +3,53 @@
 // remotely:
 //
 //	switchd -listen :9559 -role middleblock -fault asic.ttl1-no-trap
+//	switchd -list-faults -json    # machine-readable fault catalog
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 
 	"switchv/internal/p4rt"
 	"switchv/internal/switchsim"
 )
 
+// faultEntry is one -list-faults -json record.
+type faultEntry struct {
+	ID          string `json:"id"`
+	Component   string `json:"component"`
+	Description string `json:"description"`
+}
+
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9559", "address to serve P4Runtime on")
 	role := flag.String("role", "middleblock", "deployment role (middleblock or wan)")
 	faultList := flag.String("fault", "", "comma-separated fault ids to inject (see -list-faults)")
 	listFaults := flag.Bool("list-faults", false, "list injectable faults and exit")
+	jsonOut := flag.Bool("json", false, "with -list-faults, emit the catalog as JSON")
 	flag.Parse()
 
 	if *listFaults {
+		if *jsonOut {
+			var entries []faultEntry
+			for _, f := range switchsim.AllFaults() {
+				meta, _ := switchsim.Meta(f)
+				entries = append(entries, faultEntry{
+					ID: string(f), Component: meta.Component, Description: meta.Description,
+				})
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(entries); err != nil {
+				log.Fatalf("switchd: encoding fault catalog: %v", err)
+			}
+			return
+		}
 		for _, f := range switchsim.AllFaults() {
 			meta, _ := switchsim.Meta(f)
 			fmt.Printf("%-36s %-20s %s\n", f, meta.Component, meta.Description)
@@ -33,15 +57,12 @@ func main() {
 		return
 	}
 
-	var faults []switchsim.Fault
-	if *faultList != "" {
-		for _, name := range strings.Split(*faultList, ",") {
-			f := switchsim.Fault(strings.TrimSpace(name))
-			if _, ok := switchsim.Meta(f); !ok {
-				log.Fatalf("unknown fault %q (use -list-faults)", name)
-			}
-			faults = append(faults, f)
-		}
+	faults, err := switchsim.ParseFaults(*faultList)
+	if err != nil {
+		// A misspelled fault id must fail loudly: silently validating a
+		// fault-free switch would make every campaign below vacuous.
+		fmt.Fprintf(os.Stderr, "switchd: %v\n", err)
+		os.Exit(2)
 	}
 
 	sw := switchsim.New(*role, faults...)

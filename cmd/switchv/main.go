@@ -88,15 +88,9 @@ func main() {
 		defer cli.Close()
 		dev, dp = cli, cli
 	} else {
-		var faults []switchsim.Fault
-		if *faultList != "" {
-			for _, name := range strings.Split(*faultList, ",") {
-				f := switchsim.Fault(strings.TrimSpace(name))
-				if _, ok := switchsim.Meta(f); !ok {
-					log.Fatalf("unknown fault %q", name)
-				}
-				faults = append(faults, f)
-			}
+		faults, err := switchsim.ParseFaults(*faultList)
+		if err != nil {
+			log.Fatal(err)
 		}
 		sw := switchsim.New(*role, faults...)
 		defer sw.Close()
@@ -241,15 +235,9 @@ func main() {
 // interfere with each other's read-backs.
 func stackFactory(connect, role, faultList string, shards int) (switchv.StackFactory, error) {
 	if connect == "" {
-		var faults []switchsim.Fault
-		if faultList != "" {
-			for _, name := range strings.Split(faultList, ",") {
-				f := switchsim.Fault(strings.TrimSpace(name))
-				if _, ok := switchsim.Meta(f); !ok {
-					return nil, fmt.Errorf("unknown fault %q", name)
-				}
-				faults = append(faults, f)
-			}
+		faults, err := switchsim.ParseFaults(faultList)
+		if err != nil {
+			return nil, err
 		}
 		return func(shard int) (p4rt.Device, func(), error) {
 			sw := switchsim.New(role, faults...)

@@ -1,0 +1,141 @@
+// Incident records: the live counterpart of the synthesized catalog.
+//
+// The daemon observes incidents continuously across a fleet; what it
+// persists is catalog-shaped — one record per distinct root cause, with
+// the discovering tool and a human-readable log — so fleet state and
+// the paper's bug catalog aggregate the same way. Identity is a stable
+// fingerprint over (tool, kind, normalized detail): incident details
+// embed campaign indices ("batch 17", "packet 3") that vary with seed
+// and shard split without changing the underlying bug, so digit runs
+// are normalized away before hashing. Records round-trip through JSON;
+// EncodeRecords output is deterministic (sorted by fingerprint).
+package bugdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Record is one fleet-observed incident in catalog shape.
+type Record struct {
+	// Fingerprint is the stable fleet-wide identity (see Fingerprint).
+	Fingerprint string `json:"fingerprint"`
+	// Tool is the discovering engine, "p4-fuzzer" or "p4-symbolic".
+	Tool string `json:"tool"`
+	// Kind classifies the divergence (the Incident kind).
+	Kind string `json:"kind"`
+	// Detail is the first observed human-readable log for this record.
+	Detail string `json:"detail"`
+	// Targets lists the fleet targets the incident was seen on, sorted.
+	Targets []string `json:"targets"`
+	// FirstRound / LastRound bracket the scheduling rounds the incident
+	// was observed in.
+	FirstRound int `json:"first_round"`
+	LastRound  int `json:"last_round"`
+	// Count totals raw observations folded into this record.
+	Count int64 `json:"count"`
+}
+
+// NormalizeDetail collapses every maximal digit run to '#', so details
+// differing only in batch/packet/entry indices share a fingerprint.
+func NormalizeDetail(detail string) string {
+	var b strings.Builder
+	b.Grow(len(detail))
+	inRun := false
+	for _, r := range detail {
+		if r >= '0' && r <= '9' {
+			if !inRun {
+				b.WriteByte('#')
+				inRun = true
+			}
+			continue
+		}
+		inRun = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Fingerprint derives the stable identity of an incident: FNV-1a over
+// the tool, kind and normalized detail, rendered as 16 hex digits.
+func Fingerprint(tool, kind, detail string) string {
+	h := fnv.New64a()
+	h.Write([]byte(tool))
+	h.Write([]byte{0})
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(NormalizeDetail(detail)))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Observe folds one incident observation into a record list kept sorted
+// by fingerprint and returns the updated list. A new root cause inserts
+// a record; a known one bumps its count, extends its round bracket and
+// adds the target if unseen. Folding observations in a deterministic
+// order yields a deterministic list.
+func Observe(records []Record, target string, round int, tool, kind, detail string) []Record {
+	fp := Fingerprint(tool, kind, detail)
+	i := sort.Search(len(records), func(i int) bool { return records[i].Fingerprint >= fp })
+	if i < len(records) && records[i].Fingerprint == fp {
+		r := &records[i]
+		r.Count++
+		if round < r.FirstRound {
+			r.FirstRound = round
+		}
+		if round > r.LastRound {
+			r.LastRound = round
+		}
+		j := sort.SearchStrings(r.Targets, target)
+		if j >= len(r.Targets) || r.Targets[j] != target {
+			r.Targets = append(r.Targets, "")
+			copy(r.Targets[j+1:], r.Targets[j:])
+			r.Targets[j] = target
+		}
+		return records
+	}
+	rec := Record{
+		Fingerprint: fp,
+		Tool:        tool,
+		Kind:        kind,
+		Detail:      detail,
+		Targets:     []string{target},
+		FirstRound:  round,
+		LastRound:   round,
+		Count:       1,
+	}
+	records = append(records, Record{})
+	copy(records[i+1:], records[i:])
+	records[i] = rec
+	return records
+}
+
+// EncodeRecords renders a record list as deterministic, indented JSON
+// (sorted by fingerprint regardless of input order).
+func EncodeRecords(records []Record) ([]byte, error) {
+	sorted := make([]Record, len(records))
+	copy(sorted, records)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Fingerprint < sorted[j].Fingerprint })
+	return json.MarshalIndent(sorted, "", "  ")
+}
+
+// DecodeRecords parses an EncodeRecords document, rejecting unknown
+// fields and records without a fingerprint.
+func DecodeRecords(data []byte) ([]Record, error) {
+	var records []Record
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&records); err != nil {
+		return nil, fmt.Errorf("bugdb: parsing records: %w", err)
+	}
+	for i, r := range records {
+		if r.Fingerprint == "" {
+			return nil, fmt.Errorf("bugdb: parsing records: record %d has no fingerprint", i)
+		}
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Fingerprint < records[j].Fingerprint })
+	return records, nil
+}

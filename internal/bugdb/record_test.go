@@ -1,0 +1,142 @@
+package bugdb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestNormalizeDetail(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"reading back after batch 17: RPC timeout", "reading back after batch #: RPC timeout"},
+		{"p4rt transport", "p#rt transport"},
+		{"entry 10.0.0.0/8 missing", "entry #.#.#.#/# missing"},
+		{"no digits", "no digits"},
+		{"42", "#"},
+	}
+	for _, c := range cases {
+		if got := NormalizeDetail(c.in); got != c.want {
+			t.Errorf("NormalizeDetail(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a := Fingerprint("p4-fuzzer", "read-mismatch", "missing entry after batch 3")
+	b := Fingerprint("p4-fuzzer", "read-mismatch", "missing entry after batch 12")
+	if a != b {
+		t.Error("fingerprints differing only in indices must collide")
+	}
+	if c := Fingerprint("p4-symbolic", "read-mismatch", "missing entry after batch 3"); c == a {
+		t.Error("tool must be part of the fingerprint")
+	}
+	if len(a) != 16 {
+		t.Errorf("fingerprint %q is not 16 hex digits", a)
+	}
+}
+
+// observations is the shared fixture of the Observe and golden tests:
+// the same root cause from two targets and two rounds, plus a second
+// distinct cause.
+func observations() []Record {
+	var recs []Record
+	recs = Observe(recs, "dut-b", 0, "p4-fuzzer", "read-mismatch", "entry 7 vanished")
+	recs = Observe(recs, "dut-a", 0, "p4-fuzzer", "read-mismatch", "entry 3 vanished")
+	recs = Observe(recs, "dut-a", 1, "p4-fuzzer", "read-mismatch", "entry 9 vanished")
+	recs = Observe(recs, "dut-a", 1, "p4-symbolic", "forwarding-divergence", "packet 2: port 11 != 12")
+	return recs
+}
+
+func TestObserveDedupes(t *testing.T) {
+	recs := observations()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if !sort.SliceIsSorted(recs, func(i, j int) bool { return recs[i].Fingerprint < recs[j].Fingerprint }) {
+		t.Error("records not sorted by fingerprint")
+	}
+	for _, r := range recs {
+		switch r.Kind {
+		case "read-mismatch":
+			if r.Count != 3 || r.FirstRound != 0 || r.LastRound != 1 {
+				t.Errorf("read-mismatch record aggregated wrong: %+v", r)
+			}
+			if !reflect.DeepEqual(r.Targets, []string{"dut-a", "dut-b"}) {
+				t.Errorf("targets = %v, want sorted [dut-a dut-b]", r.Targets)
+			}
+			if r.Detail != "entry 7 vanished" {
+				t.Errorf("detail %q is not the first observation", r.Detail)
+			}
+		case "forwarding-divergence":
+			if r.Count != 1 || !reflect.DeepEqual(r.Targets, []string{"dut-a"}) {
+				t.Errorf("forwarding-divergence record wrong: %+v", r)
+			}
+		default:
+			t.Errorf("unexpected record kind %q", r.Kind)
+		}
+	}
+}
+
+// TestRecordsRoundTrip: Encode → Decode → Encode is the identity.
+func TestRecordsRoundTrip(t *testing.T) {
+	recs := observations()
+	data, err := EncodeRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, back) {
+		t.Errorf("decode mismatch:\n got %+v\nwant %+v", back, recs)
+	}
+	data2, err := EncodeRecords(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("re-encoding decoded records changed the document")
+	}
+}
+
+// TestRecordsGolden pins the incidents.json format byte-for-byte.
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/bugdb -run Golden.
+func TestRecordsGolden(t *testing.T) {
+	data, err := EncodeRecords(observations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	golden := filepath.Join("testdata", "records.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("records JSON drifted from %s (UPDATE_GOLDEN=1 to regenerate)\ngot:\n%s\nwant:\n%s", golden, data, want)
+	}
+}
+
+func TestDecodeRecordsRejectsMalformed(t *testing.T) {
+	for name, doc := range map[string]string{
+		"unknown-field":  `[{"fingerprint": "ab", "tool": "p4-fuzzer", "bogus": 1}]`,
+		"no-fingerprint": `[{"tool": "p4-fuzzer"}]`,
+		"not-json":       `[`,
+	} {
+		if _, err := DecodeRecords([]byte(doc)); err == nil {
+			t.Errorf("DecodeRecords accepted %s input", name)
+		}
+	}
+}

@@ -22,6 +22,7 @@
 package coverage
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -405,6 +406,36 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 // JSON renders the snapshot for coverage.json (stable key order courtesy
 // of encoding/json's map sorting).
 func (s *Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// ParseSnapshot decodes a snapshot previously rendered by JSON. Unknown
+// fields are rejected — a checkpoint store must notice, not silently
+// drop, state written by a newer format.
+func ParseSnapshot(data []byte) (*Snapshot, error) {
+	s := &Snapshot{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("coverage: parsing snapshot: %w", err)
+	}
+	if s.Counts == nil {
+		s.Counts = map[string]int64{}
+	}
+	if s.Covered < 0 || s.Universe < 0 {
+		return nil, fmt.Errorf("coverage: parsing snapshot: negative covered/universe (%d/%d)", s.Covered, s.Universe)
+	}
+	return s, nil
+}
+
+// RestoreMap rebuilds a live Map from a snapshot: a fresh map for the
+// model (minus the same unreachable-table exclusions the snapshot was
+// taken with) with every count and registered point folded back in.
+// Restore(Snapshot(m)) is indistinguishable from m — the checkpoint
+// store's round-trip guarantee.
+func RestoreMap(info *p4info.Info, unreachable map[string]bool, s *Snapshot) *Map {
+	m := NewMapExcluding(info, unreachable)
+	m.Merge(s)
+	return m
+}
 
 // CoveredInUniverse is the number of registered points exercised at
 // least once. Points outside the universe (unregistered dynamic keys,

@@ -1,0 +1,140 @@
+package coverage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"switchv/internal/p4/p4info"
+	"switchv/models"
+)
+
+// exercisedMap builds a deterministic, partially exercised map over the
+// middleblock model: a fixed set of control-plane, data-plane, outcome
+// and goal points. The golden file pins its serialized form.
+func exercisedMap(t *testing.T) (*p4info.Info, *Map) {
+	t.Helper()
+	info := p4info.New(models.Middleblock())
+	m := NewMap(info)
+	tables := info.Tables()
+	if len(tables) < 2 {
+		t.Fatalf("middleblock model has %d tables, need 2", len(tables))
+	}
+	t0, t1 := tables[0], tables[1]
+	m.NoteWrite(t0.Name)
+	m.NoteWrite(t0.Name)
+	m.NoteAccept(t0.Name)
+	m.NoteWrite(t1.Name)
+	m.NoteActionSelect(t0.Name, t0.Actions[0].Name)
+	m.NoteDataPlaneHit(t0.Name, "entry-0", t0.Actions[0].Name)
+	m.NoteDataPlaneHit(t1.Name, "", t1.DefaultAction.Name)
+	m.NoteMutation("InvalidTableID")
+	m.NoteMutationOutcome("InvalidTableID", "MustReject", false)
+	m.NoteVerdictOutcome(t0.Name, "MustAccept", true)
+	m.Register(KeyGoal("entry:" + t0.Name + ":0"))
+	m.Register(KeyGoal("entry:" + t0.Name + ":1"))
+	m.NoteGoal("entry:" + t0.Name + ":0")
+	return info, m
+}
+
+// TestSnapshotParseRoundTrip: JSON → ParseSnapshot → JSON is the
+// identity, and a map restored from the snapshot snapshots back to the
+// identical document and derived metrics.
+func TestSnapshotParseRoundTrip(t *testing.T) {
+	info, m := exercisedMap(t)
+	snap := m.Snapshot()
+	data, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := parsed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("snapshot JSON is not a fixed point of ParseSnapshot")
+	}
+
+	restored := RestoreMap(info, nil, parsed)
+	data3, err := restored.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data3) {
+		t.Error("RestoreMap(Snapshot(m)) snapshots to a different document than m")
+	}
+	if restored.Covered() != m.Covered() || restored.Universe() != m.Universe() ||
+		restored.TablesAccepted() != m.TablesAccepted() {
+		t.Errorf("restored metrics %d/%d/%d, want %d/%d/%d",
+			restored.Covered(), restored.Universe(), restored.TablesAccepted(),
+			m.Covered(), m.Universe(), m.TablesAccepted())
+	}
+}
+
+// TestSnapshotRoundTripExcluding covers the preflight-excluded variant:
+// the restored map must reproduce the reduced universe, not re-register
+// the dead table's data-plane points.
+func TestSnapshotRoundTripExcluding(t *testing.T) {
+	info := p4info.New(models.Middleblock())
+	dead := map[string]bool{info.Tables()[0].Name: true}
+	m := NewMapExcluding(info, dead)
+	m.NoteWrite(info.Tables()[1].Name)
+	snap := m.Snapshot()
+
+	restored := RestoreMap(info, dead, snap)
+	if restored.Universe() != m.Universe() {
+		t.Errorf("restored universe %d, want %d", restored.Universe(), m.Universe())
+	}
+	wrong := RestoreMap(info, nil, snap)
+	if wrong.Universe() == m.Universe() {
+		t.Error("restoring without the exclusion set should inflate the universe (sanity check)")
+	}
+}
+
+// TestSnapshotGolden pins the on-disk snapshot format byte-for-byte.
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/coverage -run Golden.
+func TestSnapshotGolden(t *testing.T) {
+	_, m := exercisedMap(t)
+	data, err := m.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	golden := filepath.Join("testdata", "snapshot.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("snapshot JSON drifted from %s (UPDATE_GOLDEN=1 to regenerate)\ngot:  %.300s\nwant: %.300s",
+			golden, data, want)
+	}
+}
+
+func TestParseSnapshotRejectsMalformed(t *testing.T) {
+	for name, doc := range map[string]string{
+		"unknown-field": `{"universe": 1, "covered": 0, "counts": {}, "bogus": 3}`,
+		"negative":      `{"universe": -4, "covered": 0, "counts": {}}`,
+		"not-json":      `{`,
+	} {
+		if _, err := ParseSnapshot([]byte(doc)); err == nil {
+			t.Errorf("ParseSnapshot accepted %s input", name)
+		} else if !strings.Contains(err.Error(), "coverage: parsing snapshot") {
+			t.Errorf("%s: error %v lacks package context", name, err)
+		}
+	}
+}

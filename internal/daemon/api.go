@@ -1,0 +1,122 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+
+	"switchv/internal/bugdb"
+)
+
+// The daemon's HTTP/JSON status API:
+//
+//	GET /healthz    liveness + fleet round counter
+//	GET /targets    per-target status and coverage trajectory
+//	GET /campaigns  per-(target, round) campaign progress from the store
+//	GET /incidents  fleet-wide deduplicated incident records
+//
+// All endpoints are read-only; the daemon is driven by its Config and
+// signals, not the API.
+
+// CampaignStatus is one (target, round) row of the /campaigns listing.
+type CampaignStatus struct {
+	Target     string `json:"target"`
+	Round      int    `json:"round"`
+	Phase      string `json:"phase"`
+	Config     string `json:"config"`
+	ShardsDone int    `json:"shards_done"`
+	Batches    int    `json:"batches"`
+	Updates    int    `json:"updates"`
+	Incidents  int    `json:"incidents"`
+}
+
+type healthResponse struct {
+	Status  string `json:"status"`
+	Targets int    `json:"targets"`
+	Rounds  int    `json:"rounds"`
+}
+
+// Handler returns the daemon's status API as an http.Handler.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", d.handleHealthz)
+	mux.HandleFunc("/targets", d.handleTargets)
+	mux.HandleFunc("/campaigns", d.handleCampaigns)
+	mux.HandleFunc("/incidents", d.handleIncidents)
+	return mux
+}
+
+// Serve starts the status API on addr (":0" picks a free port) and
+// returns the bound address. The server runs until the process exits;
+// the daemon does not own its lifecycle beyond that.
+func (d *Daemon) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, d.Handler())
+	return ln.Addr().String(), nil
+}
+
+func writeJSONResponse(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSONResponse(w, healthResponse{
+		Status:  "ok",
+		Targets: len(d.cfg.Targets),
+		Rounds:  d.Rounds(),
+	})
+}
+
+func (d *Daemon) handleTargets(w http.ResponseWriter, r *http.Request) {
+	writeJSONResponse(w, d.Statuses())
+}
+
+func (d *Daemon) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	records := d.Records()
+	if records == nil {
+		records = []bugdb.Record{}
+	}
+	writeJSONResponse(w, records)
+}
+
+func (d *Daemon) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	targets, err := d.store.Targets()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := []CampaignStatus{}
+	for _, name := range targets {
+		rounds, err := d.store.Rounds(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for _, round := range rounds {
+			meta, err := d.store.LoadCampaign(name, round)
+			if err != nil || meta == nil {
+				continue
+			}
+			cs := CampaignStatus{Target: name, Round: round, Phase: meta.Phase, Config: meta.Config}
+			if shards, err := d.store.LoadShards(name, round); err == nil {
+				cs.ShardsDone = len(shards)
+			}
+			if rep, err := d.store.LoadReport(name, round); err == nil && rep != nil {
+				cs.Batches = rep.Batches
+				cs.Updates = rep.Updates
+				cs.Incidents = len(rep.Incidents)
+			}
+			if dp, err := d.store.LoadDataPlane(name, round); err == nil && dp != nil {
+				cs.Incidents += len(dp.Incidents)
+			}
+			out = append(out, cs)
+		}
+	}
+	writeJSONResponse(w, out)
+}

@@ -1,0 +1,485 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"switchv/internal/bugdb"
+	"switchv/internal/p4rt"
+	"switchv/internal/switchsim"
+	"switchv/internal/switchv"
+)
+
+// fastBackoff keeps tests instant: backoff delays are computed but
+// never actually slept.
+func fastBackoff() p4rt.Backoff {
+	return p4rt.Backoff{
+		Initial:  time.Millisecond,
+		Max:      4 * time.Millisecond,
+		Attempts: 6,
+		Sleep:    func(time.Duration) {},
+	}
+}
+
+// testServer serves an in-process simulated switch over TCP, the same
+// wire path switchvd uses against a real switchd.
+func testServer(t *testing.T, faults ...switchsim.Fault) (addr string, shutdown func()) {
+	t.Helper()
+	sw := switchsim.New("middleblock", faults...)
+	srv := p4rt.NewServer(sw, nil)
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.String(), func() {
+		srv.Close()
+		sw.Close()
+	}
+}
+
+func testConfig(store *Store, targets ...Target) Config {
+	return Config{
+		Store:    store,
+		Targets:  targets,
+		Seed:     7,
+		Requests: 24,
+		Updates:  12,
+		Shards:   4,
+		Entries:  12,
+		Rounds:   1,
+		Backoff:  fastBackoff(),
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Campaign meta: absent, then present, then reset.
+	if meta, err := store.LoadCampaign("sw1", 0); err != nil || meta != nil {
+		t.Fatalf("LoadCampaign on empty store = %v, %v; want nil, nil", meta, err)
+	}
+	meta := &CampaignMeta{Target: "sw1", Round: 0, Config: "cfg-a", Phase: PhaseControlPlane}
+	if err := store.SaveCampaign(meta); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.LoadCampaign("sw1", 0)
+	if err != nil || got == nil || *got != *meta {
+		t.Fatalf("LoadCampaign = %+v, %v; want %+v", got, err, meta)
+	}
+
+	// Shard checkpoints round-trip through JSON.
+	cp := &switchv.ShardCheckpoint{
+		Stats: switchv.ShardStats{Shard: 2, Seed: 42, Batches: 6, Updates: 72, Incidents: 1},
+		Report: &switchv.ControlPlaneReport{
+			Batches: 6, Updates: 72, MustAccept: 30,
+			Incidents: []switchv.Incident{{Tool: "p4-fuzzer", Kind: "read-mismatch", Detail: "batch 3"}},
+		},
+	}
+	if err := store.SaveShard("sw1", 0, 2, cp); err != nil {
+		t.Fatal(err)
+	}
+	shards, err := store.LoadShards("sw1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 || shards[2] == nil {
+		t.Fatalf("LoadShards = %v, want exactly shard 2", shards)
+	}
+	if shards[2].Stats != cp.Stats || shards[2].Report.Batches != 6 ||
+		len(shards[2].Report.Incidents) != 1 {
+		t.Errorf("shard checkpoint did not round-trip: %+v", shards[2])
+	}
+
+	// Records and history.
+	records := bugdb.Observe(nil, "sw1", 0, "p4-fuzzer", "read-mismatch", "batch 3 lost entry")
+	if err := store.SaveRecords(records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := store.LoadRecords()
+	if err != nil || len(back) != 1 || back[0].Fingerprint != records[0].Fingerprint {
+		t.Fatalf("records did not round-trip: %v, %v", back, err)
+	}
+	hist := &TargetHistory{Name: "sw1", RoundsDone: 1,
+		Trajectory: []TrajectoryPoint{{Round: 0, Covered: 10, Universe: 99, Incidents: 1}}}
+	if err := store.SaveHistory(hist); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := store.LoadHistory("sw1")
+	if err != nil || h2.RoundsDone != 1 || len(h2.Trajectory) != 1 {
+		t.Fatalf("history did not round-trip: %+v, %v", h2, err)
+	}
+
+	// Listings.
+	if rounds, err := store.Rounds("sw1"); err != nil || len(rounds) != 1 || rounds[0] != 0 {
+		t.Errorf("Rounds = %v, %v; want [0]", rounds, err)
+	}
+	if names, err := store.Targets(); err != nil || len(names) != 1 || names[0] != "sw1" {
+		t.Errorf("Targets = %v, %v; want [sw1]", names, err)
+	}
+
+	// Reset discards the round's checkpoints.
+	if err := store.ResetCampaign("sw1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if shards, err := store.LoadShards("sw1", 0); err != nil || len(shards) != 0 {
+		t.Errorf("shards survived ResetCampaign: %v, %v", shards, err)
+	}
+}
+
+// TestDaemonDetectsFaultViaAPI is the end-to-end loop: a faulty switch
+// served over TCP, one daemon round, and the incident observable
+// through every HTTP endpoint.
+func TestDaemonDetectsFaultViaAPI(t *testing.T) {
+	addr, shutdown := testServer(t, switchsim.FaultModifyKeepsOldParams)
+	defer shutdown()
+
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(testConfig(store, Target{Name: "sw1", Role: "middleblock", Addrs: []string{addr}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	api := httptest.NewServer(d.Handler())
+	defer api.Close()
+	get := func(path string, v any) {
+		t.Helper()
+		resp, err := http.Get(api.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: decoding: %v", path, err)
+		}
+	}
+
+	var health healthResponse
+	get("/healthz", &health)
+	if health.Status != "ok" || health.Rounds != 1 || health.Targets != 1 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	var targets []TargetStatus
+	get("/targets", &targets)
+	if len(targets) != 1 || targets[0].RoundsDone != 1 || !targets[0].Healthy {
+		t.Fatalf("targets = %+v", targets)
+	}
+	if len(targets[0].Trajectory) != 1 || targets[0].Trajectory[0].Incidents == 0 {
+		t.Errorf("trajectory missing the round's incidents: %+v", targets[0].Trajectory)
+	}
+
+	var records []bugdb.Record
+	get("/incidents", &records)
+	found := false
+	for _, r := range records {
+		if r.Tool == "p4-fuzzer" && r.Count > 0 {
+			found = true
+			if len(r.Targets) != 1 || r.Targets[0] != "sw1" {
+				t.Errorf("record not attributed to sw1: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no p4-fuzzer incident record for the injected fault; records: %+v", records)
+	}
+
+	var campaigns []CampaignStatus
+	get("/campaigns", &campaigns)
+	if len(campaigns) != 1 || campaigns[0].Phase != PhaseDone || campaigns[0].Incidents == 0 {
+		t.Errorf("campaigns = %+v", campaigns)
+	}
+
+	// The persisted records mirror what the API served.
+	disk, err := store.LoadRecords()
+	if err != nil || len(disk) != len(records) {
+		t.Errorf("store records = %v (%v), want %d", disk, err, len(records))
+	}
+}
+
+// TestDaemonResumeParity is the checkpoint/resume contract end to end:
+// a daemon stopped cooperatively mid-campaign, restarted over the same
+// store, must produce a round report byte-identical to an uninterrupted
+// daemon's.
+func TestDaemonResumeParity(t *testing.T) {
+	// Reference: uninterrupted run.
+	refAddr, refShutdown := testServer(t, switchsim.FaultModifyKeepsOldParams)
+	defer refShutdown()
+	refStore, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(testConfig(refStore, Target{Name: "sw1", Role: "middleblock", Addrs: []string{refAddr}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// Interrupted: stop after two shards have checkpointed.
+	addr, shutdown := testServer(t, switchsim.FaultModifyKeepsOldParams)
+	defer shutdown()
+	dir := t.TempDir()
+	store1, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(store1, Target{Name: "sw1", Role: "middleblock", Addrs: []string{addr}})
+	var persisted atomic.Int32
+	cfg.ShardHook = func(target string, round, shard int) error {
+		if persisted.Add(1) == 2 {
+			return errors.New("simulated kill")
+		}
+		return nil
+	}
+	d1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Run(); err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "targets", "sw1", "round-0000", "report.json")); !os.IsNotExist(err) {
+		t.Fatal("interrupted run produced a report; the stop was not mid-campaign")
+	}
+	checkpointed, err := store1.LoadShards("sw1", 0)
+	if err != nil || len(checkpointed) < 2 {
+		t.Fatalf("want >= 2 checkpointed shards, got %d (%v)", len(checkpointed), err)
+	}
+
+	// Resumed: a fresh daemon over the same store finishes the round,
+	// re-running only the missing shards.
+	store2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := testConfig(store2, Target{Name: "sw1", Role: "middleblock", Addrs: []string{addr}})
+	fresh := map[int]bool{}
+	cfg2.ShardHook = func(target string, round, shard int) error {
+		fresh[shard] = true
+		return nil
+	}
+	d2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Run(); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	for shard := range checkpointed {
+		if fresh[shard] {
+			t.Errorf("shard %d re-ran despite its checkpoint", shard)
+		}
+	}
+	if len(fresh) == 0 {
+		t.Error("resumed run executed no fresh shards")
+	}
+
+	// The contract: byte-identical round reports and data-plane
+	// summaries.
+	for _, file := range []string{"report.json", "dataplane.json"} {
+		want, err := os.ReadFile(filepath.Join(refStore.Dir(), "targets", "sw1", "round-0000", file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(dir, "targets", "sw1", "round-0000", file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s differs between the uninterrupted and the resumed run", file)
+		}
+	}
+	if rec1, rec2 := mustRecords(t, refStore), mustRecords(t, store2); !bugdbEqual(rec1, rec2) {
+		t.Errorf("fleet records diverged:\nref:     %+v\nresumed: %+v", rec1, rec2)
+	}
+}
+
+func mustRecords(t *testing.T, s *Store) []bugdb.Record {
+	t.Helper()
+	rec, err := s.LoadRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func bugdbEqual(a, b []bugdb.Record) bool {
+	x, err1 := bugdb.EncodeRecords(a)
+	y, err2 := bugdb.EncodeRecords(b)
+	return err1 == nil && err2 == nil && bytes.Equal(x, y)
+}
+
+// TestDaemonRidesOutTargetRestart: the target's server dies between
+// shards and comes back during the dial backoff — the daemon's stack
+// factory must reconnect and the round must still complete.
+func TestDaemonRidesOutTargetRestart(t *testing.T) {
+	sw := switchsim.New("middleblock", switchsim.FaultModifyKeepsOldParams)
+	defer sw.Close()
+	srv := p4rt.NewServer(sw, nil)
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := a.String()
+
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(store, Target{Name: "sw1", Role: "middleblock", Addrs: []string{addr}})
+	var killed, restarted atomic.Bool
+	cfg.ShardHook = func(target string, round, shard int) error {
+		if shard == 0 && !killed.Swap(true) {
+			srv.Close() // the switch "restarts" right after shard 0
+		}
+		return nil
+	}
+	cfg.Backoff.Sleep = func(time.Duration) {
+		if killed.Load() && !restarted.Swap(true) {
+			srv = p4rt.NewServer(sw, nil)
+			if _, err := srv.Listen(addr); err != nil {
+				t.Errorf("restarting target: %v", err)
+			}
+		}
+	}
+	defer func() { srv.Close() }()
+
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatalf("Run across a target restart: %v", err)
+	}
+	if !restarted.Load() {
+		t.Fatal("test never exercised the restart path")
+	}
+	st := d.Statuses()
+	if len(st) != 1 || st[0].RoundsDone != 1 || !st[0].Healthy {
+		t.Errorf("target did not complete its round after the restart: %+v", st)
+	}
+}
+
+// flakySwitch wraps the simulator and fails a fixed window of Read
+// calls — a transport flap as the campaign observes one, without
+// killing the TCP session.
+type flakySwitch struct {
+	*switchsim.Switch
+	reads    atomic.Int64
+	from, to int64
+}
+
+func (f *flakySwitch) Read(req p4rt.ReadRequest) (p4rt.ReadResponse, error) {
+	n := f.reads.Add(1)
+	if n > f.from && n <= f.to {
+		return p4rt.ReadResponse{}, fmt.Errorf("injected transport failure (read %d)", n)
+	}
+	return f.Switch.Read(req)
+}
+
+// TestDaemonRetriesAfterFlap: a shard whose read-backs die mid-flight
+// must be dropped (not checkpointed: it observed the flap, not the
+// switch) and re-run after backoff, and the final report must carry no
+// transport artifacts.
+func TestDaemonRetriesAfterFlap(t *testing.T) {
+	sw := &flakySwitch{Switch: switchsim.New("middleblock", switchsim.FaultModifyKeepsOldParams)}
+	defer sw.Close()
+	// Reads 1..8 come from shard 0's prepare+batches and shard 1's
+	// prepare; failing 9..14 kills shard 1's read-backs mid-campaign.
+	sw.from, sw.to = 8, 14
+	srv := p4rt.NewServer(sw, nil)
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(testConfig(store, Target{Name: "sw1", Role: "middleblock", Addrs: []string{a.String()}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatalf("Run across a flap: %v", err)
+	}
+	st := d.Statuses()
+	if len(st) != 1 || st[0].RoundsDone != 1 {
+		t.Fatalf("round did not complete: %+v", st)
+	}
+	if st[0].Retries == 0 {
+		t.Error("flap was not ridden out via the retry path")
+	}
+	rep, err := store.LoadReport("sw1", 0)
+	if err != nil || rep == nil {
+		t.Fatalf("missing round report: %v", err)
+	}
+	for _, inc := range rep.Incidents {
+		if inc.Kind == "read-failed" {
+			t.Errorf("transport artifact leaked into the round report: %v", inc)
+		}
+	}
+}
+
+// TestDaemonDiscardsStaleCheckpoints: checkpoints from a different
+// campaign config must not be merged.
+func TestDaemonDiscardsStaleCheckpoints(t *testing.T) {
+	addr, shutdown := testServer(t)
+	defer shutdown()
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A leftover round-0 checkpoint written under another seed.
+	if err := store.SaveCampaign(&CampaignMeta{
+		Target: "sw1", Round: 0, Config: "seed=999 stale", Phase: PhaseControlPlane,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveShard("sw1", 0, 0, &switchv.ShardCheckpoint{
+		Stats:  switchv.ShardStats{Shard: 0, Batches: 999},
+		Report: &switchv.ControlPlaneReport{Batches: 999},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := New(testConfig(store, Target{Name: "sw1", Role: "middleblock", Addrs: []string{addr}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rep, err := store.LoadReport("sw1", 0)
+	if err != nil || rep == nil {
+		t.Fatalf("missing round report: %v", err)
+	}
+	if rep.Batches != 24 {
+		t.Errorf("report batches = %d; stale checkpoint (999 batches) leaked into the merge", rep.Batches)
+	}
+}

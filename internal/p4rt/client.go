@@ -35,12 +35,19 @@ type Client struct {
 
 var _ Device = (*Client)(nil)
 
-// Dial connects to a P4Runtime server.
+// Dial connects to a P4Runtime server. For targets that may be mid-restart,
+// Reconnect wraps this dial path with capped exponential backoff.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("p4rt: dial %s: %w", addr, err)
 	}
+	return newClient(conn), nil
+}
+
+// newClient wraps an established connection; the transport loop starts
+// immediately.
+func newClient(conn net.Conn) *Client {
 	c := &Client{
 		conn:      conn,
 		pending:   map[uint64]chan frame{},
@@ -48,7 +55,7 @@ func Dial(addr string) (*Client, error) {
 	}
 	c.timeout.Store(int64(30 * time.Second))
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 func (c *Client) readLoop() {

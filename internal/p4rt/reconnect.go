@@ -1,0 +1,77 @@
+package p4rt
+
+import (
+	"fmt"
+	"time"
+)
+
+// Backoff configures capped exponential retry for Reconnect. The zero
+// value selects the defaults noted on each field.
+type Backoff struct {
+	// Initial is the delay before the second dial attempt (default
+	// 50ms); each further attempt doubles it.
+	Initial time.Duration
+	// Max caps the per-attempt delay (default 5s).
+	Max time.Duration
+	// Attempts is the total number of dial attempts (default 8).
+	Attempts int
+	// Sleep replaces time.Sleep between attempts — a test hook, and the
+	// place a caller can park a cancellation check.
+	Sleep func(time.Duration)
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Initial <= 0 {
+		b.Initial = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = 8
+	}
+	if b.Sleep == nil {
+		b.Sleep = time.Sleep
+	}
+	return b
+}
+
+// Delay returns the backoff before dial attempt i (the first attempt is
+// i=0 and has no delay): Initial·2^(i-1), capped at Max.
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	if attempt <= 0 {
+		return 0
+	}
+	d := b.Initial
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= b.Max {
+			return b.Max
+		}
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	return d
+}
+
+// Reconnect dials a P4Runtime server like Dial, but retries failed
+// attempts with capped exponential backoff — the dial path for targets
+// that restart underneath a long-running campaign. It returns the first
+// successful client, or the last dial error after Attempts tries.
+func Reconnect(addr string, b Backoff) (*Client, error) {
+	b = b.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < b.Attempts; attempt++ {
+		if attempt > 0 {
+			b.Sleep(b.Delay(attempt))
+		}
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("p4rt: reconnect %s: %d attempts failed: %w", addr, b.Attempts, lastErr)
+}

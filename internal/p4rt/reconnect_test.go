@@ -1,0 +1,96 @@
+package p4rt
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayCapsExponential(t *testing.T) {
+	b := Backoff{Initial: 100 * time.Millisecond, Max: time.Second}
+	want := []time.Duration{0, 100e6, 200e6, 400e6, 800e6, 1e9, 1e9}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestReconnectFlappingTarget: the target's listener is down for the
+// first dials and comes back mid-backoff — exactly a switch restarting
+// under the daemon. Reconnect must ride it out and hand back a working
+// client. The Sleep hook replaces real waiting, so the test is instant
+// and the attempt trace is observable.
+func TestReconnectFlappingTarget(t *testing.T) {
+	// Reserve an address, then close it so the first dials are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	srv := NewServer(newFakeDevice(), nil)
+	var delays []time.Duration
+	cli, err := Reconnect(addr, Backoff{
+		Initial:  10 * time.Millisecond,
+		Max:      40 * time.Millisecond,
+		Attempts: 6,
+		Sleep: func(d time.Duration) {
+			delays = append(delays, d)
+			// The target comes back right before the third attempt.
+			if len(delays) == 2 {
+				if _, err := srv.Listen(addr); err != nil {
+					t.Fatalf("restarting listener: %v", err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Reconnect failed despite target recovery: %v", err)
+	}
+	defer cli.Close()
+	defer srv.Close()
+
+	if len(delays) != 2 {
+		t.Errorf("dialed through %d backoffs, want 2", len(delays))
+	}
+	for i, d := range delays {
+		if want := (Backoff{Initial: 10 * time.Millisecond, Max: 40 * time.Millisecond}).Delay(i + 1); d != want {
+			t.Errorf("backoff %d = %v, want %v", i, d, want)
+		}
+	}
+
+	// The client must be functional, not just connected.
+	if err := cli.SetForwardingPipelineConfig(ForwardingPipelineConfig{P4Info: "x"}); err != nil {
+		t.Errorf("RPC over reconnected client: %v", err)
+	}
+}
+
+// TestReconnectExhaustsAttempts: a target that never comes back fails
+// after exactly Attempts dials with the underlying cause preserved.
+func TestReconnectExhaustsAttempts(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	sleeps := 0
+	_, err = Reconnect(addr, Backoff{
+		Initial:  time.Millisecond,
+		Attempts: 3,
+		Sleep:    func(time.Duration) { sleeps++ },
+	})
+	if err == nil {
+		t.Fatal("Reconnect succeeded against a dead address")
+	}
+	if sleeps != 2 {
+		t.Errorf("slept %d times, want 2 (3 attempts)", sleeps)
+	}
+	if !strings.Contains(err.Error(), "3 attempts failed") {
+		t.Errorf("error %q does not name the attempt budget", err)
+	}
+}

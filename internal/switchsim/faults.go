@@ -10,7 +10,11 @@
 // original bug did.
 package switchsim
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Fault identifies one injectable bug.
 type Fault string
@@ -117,6 +121,24 @@ var faultRegistry = map[Fault]FaultMeta{
 func Meta(f Fault) (FaultMeta, bool) {
 	m, ok := faultRegistry[f]
 	return m, ok
+}
+
+// ParseFaults parses a comma-separated fault id list (the -fault flag
+// syntax shared by the CLIs), rejecting unknown ids with a pointer to
+// the catalog. An empty string parses to no faults.
+func ParseFaults(s string) ([]Fault, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Fault
+	for _, name := range strings.Split(s, ",") {
+		f := Fault(strings.TrimSpace(name))
+		if _, ok := Meta(f); !ok {
+			return nil, fmt.Errorf("unknown fault %q (run switchd -list-faults for the catalog)", string(f))
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 // AllFaults lists every injectable fault in a stable order.

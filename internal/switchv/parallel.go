@@ -22,9 +22,12 @@
 package switchv
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"switchv/internal/coverage"
@@ -72,12 +75,43 @@ type ParallelOptions struct {
 	// Precheck selects the static-preflight gate mode, applied once
 	// before any shard stack is built (the default enforces it).
 	Precheck PrecheckMode
+	// Resume supplies checkpointed results for shards that a previous
+	// run of the same (seed, shards, budget) campaign already completed;
+	// they are merged without being re-executed. The determinism
+	// contract makes this safe: the merge folds per-shard reports in
+	// shard order, and a checkpointed shard report is exactly what
+	// re-running the shard would produce.
+	Resume map[int]*ShardCheckpoint
+	// OnShard, when non-nil, is called right after each freshly executed
+	// shard completes (possibly concurrently from several workers, never
+	// for Resume shards) — the checkpoint hook. A non-nil return stops
+	// the campaign cooperatively: no new shards start, and
+	// RunParallelCampaign returns the partial report wrapped in
+	// ErrCampaignStopped. Shards already in flight still finish (and are
+	// offered to OnShard), so no completed work is lost.
+	OnShard func(shard int, cp *ShardCheckpoint) error
 }
+
+// ShardCheckpoint is the durable record of one completed shard: its
+// stats and its full report. The daemon's checkpoint store persists
+// these as JSON and feeds them back through ParallelOptions.Resume so a
+// restarted campaign merges checkpointed shards instead of replaying
+// them. The struct round-trips through encoding/json.
+type ShardCheckpoint struct {
+	Stats  ShardStats          `json:"stats"`
+	Report *ControlPlaneReport `json:"report"`
+}
+
+// ErrCampaignStopped reports a cooperative stop: an OnShard callback
+// returned an error, so queued shards were skipped. The partial report
+// still merges every shard that completed; resuming with their
+// checkpoints later yields a result identical to an uninterrupted run.
+var ErrCampaignStopped = errors.New("switchv: campaign stopped")
 
 // ShardStats is the per-shard report slice surfaced to the CLI.
 type ShardStats struct {
 	Shard          int
-	Worker         int // which worker executed the shard (not deterministic)
+	Worker         int // executing worker (not deterministic); -1 = restored from a checkpoint
 	Seed           int64
 	Batches        int
 	Updates        int
@@ -104,6 +138,10 @@ type ParallelReport struct {
 
 	PerShard    []ShardStats
 	PerMutation map[string]int
+
+	// ResumedShards counts shards merged from Resume checkpoints rather
+	// than executed by this run.
+	ResumedShards int
 
 	// Coverage is the snapshot of the merged coverage map.
 	Coverage *coverage.Snapshot
@@ -194,6 +232,25 @@ func RunParallelCampaign(info *p4info.Info, opts ParallelOptions) (*ParallelRepo
 
 	start := time.Now()
 	results := make([]shardResult, shards)
+
+	// Prefill checkpointed shards: their reports enter the merge exactly
+	// as a fresh execution's would, marked Worker=-1 in the stats.
+	resumed := map[int]bool{}
+	for shard, cp := range opts.Resume {
+		if shard < 0 || shard >= shards || cp == nil || cp.Report == nil {
+			continue
+		}
+		st := cp.Stats
+		st.Worker = -1
+		results[shard] = shardResult{rep: cp.Report, stats: st}
+		resumed[shard] = true
+	}
+
+	// stopped flips when OnShard asks for a cooperative stop; stopErr
+	// keeps the first such cause for the wrapped ErrCampaignStopped.
+	var stopped atomic.Bool
+	var stopMu sync.Mutex
+	var stopErr error
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -201,13 +258,33 @@ func RunParallelCampaign(info *p4info.Info, opts ParallelOptions) (*ParallelRepo
 		go func(worker int) {
 			defer wg.Done()
 			for shard := range jobs {
-				results[shard] = runShard(info, opts, worker, shard,
+				if stopped.Load() {
+					results[shard] = shardResult{
+						stats: ShardStats{Shard: shard, Seed: fuzzer.DeriveSeed(opts.Fuzz.Seed, shard)},
+						err:   fmt.Errorf("shard %d: %w", shard, ErrCampaignStopped),
+					}
+					continue
+				}
+				res := runShard(info, opts, worker, shard,
 					shardBatches(total, shards, shard), depth)
+				if res.err == nil && opts.OnShard != nil {
+					if err := opts.OnShard(shard, &ShardCheckpoint{Stats: res.stats, Report: res.rep}); err != nil {
+						stopped.Store(true)
+						stopMu.Lock()
+						if stopErr == nil {
+							stopErr = err
+						}
+						stopMu.Unlock()
+					}
+				}
+				results[shard] = res
 			}
 		}(w)
 	}
 	for shard := 0; shard < shards; shard++ {
-		jobs <- shard
+		if !resumed[shard] {
+			jobs <- shard
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -218,12 +295,15 @@ func RunParallelCampaign(info *p4info.Info, opts ParallelOptions) (*ParallelRepo
 	if rootCov == nil {
 		rootCov = coverage.NewMapExcluding(info, dead)
 	}
-	rep := &ParallelReport{Workers: workers, Shards: shards, PerMutation: map[string]int{}}
+	rep := &ParallelReport{Workers: workers, Shards: shards, PerMutation: map[string]int{},
+		ResumedShards: len(resumed)}
 	seen := map[Incident]bool{}
 	var firstErr error
 	for shard := 0; shard < shards; shard++ {
 		r := results[shard]
-		if r.err != nil && firstErr == nil {
+		// Skipped-on-stop pseudo-errors don't outrank real shard errors;
+		// the stop itself is reported via ErrCampaignStopped below.
+		if r.err != nil && firstErr == nil && !errors.Is(r.err, ErrCampaignStopped) {
 			firstErr = r.err
 		}
 		rep.PerShard = append(rep.PerShard, r.stats)
@@ -252,8 +332,52 @@ func RunParallelCampaign(info *p4info.Info, opts ParallelOptions) (*ParallelRepo
 	}
 	rep.Coverage = rootCov.Snapshot()
 	rep.Elapsed = time.Since(start)
+	if stopErr != nil {
+		return rep, fmt.Errorf("%w: %v", ErrCampaignStopped, stopErr)
+	}
 	return rep, firstErr
 }
+
+// CanonicalReport is the deterministic projection of a merged campaign:
+// every field is a pure function of (model, root seed, shard count,
+// batch budget); wall-clock and scheduling artifacts (Elapsed, per-shard
+// worker and timing) are excluded. The checkpoint/resume contract is
+// stated over it — a campaign stopped, checkpointed and resumed must
+// produce a CanonicalReport whose JSON is byte-identical to an
+// uninterrupted run's.
+type CanonicalReport struct {
+	Shards             int                `json:"shards"`
+	Batches            int                `json:"batches"`
+	Updates            int                `json:"updates"`
+	MustAccept         int                `json:"must_accept"`
+	MustReject         int                `json:"must_reject"`
+	MayReject          int                `json:"may_reject"`
+	Incidents          []Incident         `json:"incidents"`
+	DuplicateIncidents int                `json:"duplicate_incidents"`
+	PerMutation        map[string]int     `json:"per_mutation"`
+	Coverage           *coverage.Snapshot `json:"coverage"`
+}
+
+// Canon extracts the deterministic projection of the report.
+func (r *ParallelReport) Canon() *CanonicalReport {
+	return &CanonicalReport{
+		Shards:             r.Shards,
+		Batches:            r.Batches,
+		Updates:            r.Updates,
+		MustAccept:         r.MustAccept,
+		MustReject:         r.MustReject,
+		MayReject:          r.MayReject,
+		Incidents:          r.Incidents,
+		DuplicateIncidents: r.DuplicateIncidents,
+		PerMutation:        r.PerMutation,
+		Coverage:           r.Coverage,
+	}
+}
+
+// JSON renders the canonical report. encoding/json sorts map keys, so
+// equal reports render to byte-equal documents — the resume-parity
+// tests and the daemon's report.json both rely on that.
+func (r *CanonicalReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
 
 // runShard executes one shard's campaign on a freshly built stack.
 func runShard(info *p4info.Info, opts ParallelOptions, worker, shard, batches, depth int) shardResult {

@@ -1,0 +1,156 @@
+package switchv
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"switchv/internal/p4/p4info"
+	"switchv/internal/p4rt"
+	"switchv/models"
+)
+
+// canonJSON renders a report's deterministic projection for byte-level
+// comparison.
+func canonJSON(t *testing.T, rep *ParallelReport) []byte {
+	t.Helper()
+	data, err := rep.Canon().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// roundTripCheckpoint pushes a checkpoint through its JSON encoding, as
+// the daemon's on-disk store does, so the parity claim covers the
+// serialized form and not just the in-memory structs.
+func roundTripCheckpoint(t *testing.T, cp *ShardCheckpoint) *ShardCheckpoint {
+	t.Helper()
+	data, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &ShardCheckpoint{}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestResumeParity is the checkpoint/resume determinism contract: a
+// campaign stopped cooperatively after k shards and resumed from its
+// (JSON round-tripped) checkpoints merges to a canonical report
+// byte-identical to an uninterrupted run of the same (seed, shards).
+func TestResumeParity(t *testing.T) {
+	info := p4info.New(models.MustLoad("middleblock"))
+	base := ParallelOptions{
+		Workers: 1,
+		Shards:  4,
+		Fuzz:    parallelFuzz,
+		Factory: simFactory("middleblock"),
+	}
+
+	full, err := RunParallelCampaign(info, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First leg: checkpoint every shard, kill after two.
+	checkpoints := map[int]*ShardCheckpoint{}
+	var mu sync.Mutex
+	stopAfter := 2
+	opts := base
+	opts.OnShard = func(shard int, cp *ShardCheckpoint) error {
+		mu.Lock()
+		defer mu.Unlock()
+		checkpoints[shard] = roundTripCheckpoint(t, cp)
+		if len(checkpoints) >= stopAfter {
+			return fmt.Errorf("simulated daemon kill")
+		}
+		return nil
+	}
+	partial, err := RunParallelCampaign(info, opts)
+	if !errors.Is(err, ErrCampaignStopped) {
+		t.Fatalf("stopped campaign returned %v, want ErrCampaignStopped", err)
+	}
+	if partial.ResumedShards != 0 {
+		t.Errorf("first leg reports %d resumed shards, want 0", partial.ResumedShards)
+	}
+	if len(checkpoints) >= base.Shards {
+		t.Fatalf("stop was not cooperative: all %d shards ran", base.Shards)
+	}
+
+	// Second leg: resume from the store.
+	opts = base
+	opts.Resume = checkpoints
+	calls := 0
+	opts.OnShard = func(shard int, cp *ShardCheckpoint) error {
+		if checkpoints[shard] != nil {
+			t.Errorf("OnShard called for resumed shard %d", shard)
+		}
+		calls++
+		return nil
+	}
+	resumed, err := RunParallelCampaign(info, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.ResumedShards != len(checkpoints) {
+		t.Errorf("resumed shards = %d, want %d", resumed.ResumedShards, len(checkpoints))
+	}
+	if calls != base.Shards-len(checkpoints) {
+		t.Errorf("OnShard ran for %d shards, want %d", calls, base.Shards-len(checkpoints))
+	}
+
+	got, want := canonJSON(t, resumed), canonJSON(t, full)
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed canonical report differs from uninterrupted run:\nresumed:       %.400s\nuninterrupted: %.400s", got, want)
+	}
+}
+
+// TestResumeAllShards: a campaign whose every shard is checkpointed
+// re-executes nothing and still merges the identical report.
+func TestResumeAllShards(t *testing.T) {
+	info := p4info.New(models.MustLoad("middleblock"))
+	base := ParallelOptions{
+		Workers: 2,
+		Shards:  4,
+		Fuzz:    parallelFuzz,
+		Factory: simFactory("middleblock"),
+	}
+	checkpoints := map[int]*ShardCheckpoint{}
+	var mu sync.Mutex
+	opts := base
+	opts.OnShard = func(shard int, cp *ShardCheckpoint) error {
+		mu.Lock()
+		defer mu.Unlock()
+		checkpoints[shard] = roundTripCheckpoint(t, cp)
+		return nil
+	}
+	full, err := RunParallelCampaign(info, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts = base
+	opts.Resume = checkpoints
+	opts.Factory = func(shard int) (p4rt.Device, func(), error) {
+		t.Errorf("factory called for shard %d despite full resume", shard)
+		return nil, nil, fmt.Errorf("no stack")
+	}
+	resumed, err := RunParallelCampaign(info, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canonJSON(t, resumed), canonJSON(t, full)) {
+		t.Error("fully resumed canonical report differs from original run")
+	}
+	for _, s := range resumed.PerShard {
+		if s.Worker != -1 {
+			t.Errorf("shard %d restored from checkpoint has worker %d, want -1", s.Shard, s.Worker)
+		}
+	}
+}

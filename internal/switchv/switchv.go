@@ -30,12 +30,12 @@ type DataPlane = p4rt.DataPlaneDevice
 // Incident is one detected divergence between the switch and the model.
 type Incident struct {
 	// Tool is "p4-fuzzer" or "p4-symbolic".
-	Tool string
+	Tool string `json:"tool"`
 	// Kind classifies the divergence.
-	Kind string
+	Kind string `json:"kind"`
 	// Detail is the human-readable log (§2: "a human must inspect this
 	// log to investigate the root cause").
-	Detail string
+	Detail string `json:"detail"`
 }
 
 func (i Incident) String() string {
