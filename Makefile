@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet lint test race matrix precheck daemon-smoke bench bench-parallel bench-symbolic
+.PHONY: ci build vet lint test race matrix precheck daemon-smoke fuzz-smoke bench bench-parallel bench-symbolic bench-dataplane
 
 # ci is the gate every change must pass: build, vet, the determinism
 # lint, the full test suite under the race detector, the fault-detection
 # matrix, the static model preflight, and the daemon smoke test.
-ci: build vet lint race matrix precheck daemon-smoke
+ci: build vet lint race matrix precheck daemon-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ race:
 # wall-clock time or process-global randomness in results, no map
 # iteration order leaking into ordered output (see tools/detlint).
 lint:
-	$(GO) run ./tools/detlint ./internal/fuzzer ./internal/symbolic ./internal/switchv ./internal/coverage ./internal/daemon
+	$(GO) run ./tools/detlint ./internal/fuzzer ./internal/symbolic ./internal/switchv ./internal/coverage ./internal/daemon ./internal/p4/compile
 
 # matrix runs the fault-detection matrix: every injectable fault must be
 # caught, and the union of all fixtures must stay incident-free.
@@ -41,9 +41,15 @@ precheck:
 daemon-smoke:
 	$(GO) run ./tools/daemonsmoke
 
+# fuzz-smoke runs the interpreter-vs-compiled differential fuzzer for a
+# short burst: arbitrary frames plus the seeded corpus must produce
+# bit-identical outcomes from both engines.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzDifferentialEngines' -fuzztime 10s ./internal/p4/compile
+
 # bench reruns the paper-evaluation benchmarks once each and records the
 # parallel-engine scaling run as machine-readable JSON.
-bench: bench-parallel bench-symbolic
+bench: bench-parallel bench-symbolic bench-dataplane
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 bench-parallel:
@@ -54,3 +60,9 @@ bench-parallel:
 # gates as machine-readable JSON.
 bench-symbolic:
 	$(GO) test -run '^$$' -bench 'BenchmarkDataPlaneGen' -benchtime 1x -json . > BENCH_symbolic.json
+
+# bench-dataplane records the interpreter-vs-compiled packets/sec
+# comparison, including its built-in >= 10x single-thread speedup gate,
+# as machine-readable JSON.
+bench-dataplane:
+	$(GO) test -run '^$$' -bench 'BenchmarkCompiledVsInterp' -benchtime 1x -json . > BENCH_dataplane.json

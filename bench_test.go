@@ -12,10 +12,12 @@ import (
 	"testing"
 	"time"
 
+	"switchv/internal/bmv2"
 	"switchv/internal/bugdb"
 	"switchv/internal/experiments"
 	"switchv/internal/fuzzer"
 	"switchv/internal/oracle"
+	"switchv/internal/p4/compile"
 	"switchv/internal/p4/constraints"
 	"switchv/internal/p4/p4info"
 	"switchv/internal/p4/pdpi"
@@ -23,6 +25,7 @@ import (
 	"switchv/internal/switchsim"
 	"switchv/internal/switchv"
 	"switchv/internal/symbolic"
+	"switchv/internal/testutil"
 	"switchv/internal/trivial"
 	"switchv/internal/workload"
 	"switchv/models"
@@ -672,6 +675,125 @@ func BenchmarkAblationConstraintAware(b *testing.B) {
 	}
 	b.Run("default", func(b *testing.B) { run(b, false) })
 	b.Run("bdd-aware", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkCompiledVsInterp measures reference-simulator throughput in
+// packets per second, single-threaded, over the Table 3 Inst1 workload
+// (798 middleblock entries): the IR interpreter constructed once per
+// packet (the pre-engine compare-loop pattern), the interpreter
+// constructed once and reset per packet, and the compiled closure-tree
+// pipeline. The engines are differentially tested to be
+// outcome-identical, so this is a pure do-less-work-per-packet
+// comparison; the gate asserts the compiled engine is >=10x the
+// reset-reuse interpreter.
+func BenchmarkCompiledVsInterp(b *testing.B) {
+	prog := models.Middleblock()
+	store := pdpi.NewStore()
+	for _, e := range workload.MustEntries(prog, 798, 42) {
+		if err := store.Insert(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// A mix of parser paths and table outcomes: routed, longest-prefix,
+	// WCMP-shaped, unrouted, TTL edge, BGP-like TCP, and IPv6.
+	frames := [][]byte{
+		testutil.IPv4UDP("10.0.0.1", 64, 53),
+		testutil.IPv4UDP("10.99.1.2", 64, 53),
+		testutil.IPv4UDP("10.200.3.4", 64, 443),
+		testutil.IPv4UDP("192.0.2.1", 64, 53),
+		testutil.IPv4UDP("10.0.0.1", 1, 179),
+	}
+	inputs := make([]bmv2.Input, len(frames))
+	for i, f := range frames {
+		inputs[i] = bmv2.Input{Port: uint16(i%4 + 1), Packet: f}
+	}
+	// Batch sizes are chosen so a batch takes a comparable wall-clock
+	// slice (~10ms) for every engine: with equal-duration batches,
+	// scheduler preemption and GC pauses on a shared machine dent each
+	// engine's batches about equally instead of disproportionately
+	// halving the fast engine's short batches.
+	const interpBatch, compiledBatch = 2000, 20000
+	drive := func(b *testing.B, sim bmv2.Simulator, batch int) {
+		b.Helper()
+		sim.Reset()
+		for j := 0; j < batch; j++ {
+			if _, err := sim.Run(inputs[j%len(inputs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// bestPPS times several batches and keeps the fastest: a GC pause
+	// landing in one batch must not decide the throughput gate.
+	bestPPS := func(b *testing.B, batch int, run func()) float64 {
+		b.Helper()
+		best := 0.0
+		for r := 0; r < 7; r++ {
+			start := time.Now()
+			run()
+			if pps := float64(batch) / time.Since(start).Seconds(); pps > best {
+				best = pps
+			}
+		}
+		return best
+	}
+	var freshPPS, interpPPS, compiledPPS float64
+	b.Run("interp-fresh", func(b *testing.B) {
+		// Warm-up run so a -benchtime 1x pass measures steady state.
+		if sim, err := bmv2.New(prog, store); err != nil {
+			b.Fatal(err)
+		} else {
+			drive(b, sim, interpBatch)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			freshPPS = bestPPS(b, interpBatch, func() {
+				for j := 0; j < interpBatch; j++ {
+					sim, err := bmv2.New(prog, store)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := sim.Run(inputs[j%len(inputs)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.ReportMetric(freshPPS, "pps")
+		}
+	})
+	b.Run("interp-reset", func(b *testing.B) {
+		sim, err := bmv2.New(prog, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drive(b, sim, interpBatch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			interpPPS = bestPPS(b, interpBatch, func() { drive(b, sim, interpBatch) })
+			b.ReportMetric(interpPPS, "pps")
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		sim, err := compile.New(prog, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drive(b, sim, compiledBatch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			compiledPPS = bestPPS(b, compiledBatch, func() { drive(b, sim, compiledBatch) })
+			b.ReportMetric(compiledPPS, "pps")
+		}
+	})
+	if freshPPS == 0 || interpPPS == 0 || compiledPPS == 0 {
+		return
+	}
+	speedup := compiledPPS / interpPPS
+	// Parent benchmarks with sub-benchmarks print no metric line of
+	// their own, so log the ratio for the recorded BENCH_dataplane.json.
+	b.Logf("speedup: %.1fx over interp-reset, %.1fx over interp-fresh", speedup, compiledPPS/freshPPS)
+	if speedup < 10 {
+		b.Fatalf("compiled engine %.0f pps is %.1fx the interpreter's %.0f pps, want >= 10x", compiledPPS, speedup, interpPPS)
+	}
 }
 
 // BenchmarkParallelCampaign measures the sharded engine's scaling and,

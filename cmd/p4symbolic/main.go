@@ -12,8 +12,10 @@ import (
 	"os"
 	"time"
 
+	"switchv/internal/bmv2"
 	"switchv/internal/p4/check"
 	"switchv/internal/p4/pdpi"
+	"switchv/internal/switchv"
 	"switchv/internal/symbolic"
 	"switchv/internal/workload"
 	"switchv/models"
@@ -28,7 +30,13 @@ func main() {
 	dpWorkers := flag.Int("dp-workers", 0, "solve goals with the parallel pruning generator using N workers (0 = sequential one-check-per-goal)")
 	dpShards := flag.Int("dp-shards", 0, "goal-shard count for -dp-workers (0 = default; results depend on it)")
 	precheck := flag.String("precheck", "on", "static model preflight: on (refuse on error findings), warn (report only), off (skip)")
+	engine := flag.String("engine", "compiled", "reference simulator engine for replaying generated packets: compiled (closure-tree) or interp (IR walker)")
 	flag.Parse()
+
+	eng, err := switchv.ParseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	prog, err := models.Load(*role)
 	if err != nil {
@@ -107,9 +115,38 @@ func main() {
 	}
 	fmt.Printf("solver: %d decisions, %d propagations, %d conflicts\n",
 		rep.SATStats.Decisions, rep.SATStats.Propagations, rep.SATStats.Conflicts)
+
+	// Replay the synthesized packets through the reference simulator: a
+	// quick sanity check that every goal packet actually executes, and a
+	// per-packet disposition for -emit.
+	sim, err := switchv.NewEngine(eng, prog, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var fwd, dropped, punted int
+	outcomes := make([]*bmv2.Outcome, len(packets))
+	t2 := time.Now()
+	for i, pkt := range packets {
+		sim.Reset()
+		o, err := sim.Run(bmv2.Input{Port: pkt.Port, Packet: pkt.Data})
+		if err != nil {
+			log.Fatalf("simulating packet for %s: %v", pkt.GoalKey, err)
+		}
+		outcomes[i] = o
+		switch o.Disposition {
+		case bmv2.Forwarded:
+			fwd++
+		case bmv2.Dropped:
+			dropped++
+		case bmv2.Punted:
+			punted++
+		}
+	}
+	fmt.Printf("simulation (%s engine): %d packets in %v: %d forwarded, %d dropped, %d punted\n",
+		eng, len(packets), time.Since(t2).Round(time.Millisecond), fwd, dropped, punted)
 	if *emit {
-		for _, pkt := range packets {
-			fmt.Printf("%-60s port=%d %x\n", pkt.GoalKey, pkt.Port, pkt.Data)
+		for i, pkt := range packets {
+			fmt.Printf("%-60s port=%d %-9s %x\n", pkt.GoalKey, pkt.Port, outcomes[i].Disposition, pkt.Data)
 		}
 	}
 }

@@ -47,9 +47,14 @@ func main() {
 	dpShards := flag.Int("dp-shards", 0, "goal-shard count for data-plane generation (0 = default; results depend on it)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	precheck := flag.String("precheck", "on", "static model preflight: on (refuse on error findings), warn (report only), off (skip)")
+	engine := flag.String("engine", "compiled", "reference simulator engine: compiled (closure-tree) or interp (IR walker)")
 	flag.Parse()
 
 	pm, err := precheckMode(*precheck)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := switchv.ParseEngine(*engine)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -188,6 +193,7 @@ func main() {
 			CoverageMap: cov,
 			Workers:     *dpWorkers,
 			Shards:      *dpShards,
+			Engine:      eng,
 		})
 		if err != nil {
 			log.Fatalf("data plane campaign: %v", err)

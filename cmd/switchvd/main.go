@@ -67,9 +67,14 @@ func main() {
 	rounds := flag.Int("rounds", 0, "fleet rounds to run before exiting (0 = until signalled)")
 	interval := flag.Duration("interval", 0, "pause between fleet rounds")
 	precheck := flag.String("precheck", "on", "static model preflight: on, warn, or off")
+	engine := flag.String("engine", "compiled", "reference simulator engine: compiled (closure-tree) or interp (IR walker)")
 	flag.Parse()
 
 	pm, err := precheckMode(*precheck)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := switchv.ParseEngine(*engine)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,6 +98,7 @@ func main() {
 		Rounds:   *rounds,
 		Interval: *interval,
 		Precheck: pm,
+		Engine:   eng,
 		Logf:     log.Printf,
 	})
 	if err != nil {

@@ -72,8 +72,26 @@ func (o *Outcome) Signature() string {
 	return b.String()
 }
 
-// Simulator interprets a compiled P4 model against installed entries.
-type Simulator struct {
+// Simulator is the engine contract shared by the reference interpreter
+// (Interp, this package) and the compiled pipeline
+// (internal/p4/compile). The two implementations are differentially
+// tested to be outcome-identical — including traces — so the harness can
+// pick either per campaign.
+//
+// Engines carry per-run mutable state (the selector round-robin
+// counters); Reset restores the state a freshly constructed engine has,
+// which is what callers sharing one engine across independent packets
+// must invoke between packets to keep verdicts schedule-independent.
+type Simulator interface {
+	Run(in Input) (*Outcome, error)
+	BehaviorSet(in Input, maxIter int) ([]*Outcome, error)
+	Reset()
+	Program() *ir.Program
+	Store() *pdpi.Store
+}
+
+// Interp interprets a compiled P4 model against installed entries.
+type Interp struct {
 	prog      *ir.Program
 	store     *pdpi.Store
 	hdrPrefix string
@@ -88,8 +106,8 @@ type Simulator struct {
 
 // New builds a simulator over a program and an entry store. The store is
 // used by reference: callers may mutate it between runs.
-func New(prog *ir.Program, store *pdpi.Store) (*Simulator, error) {
-	sim := &Simulator{prog: prog, store: store, rr: map[string]int{}, hdrPrefix: headersPrefix(prog)}
+func New(prog *ir.Program, store *pdpi.Store) (*Interp, error) {
+	sim := &Interp{prog: prog, store: store, rr: map[string]int{}, hdrPrefix: headersPrefix(prog)}
 	var ok bool
 	get := func(name string) (*ir.Field, error) {
 		f, found := prog.FieldByName(name)
@@ -124,10 +142,17 @@ func New(prog *ir.Program, store *pdpi.Store) (*Simulator, error) {
 }
 
 // Program returns the model being simulated.
-func (sim *Simulator) Program() *ir.Program { return sim.prog }
+func (sim *Interp) Program() *ir.Program { return sim.prog }
 
 // Store returns the entry store.
-func (sim *Simulator) Store() *pdpi.Store { return sim.store }
+func (sim *Interp) Store() *pdpi.Store { return sim.store }
+
+// Reset restores the interpreter to its freshly constructed state by
+// clearing the selector round-robin counters. Entries and program are
+// shared by reference and unaffected.
+func (sim *Interp) Reset() {
+	clear(sim.rr)
+}
 
 // exitPipeline signals an exit statement; it unwinds via panic/recover to
 // keep the interpreter simple and allocation-free on the happy path.
@@ -135,7 +160,7 @@ type exitPipeline struct{}
 type returnControl struct{}
 
 // Run traverses one packet through the pipeline.
-func (sim *Simulator) Run(in Input) (*Outcome, error) {
+func (sim *Interp) Run(in Input) (*Outcome, error) {
 	fs := newFieldSpace(sim.prog)
 	payload, err := sim.parse(fs, in.Packet)
 	if err != nil {
@@ -176,7 +201,7 @@ func (sim *Simulator) Run(in Input) (*Outcome, error) {
 	return out, nil
 }
 
-func (sim *Simulator) runPipeline(fs fieldSpace, out *Outcome) (err error) {
+func (sim *Interp) runPipeline(fs fieldSpace, out *Outcome) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(exitPipeline); ok {
@@ -198,7 +223,7 @@ func (sim *Simulator) runPipeline(fs fieldSpace, out *Outcome) (err error) {
 	return nil
 }
 
-func (sim *Simulator) runControl(fs fieldSpace, ctrl *ir.Control, out *Outcome) {
+func (sim *Interp) runControl(fs fieldSpace, ctrl *ir.Control, out *Outcome) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(returnControl); ok {
@@ -212,7 +237,7 @@ func (sim *Simulator) runControl(fs fieldSpace, ctrl *ir.Control, out *Outcome) 
 
 // runStmts executes statements; args binds action parameters (nil outside
 // actions).
-func (sim *Simulator) runStmts(fs fieldSpace, stmts []ir.Stmt, args []value.V, out *Outcome) {
+func (sim *Interp) runStmts(fs fieldSpace, stmts []ir.Stmt, args []value.V, out *Outcome) {
 	for _, st := range stmts {
 		switch x := st.(type) {
 		case *ir.Assign:
@@ -236,7 +261,7 @@ func (sim *Simulator) runStmts(fs fieldSpace, stmts []ir.Stmt, args []value.V, o
 }
 
 // eval computes an expression over the field space.
-func (sim *Simulator) eval(fs fieldSpace, e *ir.Expr, args []value.V) value.V {
+func (sim *Interp) eval(fs fieldSpace, e *ir.Expr, args []value.V) value.V {
 	switch e.Op {
 	case ir.OpConst:
 		return value.New(e.Value, e.Width)
@@ -312,7 +337,7 @@ func (sim *Simulator) eval(fs fieldSpace, e *ir.Expr, args []value.V) value.V {
 
 // applyTable matches the field space against a table's entries and
 // executes the selected action.
-func (sim *Simulator) applyTable(fs fieldSpace, t *ir.Table, out *Outcome) {
+func (sim *Interp) applyTable(fs fieldSpace, t *ir.Table, out *Outcome) {
 	entry := sim.selectEntry(fs, t)
 	if entry == nil {
 		out.Trace = append(out.Trace, TableHit{Table: t.Name, Action: t.DefaultAction.Name})
@@ -339,7 +364,7 @@ func (sim *Simulator) applyTable(fs fieldSpace, t *ir.Table, out *Outcome) {
 // cycled unweighted: the weights steer hardware load balancing, while the
 // round-robin stand-in only needs to enumerate every possible behavior
 // before repeating (§5 "Hashing").
-func (sim *Simulator) selectMember(e *pdpi.Entry) *pdpi.ActionInvocation {
+func (sim *Interp) selectMember(e *pdpi.Entry) *pdpi.ActionInvocation {
 	key := e.Key()
 	idx := sim.rr[key] % len(e.ActionSet)
 	sim.rr[key]++
@@ -347,7 +372,7 @@ func (sim *Simulator) selectMember(e *pdpi.Entry) *pdpi.ActionInvocation {
 }
 
 // selectEntry returns the matching entry with highest precedence, or nil.
-func (sim *Simulator) selectEntry(fs fieldSpace, t *ir.Table) *pdpi.Entry {
+func (sim *Interp) selectEntry(fs fieldSpace, t *ir.Table) *pdpi.Entry {
 	entries := sim.store.Entries(t.Name)
 	if pdpi.NeedsPriority(t) {
 		// Highest priority wins; ties broken by installation order (which
@@ -400,7 +425,7 @@ func matchPrefixLen(e *pdpi.Entry, key string) int {
 }
 
 // entryMatches checks an entry's matches against the field space.
-func (sim *Simulator) entryMatches(fs fieldSpace, t *ir.Table, e *pdpi.Entry) bool {
+func (sim *Interp) entryMatches(fs fieldSpace, t *ir.Table, e *pdpi.Entry) bool {
 	for _, m := range e.Matches {
 		k, ok := t.KeyByName(m.Key)
 		if !ok {
@@ -430,7 +455,7 @@ func (sim *Simulator) entryMatches(fs fieldSpace, t *ir.Table, e *pdpi.Entry) bo
 // repeats, returning the set of distinct behaviors (§5 "Hashing": the
 // simulator uses round-robin selection, so repetition implies closure).
 // maxIter bounds the loop defensively.
-func (sim *Simulator) BehaviorSet(in Input, maxIter int) ([]*Outcome, error) {
+func (sim *Interp) BehaviorSet(in Input, maxIter int) ([]*Outcome, error) {
 	seen := map[string]bool{}
 	var out []*Outcome
 	for i := 0; i < maxIter; i++ {

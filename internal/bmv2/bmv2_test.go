@@ -16,7 +16,7 @@ var routerMAC = packet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0xaa}
 // middleblockFixture installs a routing fixture: VRF 1, a /8 and a /16
 // route, nexthop/neighbor/router-interface chain, and L3 admission of
 // routerMAC.
-func middleblockFixture(t *testing.T) (*Simulator, *pdpi.Store) {
+func middleblockFixture(t *testing.T) (*Interp, *pdpi.Store) {
 	t.Helper()
 	prog := models.Middleblock()
 	store := pdpi.NewStore()

@@ -45,26 +45,26 @@ func headersPrefix(prog *ir.Program) string {
 }
 
 // setF assigns a field by canonical name if the model declares it.
-func (sim *Simulator) setF(fs fieldSpace, name string, v uint64) {
+func (sim *Interp) setF(fs fieldSpace, name string, v uint64) {
 	if f, ok := sim.prog.FieldByName(name); ok {
 		fs[f.ID] = value.New(v, f.Width)
 	}
 }
 
-func (sim *Simulator) setF128(fs fieldSpace, name string, hi, lo uint64) {
+func (sim *Interp) setF128(fs fieldSpace, name string, hi, lo uint64) {
 	if f, ok := sim.prog.FieldByName(name); ok {
 		fs[f.ID] = value.New128(hi, lo, f.Width)
 	}
 }
 
-func (sim *Simulator) getF(fs fieldSpace, name string) (value.V, bool) {
+func (sim *Interp) getF(fs fieldSpace, name string) (value.V, bool) {
 	if f, ok := sim.prog.FieldByName(name); ok {
 		return fs[f.ID], true
 	}
 	return value.V{}, false
 }
 
-func (sim *Simulator) hasInstance(name string) bool {
+func (sim *Interp) hasInstance(name string) bool {
 	full := sim.hdrPrefix + "." + name
 	for _, hi := range sim.prog.HeaderInstances {
 		if hi.Path == full {
@@ -85,7 +85,7 @@ func be48(b []byte) uint64 {
 // parse decodes raw packet bytes onto the field space. Layers without a
 // corresponding header instance in the model end the parse; the remaining
 // bytes (opaque to the model) are returned as payload.
-func (sim *Simulator) parse(fs fieldSpace, data []byte) (payload []byte, err error) {
+func (sim *Interp) parse(fs fieldSpace, data []byte) (payload []byte, err error) {
 	rest := data
 	p := sim.hdrPrefix
 
@@ -145,7 +145,7 @@ func (sim *Simulator) parse(fs fieldSpace, data []byte) (payload []byte, err err
 	}
 }
 
-func (sim *Simulator) parseIPv4(fs fieldSpace, data []byte, instance string) ([]byte, error) {
+func (sim *Interp) parseIPv4(fs fieldSpace, data []byte, instance string) ([]byte, error) {
 	if !sim.hasInstance(instance) {
 		return data, nil
 	}
@@ -176,7 +176,7 @@ func (sim *Simulator) parseIPv4(fs fieldSpace, data []byte, instance string) ([]
 	}
 }
 
-func (sim *Simulator) parseIPv6(fs fieldSpace, data []byte) ([]byte, error) {
+func (sim *Interp) parseIPv6(fs fieldSpace, data []byte) ([]byte, error) {
 	if !sim.hasInstance("ipv6") {
 		return data, nil
 	}
@@ -208,7 +208,7 @@ func (sim *Simulator) parseIPv6(fs fieldSpace, data []byte) ([]byte, error) {
 	return sim.parseL4(fs, rest, ip.NextHeader)
 }
 
-func (sim *Simulator) parseGRE(fs fieldSpace, data []byte) ([]byte, error) {
+func (sim *Interp) parseGRE(fs fieldSpace, data []byte) ([]byte, error) {
 	if !sim.hasInstance("gre") {
 		return data, nil
 	}
@@ -229,7 +229,7 @@ func (sim *Simulator) parseGRE(fs fieldSpace, data []byte) ([]byte, error) {
 // parseL4 decodes the transport layer. A truncated transport header does
 // not fail the parse: the remaining bytes stay opaque payload and the L4
 // header simply stays invalid, as in a real parser's accept-on-short path.
-func (sim *Simulator) parseL4(fs fieldSpace, data []byte, proto uint8) ([]byte, error) {
+func (sim *Interp) parseL4(fs fieldSpace, data []byte, proto uint8) ([]byte, error) {
 	p := sim.hdrPrefix
 	switch proto {
 	case packet.IPProtocolTCP:
@@ -279,7 +279,7 @@ func (sim *Simulator) parseL4(fs fieldSpace, data []byte, proto uint8) ([]byte, 
 
 // deparse reconstructs packet bytes from the field space plus the opaque
 // payload preserved by parse. Lengths and checksums are recomputed.
-func (sim *Simulator) deparse(fs fieldSpace, payload []byte) ([]byte, error) {
+func (sim *Interp) deparse(fs fieldSpace, payload []byte) ([]byte, error) {
 	p := sim.hdrPrefix
 	valid := func(instance string) bool {
 		v, ok := sim.getF(fs, p+"."+instance+".$valid")
@@ -396,7 +396,7 @@ func DeparseFields(prog *ir.Program, fields []value.V, payload []byte) ([]byte, 
 	if len(fields) != len(prog.Fields) {
 		return nil, fmt.Errorf("bmv2: got %d field values for %d fields", len(fields), len(prog.Fields))
 	}
-	sim := &Simulator{prog: prog, hdrPrefix: headersPrefix(prog)}
+	sim := &Interp{prog: prog, hdrPrefix: headersPrefix(prog)}
 	return sim.deparse(fieldSpace(fields), payload)
 }
 
@@ -405,7 +405,7 @@ func DeparseFields(prog *ir.Program, fields []value.V, payload []byte) ([]byte, 
 // The SwitchV harness uses this to compare switch and simulator outputs
 // on model-visible fields only.
 func ParseFields(prog *ir.Program, data []byte) ([]value.V, []byte, error) {
-	sim := &Simulator{prog: prog, hdrPrefix: headersPrefix(prog)}
+	sim := &Interp{prog: prog, hdrPrefix: headersPrefix(prog)}
 	fs := newFieldSpace(prog)
 	payload, err := sim.parse(fs, data)
 	return fs, payload, err

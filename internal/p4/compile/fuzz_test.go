@@ -1,0 +1,92 @@
+package compile_test
+
+import (
+	"sync"
+	"testing"
+
+	"switchv/internal/bmv2"
+	"switchv/internal/p4/compile"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/testutil"
+	"switchv/models"
+)
+
+// enginePair is a lazily built (interpreter, compiled) pair over one
+// model × fixture-set store, shared across fuzz executions. Engines are
+// single-goroutine, so runs are serialized under pairMu.
+type enginePair struct {
+	interp bmv2.Simulator
+	comp   bmv2.Simulator
+}
+
+var (
+	pairMu sync.Mutex
+	pairs  = map[string]*enginePair{}
+)
+
+func getPairLocked(t *testing.T, model string, fi int) *enginePair {
+	t.Helper()
+	fx := fixtureSets[fi]
+	key := model + "/" + fx.name
+	if p, ok := pairs[key]; ok {
+		return p
+	}
+	prog := models.MustLoad(model)
+	store := pdpi.NewStore()
+	for _, fn := range fx.fns {
+		fn(prog, store)
+	}
+	interp, err := bmv2.New(prog, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := compile.New(prog, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &enginePair{interp: interp, comp: comp}
+	pairs[key] = p
+	return p
+}
+
+// FuzzDifferentialEngines feeds arbitrary frames to the interpreter and
+// the compiled pipeline over every embedded model and fixture store,
+// asserting identical behavior sets (or identical parse failures). The
+// seeds span all models/* programs, all testutil fixture sets, and every
+// corpus frame, so mutation starts from each parser path.
+func FuzzDifferentialEngines(f *testing.F) {
+	seeds := corpus()
+	for mi := range models.Names() {
+		for fi := range fixtureSets {
+			for _, pkt := range seeds {
+				f.Add(byte(mi), byte(fi), uint16(1), pkt)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, mi, fi byte, port uint16, data []byte) {
+		if len(data) > 1500 {
+			return
+		}
+		names := models.Names()
+		model := names[int(mi)%len(names)]
+		idx := int(fi) % len(fixtureSets)
+		if fixtureSets[idx].wanOnly && model != "wan" {
+			idx = 0
+		}
+		pairMu.Lock()
+		defer pairMu.Unlock()
+		p := getPairLocked(t, model, idx)
+		compareInput(t, p.interp, p.comp, bmv2.Input{Port: port, Packet: data})
+	})
+}
+
+// TestFuzzSeedPortsAndMACs widens the fuzz seeds' fixed port with a
+// quick sweep so the seed-only CI run still varies ingress ports.
+func TestFuzzSeedPortsAndMACs(t *testing.T) {
+	pairMu.Lock()
+	defer pairMu.Unlock()
+	p := getPairLocked(t, "middleblock", 1)
+	for _, port := range []uint16{0, 1, 2, 3, 255, 511} {
+		compareInput(t, p.interp, p.comp, bmv2.Input{Port: port, Packet: testutil.IPv4UDP("10.200.3.4", 64, 80)})
+	}
+}

@@ -34,3 +34,15 @@ func pseudoHeaderSum(src, dst []byte, proto uint8, length int) uint32 {
 	sum += uint32(length)
 	return sum
 }
+
+// InternetChecksum exposes internetChecksum for hand-rolled serializers
+// (the compiled engine's flat deparser) that must produce byte-identical
+// output to SerializeLayers.
+func InternetChecksum(data []byte, initial uint32) uint16 {
+	return internetChecksum(data, initial)
+}
+
+// PseudoHeaderSum exposes pseudoHeaderSum for the same purpose.
+func PseudoHeaderSum(src, dst []byte, proto uint8, length int) uint32 {
+	return pseudoHeaderSum(src, dst, proto, length)
+}

@@ -286,6 +286,9 @@ type DataPlaneOptions struct {
 	// symbolic.DefaultGoalShards). Results depend on it — it is a
 	// campaign parameter, not a concurrency knob.
 	Shards int
+	// Engine selects the reference-simulator implementation (default
+	// EngineCompiled). Outcomes are engine-independent.
+	Engine EngineKind
 }
 
 // RunDataPlane installs the given entries on the switch, generates test
@@ -422,9 +425,10 @@ func (h *Harness) RunDataPlane(entries []*pdpi.Entry, opts DataPlaneOptions) (*D
 	}
 
 	// Phase 2 (parallel): simulate each packet's behavior set and
-	// compare against the observed switch behavior. Every packet gets a
-	// fresh simulator, so per-packet verdicts are independent of
-	// scheduling and the worker count changes wall-clock time only.
+	// compare against the observed switch behavior. Each worker builds
+	// one engine and resets it between packets — Reset restores the
+	// freshly-constructed state, so per-packet verdicts stay independent
+	// of scheduling and the worker count changes wall-clock time only.
 	// Incidents merge in packet order below.
 	workers := opts.Workers
 	if workers < 1 {
@@ -436,13 +440,14 @@ func (h *Harness) RunDataPlane(entries []*pdpi.Entry, opts DataPlaneOptions) (*D
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sim, simErr := NewEngine(opts.Engine, prog, store)
 			for i := range jobs {
-				sim, err := bmv2.New(prog, store)
-				if err != nil {
+				if simErr != nil {
 					incidents[i] = &Incident{Tool: "p4-symbolic", Kind: "simulator-error",
-						Detail: fmt.Sprintf("goal %s: building simulator: %v", all[i].GoalKey, err)}
+						Detail: fmt.Sprintf("goal %s: building simulator: %v", all[i].GoalKey, simErr)}
 					continue
 				}
+				sim.Reset()
 				incidents[i] = h.comparePacket(sim, &all[i], injected[i], opts.MaxBehaviors, opts.CoverageMap)
 			}
 		}()
@@ -535,7 +540,7 @@ func (h *Harness) injectPacket(pkt *symbolic.TestPacket) (p4rt.InjectResult, *In
 // simulator's execution traces (which tables matched which entries,
 // which actions ran) are harvested into it — the data-plane half of the
 // coverage map.
-func (h *Harness) comparePacket(sim *bmv2.Simulator, pkt *symbolic.TestPacket, swRes p4rt.InjectResult, maxBehaviors int, cov *coverage.Map) *Incident {
+func (h *Harness) comparePacket(sim bmv2.Simulator, pkt *symbolic.TestPacket, swRes p4rt.InjectResult, maxBehaviors int, cov *coverage.Map) *Incident {
 	behaviors, err := sim.BehaviorSet(bmv2.Input{Port: pkt.Port, Packet: pkt.Data}, maxBehaviors)
 	if err != nil {
 		return &Incident{Tool: "p4-symbolic", Kind: "simulator-error",
