@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet lint test race matrix precheck daemon-smoke fuzz-smoke bench bench-parallel bench-symbolic bench-dataplane
+.PHONY: ci build vet lint test race matrix chaos precheck daemon-smoke fuzz-smoke bench bench-parallel bench-symbolic bench-dataplane
 
 # ci is the gate every change must pass: build, vet, the determinism
 # lint, the full test suite under the race detector, the fault-detection
-# matrix, the static model preflight, and the daemon smoke test.
-ci: build vet lint race matrix precheck daemon-smoke fuzz-smoke
+# matrix, the chaos survival matrix, the static model preflight, and the
+# daemon smoke test.
+ci: build vet lint race matrix chaos precheck daemon-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -23,12 +24,19 @@ race:
 # wall-clock time or process-global randomness in results, no map
 # iteration order leaking into ordered output (see tools/detlint).
 lint:
-	$(GO) run ./tools/detlint ./internal/fuzzer ./internal/symbolic ./internal/switchv ./internal/coverage ./internal/daemon ./internal/p4/compile
+	$(GO) run ./tools/detlint ./internal/fuzzer ./internal/symbolic ./internal/switchv ./internal/coverage ./internal/daemon ./internal/p4/compile ./internal/chaos
 
 # matrix runs the fault-detection matrix: every injectable fault must be
 # caught, and the union of all fixtures must stay incident-free.
 matrix:
 	$(GO) test -short -run 'TestFaultMatrix' ./internal/switchv
+
+# chaos runs the survival bijection matrix under the race detector:
+# every chaos mode must leave a hardened campaign's canonical report
+# byte-identical to the chaos-free run, and must break the unhardened
+# stack (see internal/chaos/survival_test.go).
+chaos:
+	$(GO) test -race -run 'TestSurvival' ./internal/chaos
 
 # precheck runs the static preflight analyzer over every P4 model in the
 # repo (models/ plus any example models); error-severity findings fail.

@@ -11,10 +11,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"time"
 
+	"switchv/internal/chaos"
 	"switchv/internal/coverage"
 	"switchv/internal/fuzzer"
 	"switchv/internal/p4/p4info"
@@ -48,6 +52,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	precheck := flag.String("precheck", "on", "static model preflight: on (refuse on error findings), warn (report only), off (skip)")
 	engine := flag.String("engine", "compiled", "reference simulator engine: compiled (closure-tree) or interp (IR walker)")
+	chaosSpec := flag.String("chaos", "", "chaos schedule over the p4rt wire: comma-separated mode:@N (at RPC index N) or mode:/P (seeded ~1-in-P); modes: "+chaosModes()+"; implies the self-healing stack (in-process only)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "seed for periodic chaos rules (0 = -seed)")
 	flag.Parse()
 
 	pm, err := precheckMode(*precheck)
@@ -83,8 +89,24 @@ func main() {
 	}
 	info := p4info.New(prog)
 
+	var sched *chaos.Schedule
+	if *chaosSpec != "" {
+		if *connect != "" {
+			log.Fatal("-chaos requires the in-process switch (drop -connect); use switchvd -chaos for remote targets")
+		}
+		cs := *chaosSeed
+		if cs == 0 {
+			cs = *seed
+		}
+		sched, err = chaos.Parse(*chaosSpec, cs)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	var dev p4rt.Device
 	var dp switchv.DataPlane
+	var wire *chaos.Wire
 	if *connect != "" {
 		cli, err := p4rt.Dial(*connect)
 		if err != nil {
@@ -92,6 +114,14 @@ func main() {
 		}
 		defer cli.Close()
 		dev, dp = cli, cli
+	} else if sched != nil && !sched.Empty() {
+		var closeStack func()
+		dev, dp, wire, closeStack, err = chaosStack(*role, *faultList, sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closeStack()
+		fmt.Printf("chaos: injecting %s (seed %d) over the p4rt wire\n", sched, sched.Seed)
 	} else {
 		faults, err := switchsim.ParseFaults(*faultList)
 		if err != nil {
@@ -104,6 +134,7 @@ func main() {
 
 	h := switchv.New(info, dev, dp)
 	h.Precheck = pm
+	h.Reconcile = wire != nil
 	if err := h.PushPipeline(); err != nil {
 		log.Fatalf("pushing pipeline: %v", err)
 	}
@@ -138,19 +169,33 @@ func main() {
 			PlateauBatches:    *plateau,
 		}
 		if *workers > 0 {
-			factory, err := stackFactory(*connect, *role, *faultList, *shards)
+			var factory switchv.StackFactory
+			var chaosEvents func() []chaos.Event
+			if sched != nil && !sched.Empty() {
+				factory, chaosEvents, err = chaosFactory(*role, *faultList, sched)
+			} else {
+				factory, err = stackFactory(*connect, *role, *faultList, *shards)
+			}
 			if err != nil {
 				log.Fatal(err)
 			}
 			rep, err := switchv.RunParallelCampaign(info, switchv.ParallelOptions{
-				Workers:  *workers,
-				Shards:   *shards,
-				Fuzz:     fuzzOpts,
-				Factory:  factory,
-				Precheck: pm,
+				Workers:    *workers,
+				Shards:     *shards,
+				Fuzz:       fuzzOpts,
+				Factory:    factory,
+				Precheck:   pm,
+				Quarantine: chaosEvents != nil,
+				Reconcile:  chaosEvents != nil,
 			})
 			if err != nil {
 				log.Fatalf("parallel control plane campaign: %v", err)
+			}
+			if chaosEvents != nil {
+				fmt.Printf("chaos: %d faults injected across shards\n", len(chaosEvents()))
+			}
+			for _, q := range rep.Quarantined {
+				fmt.Printf("  shard %d QUARANTINED (seed %d): %s\n", q.Shard, q.Seed, q.Reason)
 			}
 			fmt.Printf("\n== p4-fuzzer (parallel: %d workers, %d shards) ==\n", rep.Workers, rep.Shards)
 			fmt.Printf("batches: %d  updates: %d (%.0f entries/s)\n", rep.Batches, rep.Updates, rep.EntriesPerSecond())
@@ -167,6 +212,14 @@ func main() {
 			rep, err := h.RunControlPlane(fuzzOpts)
 			if err != nil {
 				log.Fatalf("control plane campaign: %v", err)
+			}
+			if wire != nil {
+				events := wire.Events()
+				fmt.Printf("chaos: survived %d injected faults:", len(events))
+				for _, e := range events {
+					fmt.Printf(" %s", e)
+				}
+				fmt.Println()
 			}
 			fmt.Printf("\n== p4-fuzzer ==\n")
 			fmt.Printf("batches: %d  updates: %d (%.0f entries/s)\n", rep.Batches, rep.Updates, rep.EntriesPerSecond())
@@ -232,6 +285,84 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nSwitchV found no divergence between the switch and the model.\n")
+}
+
+// chaosModes renders the mode list for the -chaos flag help.
+func chaosModes() string {
+	var names []string
+	for _, m := range chaos.AllModes() {
+		names = append(names, string(m))
+	}
+	return strings.Join(names, ", ")
+}
+
+// chaosStack builds the in-process chaos-hardened stack: simulator +
+// p4rt server behind a fault-injecting wire, fronted by a client with
+// in-RPC retry and redial and wrapped in warm-restart self-healing. The
+// client timeout is short — chaos "latency" is event-driven, so the
+// timeout only bounds how long the client waits before retrying into
+// the wire's held-response flush.
+func chaosStack(role, faultList string, sched *chaos.Schedule) (p4rt.Device, switchv.DataPlane, *chaos.Wire, func(), error) {
+	faults, err := switchsim.ParseFaults(faultList)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	sw := switchsim.New(role, faults...)
+	srv := p4rt.NewServer(sw, nil)
+	wire := chaos.NewWire(sched, func() (net.Conn, error) {
+		c1, c2 := net.Pipe()
+		if err := srv.ServeConn(c2); err != nil {
+			return nil, err
+		}
+		return c1, nil
+	})
+	wire.SetRestart(func() {
+		sw.Restart()        // pipeline + table state lost
+		srv.ResetSessions() // replay cache lost: full process reboot
+	})
+	conn, err := wire.Dial()
+	if err != nil {
+		sw.Close()
+		return nil, nil, nil, nil, err
+	}
+	cli := p4rt.NewClient(conn)
+	cli.SetRedial(wire.Dial)
+	cli.SetRetry(p4rt.Backoff{Initial: time.Millisecond, Max: 10 * time.Millisecond, Attempts: 6,
+		Sleep: func(time.Duration) {}})
+	cli.SetTimeout(200 * time.Millisecond)
+	shd := switchv.NewSelfHealing(cli)
+	closeAll := func() {
+		cli.Close()
+		wire.Close()
+		srv.Close()
+		sw.Close()
+	}
+	return shd, shd, wire, closeAll, nil
+}
+
+// chaosFactory builds per-shard chaos-hardened stacks for the parallel
+// engine, each with an independently derived chaos stream, and an
+// accessor aggregating the faults injected across all shards.
+func chaosFactory(role, faultList string, sched *chaos.Schedule) (switchv.StackFactory, func() []chaos.Event, error) {
+	var mu sync.Mutex
+	var events []chaos.Event
+	factory := func(shard int) (p4rt.Device, func(), error) {
+		dev, _, wire, closeAll, err := chaosStack(role, faultList, sched.Derive(shard))
+		if err != nil {
+			return nil, nil, err
+		}
+		return dev, func() {
+			mu.Lock()
+			events = append(events, wire.Events()...)
+			mu.Unlock()
+			closeAll()
+		}, nil
+	}
+	return factory, func() []chaos.Event {
+		mu.Lock()
+		defer mu.Unlock()
+		return events
+	}, nil
 }
 
 // stackFactory builds the per-shard switch stacks for the parallel

@@ -16,12 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"switchv/internal/chaos"
 	"switchv/internal/daemon"
 	"switchv/internal/switchv"
 )
@@ -68,6 +70,10 @@ func main() {
 	interval := flag.Duration("interval", 0, "pause between fleet rounds")
 	precheck := flag.String("precheck", "on", "static model preflight: on, warn, or off")
 	engine := flag.String("engine", "compiled", "reference simulator engine: compiled (closure-tree) or interp (IR walker)")
+	chaosSpec := flag.String("chaos", "", "chaos schedule over every target's p4rt wire: comma-separated mode:@N or mode:/P (restart not supported against remote targets); implies -harden")
+	chaosSeed := flag.Int64("chaos-seed", 0, "seed for periodic chaos rules (0 = -seed)")
+	harden := flag.Bool("harden", false, "self-healing transport stack: in-RPC retry, redial, torn-write reconciliation, warm-restart recovery")
+	rpcTimeout := flag.Duration("rpc-timeout", 0, "per-RPC deadline on every target connection (0 = client default 30s, or 2s when -chaos is set: each dropped response costs one deadline before the retry fires)")
 	flag.Parse()
 
 	pm, err := precheckMode(*precheck)
@@ -83,23 +89,63 @@ func main() {
 		os.Exit(2)
 	}
 
+	// -chaos fronts every target address with a fault-injecting MITM
+	// proxy: each target addr is replaced by a local listener that
+	// relays frames to the real switch while perturbing them per the
+	// schedule. Restart mode needs a hook into the switch process, which
+	// a remote target does not expose.
+	if *chaosSpec != "" {
+		cs := *chaosSeed
+		if cs == 0 {
+			cs = *seed
+		}
+		sched, err := chaos.Parse(*chaosSpec, cs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sched.Has(chaos.ModeRestart) {
+			log.Fatal("switchvd: chaos mode \"restart\" requires restarting the switch process; it is only available in-process (switchv -chaos)")
+		}
+		*harden = true
+		if *rpcTimeout == 0 {
+			*rpcTimeout = 2 * time.Second
+		}
+		for ti := range targets {
+			for ai, addr := range targets[ti].Addrs {
+				backend := addr
+				wire := chaos.NewWire(sched.Derive(ti*1000+ai), func() (net.Conn, error) {
+					return net.Dial("tcp", backend)
+				})
+				defer wire.Close()
+				proxyAddr, err := wire.Listen("127.0.0.1:0")
+				if err != nil {
+					log.Fatalf("switchvd: chaos proxy for %s: %v", addr, err)
+				}
+				targets[ti].Addrs[ai] = proxyAddr.String()
+				log.Printf("switchvd: chaos proxy %s -> %s (%s)", proxyAddr, addr, sched)
+			}
+		}
+	}
+
 	store, err := daemon.OpenStore(*storeDir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	d, err := daemon.New(daemon.Config{
-		Store:    store,
-		Targets:  targets,
-		Seed:     *seed,
-		Requests: *requests,
-		Updates:  *updates,
-		Shards:   *shards,
-		Entries:  *entries,
-		Rounds:   *rounds,
-		Interval: *interval,
-		Precheck: pm,
-		Engine:   eng,
-		Logf:     log.Printf,
+		Store:      store,
+		Targets:    targets,
+		Seed:       *seed,
+		Requests:   *requests,
+		Updates:    *updates,
+		Shards:     *shards,
+		Entries:    *entries,
+		Rounds:     *rounds,
+		Interval:   *interval,
+		Precheck:   pm,
+		Engine:     eng,
+		Harden:     *harden,
+		RPCTimeout: *rpcTimeout,
+		Logf:       log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,234 @@
+// Package chaos is a deterministic fault-injection transport for the
+// p4rt wire: a frame-level proxy (Wire) sits between a p4rt.Client and
+// a p4rt.Server and perturbs traffic according to a seed-derived
+// Schedule — connection resets mid-RPC, response latency past the
+// client's deadline, dropped and duplicated responses, torn writes
+// (the server applies the batch but the ACK is lost), and full switch
+// restarts with table-state loss.
+//
+// Everything is a pure function of (seed, schedule spec, RPC index):
+// no wall clocks, no process-global randomness, no real network.
+// "Latency" is event-based — a held response is released when the
+// client's next request frame arrives — so even timeout-shaped faults
+// reproduce bit-identically across machines and runs. The survival
+// bijection matrix (survival_test.go) holds the package honest: every
+// mode must defeat the unhardened stack and be survived by the
+// hardened one with a byte-identical report.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"switchv/internal/fuzzer"
+)
+
+// Mode identifies one chaos-injection mode.
+type Mode string
+
+// The injectable chaos modes.
+const (
+	// ModeReset severs the connection mid-RPC: the request was already
+	// forwarded (and applied), but the response never arrives and the
+	// transport is gone.
+	ModeReset Mode = "reset"
+	// ModeLatency delays the response past the client's deadline; the
+	// stale response is delivered after the client has moved on.
+	ModeLatency Mode = "latency"
+	// ModeDrop discards the response outright; the connection stays up.
+	ModeDrop Mode = "drop"
+	// ModeDup withholds the response past the deadline, then delivers it
+	// twice — a retransmission storm.
+	ModeDup Mode = "dup"
+	// ModeTorn targets the next Write RPC: the server applies the batch
+	// but the ACK is lost (the classic torn-write hazard).
+	ModeTorn Mode = "torn"
+	// ModeRestart severs the connection and invokes the wire's restart
+	// hook: the switch loses its pipeline config and all table state.
+	ModeRestart Mode = "restart"
+)
+
+// ModeMeta describes one mode for docs and flag help.
+type ModeMeta struct {
+	Mode Mode
+	// Injects describes the wire-level perturbation.
+	Injects string
+	// Survives names the hardening layer that rides it out.
+	Survives string
+}
+
+var registry = []ModeMeta{
+	{ModeReset, "connection severed after the request is applied, before the ACK",
+		"client redial + same-id retry served from the server's replay cache"},
+	{ModeLatency, "response held past the RPC deadline, delivered stale",
+		"in-RPC retry with capped backoff; the stale duplicate is discarded"},
+	{ModeDrop, "response discarded; connection stays up",
+		"in-RPC retry served from the server's replay cache"},
+	{ModeDup, "response held past the deadline, then delivered twice",
+		"request-id matching absorbs duplicate deliveries"},
+	{ModeTorn, "write applied by the server but its ACK lost",
+		"idempotent same-id retry, or read-back reconciliation"},
+	{ModeRestart, "switch restart: pipeline config and table state lost",
+		"self-healing device: re-push pipeline, replay the entry log"},
+}
+
+// AllModes lists every registered mode, sorted.
+func AllModes() []Mode {
+	out := make([]Mode, 0, len(registry))
+	for _, m := range registry {
+		out = append(out, m.Mode)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Meta returns a mode's registry entry.
+func Meta(m Mode) (ModeMeta, bool) {
+	for _, e := range registry {
+		if e.Mode == m {
+			return e, true
+		}
+	}
+	return ModeMeta{}, false
+}
+
+// modeOrdinal gives each mode a stable small integer for the periodic
+// hash, so two modes sharing a period fire at unrelated indices.
+func modeOrdinal(m Mode) int {
+	for i, e := range registry {
+		if e.Mode == m {
+			return i
+		}
+	}
+	return len(registry)
+}
+
+// Rule fires one mode either at an absolute RPC index (At >= 0) or
+// pseudo-randomly about once every Period RPCs (Period > 0), derived
+// from the schedule seed.
+type Rule struct {
+	Mode   Mode
+	At     int // absolute RPC index; -1 when periodic
+	Period int // average firing period; 0 when absolute
+}
+
+func (r Rule) String() string {
+	if r.Period > 0 {
+		return fmt.Sprintf("%s:/%d", r.Mode, r.Period)
+	}
+	return fmt.Sprintf("%s:@%d", r.Mode, r.At)
+}
+
+// Schedule is a seeded set of chaos rules. The zero value (and nil)
+// injects nothing.
+type Schedule struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// Parse builds a schedule from a comma-separated spec. Each element is
+// mode:@N (fire exactly at RPC index N) or mode:/P (fire pseudo-randomly
+// about once every P RPCs, derived from seed). Example:
+//
+//	reset:@5,drop:/40,restart:@200
+func Parse(spec string, seed int64) (*Schedule, error) {
+	s := &Schedule{Seed: seed}
+	if strings.TrimSpace(spec) == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, arg, ok := strings.Cut(part, ":")
+		if !ok || arg == "" {
+			return nil, fmt.Errorf("chaos: rule %q: want mode:@N or mode:/P", part)
+		}
+		mode := Mode(name)
+		if _, known := Meta(mode); !known {
+			return nil, fmt.Errorf("chaos: unknown mode %q (have %v)", name, AllModes())
+		}
+		switch arg[0] {
+		case '@':
+			n, err := strconv.Atoi(arg[1:])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("chaos: rule %q: bad index %q", part, arg[1:])
+			}
+			s.Rules = append(s.Rules, Rule{Mode: mode, At: n})
+		case '/':
+			p, err := strconv.Atoi(arg[1:])
+			if err != nil || p < 1 {
+				return nil, fmt.Errorf("chaos: rule %q: bad period %q", part, arg[1:])
+			}
+			s.Rules = append(s.Rules, Rule{Mode: mode, At: -1, Period: p})
+		default:
+			return nil, fmt.Errorf("chaos: rule %q: spec must start with '@' (index) or '/' (period)", part)
+		}
+	}
+	return s, nil
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Rules) == 0 }
+
+// Has reports whether any rule uses the given mode.
+func (s *Schedule) Has(m Mode) bool {
+	if s == nil {
+		return false
+	}
+	for _, r := range s.Rules {
+		if r.Mode == m {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Schedule) String() string {
+	if s.Empty() {
+		return ""
+	}
+	parts := make([]string, len(s.Rules))
+	for i, r := range s.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ActionAt returns the mode to inject at RPC index idx ("" = none), a
+// pure function of (Seed, Rules, idx). The first matching rule wins.
+// Periodic rules hash (seed, idx, mode) through fuzzer.DeriveSeed —
+// the same splitmix64 step the sharded campaign engine derives its
+// per-shard seeds with — so firings are well-spread but exactly
+// reproducible from the seed.
+func (s *Schedule) ActionAt(idx int) Mode {
+	if s.Empty() || idx < 0 {
+		return ""
+	}
+	for _, r := range s.Rules {
+		if r.Period <= 0 {
+			if idx == r.At {
+				return r.Mode
+			}
+			continue
+		}
+		h := uint64(fuzzer.DeriveSeed(fuzzer.DeriveSeed(s.Seed, idx), modeOrdinal(r.Mode)))
+		if h%uint64(r.Period) == 0 {
+			return r.Mode
+		}
+	}
+	return ""
+}
+
+// Derive returns a copy of the schedule reseeded for a shard, mirroring
+// the campaign engine's per-shard seed derivation so each shard's chaos
+// stream is independent but reproducible.
+func (s *Schedule) Derive(shard int) *Schedule {
+	if s == nil {
+		return nil
+	}
+	return &Schedule{Seed: fuzzer.DeriveSeed(s.Seed, shard), Rules: s.Rules}
+}

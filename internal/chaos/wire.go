@@ -1,0 +1,369 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"switchv/internal/p4rt"
+)
+
+// Event records one injected fault: which mode fired, at which global
+// RPC index, on which request frame. Survival tests assert on Events to
+// prove a schedule actually perturbed the wire (a chaos mode that never
+// fires is decorative, not survived).
+type Event struct {
+	Index int    // global RPC index the fault fired at
+	Mode  Mode   // which fault
+	Kind  uint8  // request frame kind (p4rt.FrameWrite, ...)
+	ID    uint64 // request id the fault landed on
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s@%d(kind=%d,id=%d)", e.Mode, e.Index, e.Kind, e.ID)
+}
+
+// Wire is a frame-level man-in-the-middle between a p4rt client and
+// server. Dial hands out in-process client connections (net.Pipe, no
+// real network); Listen fronts a TCP address for out-of-process use.
+// Every fresh request frame (retries and hellos excluded) consumes one
+// index from the shared RPC counter, and the Schedule decides its fate.
+//
+// All perturbations are event-driven rather than timer-driven: a
+// "latency spike" holds the response until the client's next request
+// frame arrives (by which point the client has timed out and is
+// retrying), so runs are deterministic without a single time.Sleep.
+type Wire struct {
+	sched   *Schedule
+	backend func() (net.Conn, error)
+
+	rpcIdx      atomic.Int64
+	tornPending atomic.Bool
+
+	restartMu sync.Mutex
+	restart   func()
+
+	mu     sync.Mutex
+	conns  map[*wireConn]struct{}
+	ln     net.Listener
+	fired  []Event
+	closed bool
+}
+
+// NewWire builds a wire over a backend dialer — typically a closure
+// that opens a fresh server connection via p4rt.Server.ServeConn on one
+// half of a net.Pipe and returns the other half.
+func NewWire(sched *Schedule, backend func() (net.Conn, error)) *Wire {
+	return &Wire{sched: sched, backend: backend, conns: map[*wireConn]struct{}{}}
+}
+
+// SetRestart installs the hook run when ModeRestart fires: it should
+// restart the switch (losing pipeline config and table state) and reset
+// the server's replay sessions, modelling a full device reboot.
+func (w *Wire) SetRestart(hook func()) {
+	w.restartMu.Lock()
+	w.restart = hook
+	w.restartMu.Unlock()
+}
+
+// Dial opens a chaos-injected client connection: the returned net.Conn
+// speaks to the backend through the fault proxy. Use it both for the
+// initial connection and as the client's redial hook so reconnects stay
+// under chaos.
+func (w *Wire) Dial() (net.Conn, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, errors.New("chaos: wire is closed")
+	}
+	w.mu.Unlock()
+	b, err := w.backend()
+	if err != nil {
+		return nil, err
+	}
+	cli, proxySide := net.Pipe()
+	w.run(proxySide, b)
+	return cli, nil
+}
+
+// Listen fronts addr with the fault proxy: each accepted connection is
+// paired with a fresh backend connection. Returns the bound address.
+func (w *Wire) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("chaos: wire is closed")
+	}
+	w.ln = ln
+	w.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			b, err := w.backend()
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			w.run(conn, b)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// run starts the two relay loops for one client/backend pair.
+func (w *Wire) run(client, backend net.Conn) {
+	wc := &wireConn{w: w, client: client, backend: backend, fates: map[uint64]fate{}}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		client.Close()
+		backend.Close()
+		return
+	}
+	w.conns[wc] = struct{}{}
+	w.mu.Unlock()
+	go wc.clientLoop()
+	go wc.serverLoop()
+}
+
+// Events returns the faults injected so far, ordered by RPC index.
+func (w *Wire) Events() []Event {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Event, len(w.fired))
+	copy(out, w.fired)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+func (w *Wire) fire(e Event) {
+	w.mu.Lock()
+	w.fired = append(w.fired, e)
+	w.mu.Unlock()
+}
+
+// Close severs all proxied connections and stops the listener.
+func (w *Wire) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	ln := w.ln
+	conns := make([]*wireConn, 0, len(w.conns))
+	for wc := range w.conns { //detlint:allow maprange — teardown only; sever order is not observable
+		conns = append(conns, wc)
+	}
+	w.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, wc := range conns {
+		wc.sever()
+	}
+	return nil
+}
+
+func (w *Wire) drop(wc *wireConn) {
+	w.mu.Lock()
+	delete(w.conns, wc)
+	w.mu.Unlock()
+}
+
+// fate is the scheduled destiny of one in-flight response.
+type fate int
+
+const (
+	fateForward fate = iota // relay normally
+	fateSever               // reset: sever the connection instead of relaying
+	fateHold                // latency: hold until the client's next request
+	fateDiscard             // drop / torn: discard the response
+	fateDupHold             // dup: hold two copies, deliver both later
+)
+
+// wireConn relays one client/backend connection pair. clientLoop owns
+// backend writes; client writes (relayed responses, packet-ins, and
+// flushed held frames) are serialised by clientWrMu.
+type wireConn struct {
+	w       *Wire
+	client  net.Conn
+	backend net.Conn
+
+	clientWrMu sync.Mutex
+	severOnce  sync.Once
+
+	mu    sync.Mutex
+	fates map[uint64]fate
+	held  []p4rt.RawFrame
+}
+
+func (wc *wireConn) sever() {
+	wc.severOnce.Do(func() {
+		wc.client.Close()
+		wc.backend.Close()
+		wc.w.drop(wc)
+	})
+}
+
+func (wc *wireConn) setFate(id uint64, f fate) {
+	wc.mu.Lock()
+	wc.fates[id] = f
+	wc.mu.Unlock()
+}
+
+func (wc *wireConn) takeFate(id uint64) fate {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	f, ok := wc.fates[id]
+	if !ok {
+		return fateForward
+	}
+	delete(wc.fates, id)
+	return f
+}
+
+func (wc *wireConn) writeClient(f p4rt.RawFrame) error {
+	wc.clientWrMu.Lock()
+	defer wc.clientWrMu.Unlock()
+	return p4rt.WriteRawFrame(wc.client, f)
+}
+
+// hold parks a response for later; flushHeld releases everything parked
+// when the client's next request frame arrives.
+func (wc *wireConn) hold(f p4rt.RawFrame, copies int) {
+	wc.mu.Lock()
+	for i := 0; i < copies; i++ {
+		wc.held = append(wc.held, f)
+	}
+	wc.mu.Unlock()
+}
+
+func (wc *wireConn) flushHeld() {
+	wc.mu.Lock()
+	held := wc.held
+	wc.held = nil
+	wc.mu.Unlock()
+	for _, f := range held {
+		if err := wc.writeClient(f); err != nil {
+			return
+		}
+	}
+}
+
+// clientLoop reads request frames from the client, assigns each fresh
+// request a fate from the schedule, and forwards it to the backend.
+// Retried requests pass through unfaulted (they don't consume schedule
+// indices) — the schedule perturbs first deliveries; the hardening
+// under test is what happens afterwards.
+func (wc *wireConn) clientLoop() {
+	defer wc.sever()
+	for {
+		f, err := p4rt.ReadRawFrame(wc.client)
+		if err != nil {
+			return
+		}
+		kind := f.Kind &^ p4rt.FrameRetryFlag
+		isRetry := f.Kind&p4rt.FrameRetryFlag != 0
+		if kind == p4rt.FrameHello {
+			if err := p4rt.WriteRawFrame(wc.backend, f); err != nil {
+				return
+			}
+			continue
+		}
+		// Any new request frame releases held responses: this is the
+		// event-driven stand-in for "the delayed response finally arrives,
+		// after the client has already timed out and moved on".
+		wc.flushHeld()
+		if isRetry {
+			if err := p4rt.WriteRawFrame(wc.backend, f); err != nil {
+				return
+			}
+			continue
+		}
+		idx := int(wc.w.rpcIdx.Add(1)) - 1
+		mode := wc.w.sched.ActionAt(idx)
+		// Torn writes only make sense on Write frames; a torn scheduled on
+		// any other kind is deferred to the next unfaulted Write.
+		if mode == ModeTorn && kind != p4rt.FrameWrite {
+			wc.w.tornPending.Store(true)
+			mode = ""
+		}
+		if mode == "" && kind == p4rt.FrameWrite && wc.w.tornPending.CompareAndSwap(true, false) {
+			mode = ModeTorn
+		}
+		if mode != "" {
+			wc.w.fire(Event{Index: idx, Mode: mode, Kind: kind, ID: f.ID})
+		}
+		switch mode {
+		case ModeRestart:
+			// Reboot the device before the request ever reaches it, then
+			// sever: the client sees a dead connection and the switch comes
+			// back empty.
+			wc.w.restartMu.Lock()
+			hook := wc.w.restart
+			wc.w.restartMu.Unlock()
+			if hook != nil {
+				hook()
+			}
+			return
+		case ModeReset:
+			wc.setFate(f.ID, fateSever)
+		case ModeLatency:
+			wc.setFate(f.ID, fateHold)
+		case ModeDrop:
+			wc.setFate(f.ID, fateDiscard)
+		case ModeDup:
+			wc.setFate(f.ID, fateDupHold)
+		case ModeTorn:
+			// The server applies the write; only its ACK is lost.
+			wc.setFate(f.ID, fateDiscard)
+		}
+		if err := p4rt.WriteRawFrame(wc.backend, f); err != nil {
+			return
+		}
+	}
+}
+
+// serverLoop relays backend frames to the client, honouring each
+// response's assigned fate. Packet-ins pass through untouched.
+func (wc *wireConn) serverLoop() {
+	defer wc.sever()
+	for {
+		f, err := p4rt.ReadRawFrame(wc.backend)
+		if err != nil {
+			return
+		}
+		if f.Kind != p4rt.FrameResponse {
+			if err := wc.writeClient(f); err != nil {
+				return
+			}
+			continue
+		}
+		switch wc.takeFate(f.ID) {
+		case fateSever:
+			return
+		case fateHold:
+			wc.hold(f, 1)
+		case fateDupHold:
+			wc.hold(f, 2)
+		case fateDiscard:
+			// dropped on the floor
+		default:
+			if err := wc.writeClient(f); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"switchv/internal/p4rt"
+)
+
+// countDevice is a minimal p4rt.Device that counts how many times each
+// RPC actually executed — the ground truth for the exactly-once
+// assertions (a fault that causes double execution shows up as an extra
+// count even when the client-visible responses look fine).
+type countDevice struct {
+	mu      sync.Mutex
+	writes  int
+	reads   int
+	entries []p4rt.TableEntry
+	pins    chan p4rt.PacketIn
+}
+
+func newCountDevice() *countDevice {
+	return &countDevice{pins: make(chan p4rt.PacketIn)}
+}
+
+func (d *countDevice) SetForwardingPipelineConfig(p4rt.ForwardingPipelineConfig) error { return nil }
+
+func (d *countDevice) Write(req p4rt.WriteRequest) p4rt.WriteResponse {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writes++
+	resp := p4rt.WriteResponse{}
+	for _, u := range req.Updates {
+		d.entries = append(d.entries, u.Entry)
+		resp.Statuses = append(resp.Statuses, p4rt.OKStatus)
+	}
+	return resp
+}
+
+func (d *countDevice) Read(p4rt.ReadRequest) (p4rt.ReadResponse, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reads++
+	return p4rt.ReadResponse{Entries: append([]p4rt.TableEntry(nil), d.entries...)}, nil
+}
+
+func (d *countDevice) PacketOut(p4rt.PacketOut) error  { return nil }
+func (d *countDevice) PacketIns() <-chan p4rt.PacketIn { return d.pins }
+func (d *countDevice) counts() (writes, entries int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes, len(d.entries)
+}
+
+// fastRetry is the hardened client's retry schedule: real backoff math,
+// no real sleeping.
+func fastRetry() p4rt.Backoff {
+	return p4rt.Backoff{Initial: time.Millisecond, Max: 4 * time.Millisecond, Attempts: 6,
+		Sleep: func(time.Duration) {}}
+}
+
+// pipeBackend returns a Wire backend dialer serving srv over net.Pipe.
+func pipeBackend(srv *p4rt.Server) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		c1, c2 := net.Pipe()
+		if err := srv.ServeConn(c2); err != nil {
+			return nil, err
+		}
+		return c1, nil
+	}
+}
+
+// wirePair builds (hardened client) -> chaos wire -> server -> device.
+func wirePair(t *testing.T, sched *Schedule) (*p4rt.Client, *countDevice, *Wire) {
+	t.Helper()
+	dev := newCountDevice()
+	srv := p4rt.NewServer(dev, nil)
+	wire := NewWire(sched, pipeBackend(srv))
+	conn, err := wire.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := p4rt.NewClient(conn)
+	cli.SetRedial(wire.Dial)
+	cli.SetRetry(fastRetry())
+	cli.SetTimeout(100 * time.Millisecond)
+	t.Cleanup(func() {
+		cli.Close()
+		wire.Close()
+		srv.Close()
+		close(dev.pins)
+	})
+	return cli, dev, wire
+}
+
+// TestWireExactlyOnce: for every non-restart mode, a hardened client
+// sees every RPC succeed while the device executes each write exactly
+// once — the retry/replay-cache idempotency contract under each fault.
+func TestWireExactlyOnce(t *testing.T) {
+	for _, mode := range []Mode{ModeReset, ModeLatency, ModeDrop, ModeDup, ModeTorn} {
+		t.Run(string(mode), func(t *testing.T) {
+			sched, err := Parse(string(mode)+":@2", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cli, dev, wire := wirePair(t, sched)
+			const n = 8
+			for i := 0; i < n; i++ {
+				resp := cli.Write(p4rt.WriteRequest{Updates: []p4rt.Update{
+					{Type: p4rt.Insert, Entry: p4rt.TableEntry{TableID: uint32(100 + i)}}}})
+				if !resp.OK() {
+					t.Fatalf("write %d under %s: %s", i, mode, resp.String())
+				}
+			}
+			rr, err := cli.Read(p4rt.ReadRequest{})
+			if err != nil {
+				t.Fatalf("read under %s: %v", mode, err)
+			}
+			if len(rr.Entries) != n {
+				t.Errorf("%d entries read back, want %d (duplicate or lost execution)", len(rr.Entries), n)
+			}
+			seen := map[uint32]int{}
+			for _, e := range rr.Entries {
+				seen[e.TableID]++
+			}
+			for id, c := range seen {
+				if c != 1 {
+					t.Errorf("entry %d applied %d times", id, c)
+				}
+			}
+			if writes, entries := dev.counts(); writes != n || entries != n {
+				t.Errorf("device executed %d writes holding %d entries, want %d/%d", writes, entries, n, n)
+			}
+			ev := wire.Events()
+			if len(ev) != 1 || ev[0].Mode != mode || ev[0].Index != 2 {
+				t.Errorf("events = %v, want exactly one %s at index 2", ev, mode)
+			}
+		})
+	}
+}
+
+// TestWireTornDefersToNextWrite: a torn fault scheduled on a Read frame
+// must slide to the next Write (tearing a read is meaningless — there is
+// no state change whose ACK could be lost).
+func TestWireTornDefersToNextWrite(t *testing.T) {
+	sched, err := Parse("torn:@2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, dev, wire := wirePair(t, sched)
+	// Index 0, 1: writes. Index 2: a Read — torn defers. Index 3: the
+	// write that inherits the deferred torn.
+	for i := 0; i < 2; i++ {
+		if resp := cli.Write(p4rt.WriteRequest{Updates: []p4rt.Update{
+			{Type: p4rt.Insert, Entry: p4rt.TableEntry{TableID: uint32(i)}}}}); !resp.OK() {
+			t.Fatalf("write %d: %s", i, resp.String())
+		}
+	}
+	if _, err := cli.Read(p4rt.ReadRequest{}); err != nil {
+		t.Fatalf("read at the torn index must pass unfaulted: %v", err)
+	}
+	if resp := cli.Write(p4rt.WriteRequest{Updates: []p4rt.Update{
+		{Type: p4rt.Insert, Entry: p4rt.TableEntry{TableID: 9}}}}); !resp.OK() {
+		t.Fatalf("write after deferral: %s", resp.String())
+	}
+	if writes, entries := dev.counts(); writes != 3 || entries != 3 {
+		t.Errorf("device executed %d writes / %d entries, want 3/3", writes, entries)
+	}
+	ev := wire.Events()
+	if len(ev) != 1 || ev[0].Mode != ModeTorn || ev[0].Index != 3 || ev[0].Kind != p4rt.FrameWrite {
+		t.Errorf("events = %v, want one torn on the Write at index 3", ev)
+	}
+}
+
+// TestWireRestartFiresHook: restart severs the connection and runs the
+// hook before the faulted request reaches the device; a redialing client
+// still completes every RPC.
+func TestWireRestartFiresHook(t *testing.T) {
+	sched, err := Parse("restart:@2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := newCountDevice()
+	srv := p4rt.NewServer(dev, nil)
+	wire := NewWire(sched, pipeBackend(srv))
+	var hooks int
+	var hookMu sync.Mutex
+	wire.SetRestart(func() {
+		hookMu.Lock()
+		hooks++
+		hookMu.Unlock()
+		srv.ResetSessions()
+	})
+	conn, err := wire.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := p4rt.NewClient(conn)
+	cli.SetRedial(wire.Dial)
+	cli.SetRetry(fastRetry())
+	cli.SetTimeout(100 * time.Millisecond)
+	defer func() {
+		cli.Close()
+		wire.Close()
+		srv.Close()
+		close(dev.pins)
+	}()
+
+	for i := 0; i < 5; i++ {
+		if resp := cli.Write(p4rt.WriteRequest{Updates: []p4rt.Update{
+			{Type: p4rt.Insert, Entry: p4rt.TableEntry{TableID: uint32(i)}}}}); !resp.OK() {
+			t.Fatalf("write %d across restart: %s", i, resp.String())
+		}
+	}
+	hookMu.Lock()
+	got := hooks
+	hookMu.Unlock()
+	if got != 1 {
+		t.Errorf("restart hook ran %d times, want 1", got)
+	}
+	ev := wire.Events()
+	if len(ev) != 1 || ev[0].Mode != ModeRestart || ev[0].Index != 2 {
+		t.Errorf("events = %v, want one restart at index 2", ev)
+	}
+}
+
+// TestWireDefeatsUnhardenedClient: the same faults against a client with
+// no retry/redial surface as RPC failures — proof the wire genuinely
+// perturbs the transport (and that surviving it requires the hardening).
+func TestWireDefeatsUnhardenedClient(t *testing.T) {
+	for _, mode := range []Mode{ModeReset, ModeLatency, ModeDrop, ModeTorn} {
+		t.Run(string(mode), func(t *testing.T) {
+			sched, err := Parse(string(mode)+":@1", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev := newCountDevice()
+			srv := p4rt.NewServer(dev, nil)
+			wire := NewWire(sched, pipeBackend(srv))
+			conn, err := wire.Dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cli := p4rt.NewClient(conn)
+			cli.SetTimeout(50 * time.Millisecond) // terminate, don't hang
+			defer func() {
+				cli.Close()
+				wire.Close()
+				srv.Close()
+				close(dev.pins)
+			}()
+
+			if resp := cli.Write(p4rt.WriteRequest{Updates: []p4rt.Update{
+				{Type: p4rt.Insert, Entry: p4rt.TableEntry{TableID: 1}}}}); !resp.OK() {
+				t.Fatalf("unfaulted write failed: %s", resp.String())
+			}
+			resp := cli.Write(p4rt.WriteRequest{Updates: []p4rt.Update{
+				{Type: p4rt.Insert, Entry: p4rt.TableEntry{TableID: 2}}}})
+			if resp.OK() {
+				t.Fatalf("faulted RPC succeeded on an unhardened client under %s", mode)
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+package daemon
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReadJSONCorrupt: a checkpoint that exists but does not decode
+// wraps ErrCorrupt; a missing one stays os.ErrNotExist so the two
+// failure classes route differently (quarantine vs fresh start).
+func TestReadJSONCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campaign.json")
+	if err := os.WriteFile(path, []byte(`{"target": "sw1", "rou`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := readJSON(path, &CampaignMeta{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated checkpoint read = %v, want ErrCorrupt", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), path) {
+		t.Errorf("corrupt error %v does not name the file", err)
+	}
+	err = readJSON(filepath.Join(dir, "missing.json"), &CampaignMeta{})
+	if !os.IsNotExist(err) || errors.Is(err, ErrCorrupt) {
+		t.Errorf("missing checkpoint read = %v, want plain os.ErrNotExist", err)
+	}
+}
+
+// TestQuarantineRoundSuffixes: repeated quarantines of the same round
+// pick successive .corrupt-K suffixes and preserve the sidelined bytes;
+// quarantining a round that never checkpointed is a no-op.
+func TestQuarantineRoundSuffixes(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := func() {
+		if err := os.MkdirAll(store.roundDir("sw1", 0), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(store.roundDir("sw1", 0), "campaign.json"), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed()
+	dst, err := store.QuarantineRound("sw1", 0)
+	if err != nil || !strings.HasSuffix(dst, "round-0000.corrupt-0") {
+		t.Fatalf("first quarantine = %q, %v", dst, err)
+	}
+	seed()
+	dst, err = store.QuarantineRound("sw1", 0)
+	if err != nil || !strings.HasSuffix(dst, "round-0000.corrupt-1") {
+		t.Fatalf("second quarantine = %q, %v", dst, err)
+	}
+	if data, err := os.ReadFile(filepath.Join(dst, "campaign.json")); err != nil || string(data) != "junk" {
+		t.Errorf("quarantine did not preserve the corrupt bytes: %q, %v", data, err)
+	}
+	if _, err := os.Stat(store.roundDir("sw1", 0)); !os.IsNotExist(err) {
+		t.Error("round directory still present after quarantine")
+	}
+	dst, err = store.QuarantineRound("sw1", 3)
+	if err != nil || dst != "" {
+		t.Errorf("quarantining a missing round = %q, %v, want a no-op", dst, err)
+	}
+}
+
+// TestDaemonQuarantinesCorruptCheckpoint: a byte-truncated campaign.json
+// left by a torn disk must not crash the daemon or wedge the target —
+// the round directory is sidelined to .corrupt-0 and the round re-runs
+// from scratch to completion.
+func TestDaemonQuarantinesCorruptCheckpoint(t *testing.T) {
+	addr, shutdown := testServer(t)
+	defer shutdown()
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Save a valid round-0 checkpoint, then tear it in half.
+	if err := store.SaveCampaign(&CampaignMeta{
+		Target: "sw1", Round: 0, Config: "whatever", Phase: PhaseControlPlane,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "targets", "sw1", "round-0000", "campaign.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := New(testConfig(store, Target{Name: "sw1", Role: "middleblock", Addrs: []string{addr}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatalf("daemon died on a corrupt checkpoint: %v", err)
+	}
+
+	// The torn bytes are sidelined for forensics...
+	quarantined := filepath.Join(dir, "targets", "sw1", "round-0000.corrupt-0")
+	if got, err := os.ReadFile(filepath.Join(quarantined, "campaign.json")); err != nil || len(got) != len(data)/2 {
+		t.Errorf("quarantined campaign.json = %d bytes, %v; want the %d torn bytes preserved",
+			len(got), err, len(data)/2)
+	}
+	// ...and the round completed cleanly in a fresh directory.
+	rep, err := store.LoadReport("sw1", 0)
+	if err != nil || rep == nil {
+		t.Fatalf("round did not complete after quarantine: %v", err)
+	}
+	if rep.Batches != 24 {
+		t.Errorf("re-run report batches = %d, want 24", rep.Batches)
+	}
+	meta, err := store.LoadCampaign("sw1", 0)
+	if err != nil || meta == nil || meta.Phase != PhaseDone {
+		t.Errorf("campaign meta after recovery = %+v, %v, want phase done", meta, err)
+	}
+}

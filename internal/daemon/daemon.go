@@ -77,6 +77,21 @@ type Config struct {
 	// round is abandoned (default 3).
 	FlapRetries int
 
+	// Harden arms the self-healing transport stack on every per-shard
+	// connection: in-RPC retry with idempotency keys (p4rt.Client
+	// SetRetry + redial), torn-write read-back reconciliation
+	// (switchv.Harness.Reconcile), and warm-restart recovery via
+	// switchv.SelfHealingDevice — a target that restarts mid-campaign
+	// has its pipeline re-pushed and entry log replayed, and the round
+	// resumes byte-identically. Required when the fleet runs behind a
+	// chaos wire; useful against real switches that reboot.
+	Harden bool
+	// RPCTimeout, when positive, overrides the client's default per-RPC
+	// deadline (30s) on every connection the daemon dials. A dropped or
+	// withheld response costs one full deadline before the in-RPC retry
+	// fires, so campaigns behind a chaos wire want this short.
+	RPCTimeout time.Duration
+
 	// Precheck is the static-preflight gate mode for all campaigns.
 	Precheck switchv.PrecheckMode
 	// Engine selects the reference-simulator engine for data-plane
@@ -120,16 +135,20 @@ func (c *Config) withDefaults() Config {
 
 // TargetStatus is a target's live state as served by the API.
 type TargetStatus struct {
-	Name       string            `json:"name"`
-	Role       string            `json:"role"`
-	Addrs      []string          `json:"addrs"`
-	RoundsDone int               `json:"rounds_done"`
-	Round      int               `json:"round"`
-	Phase      string            `json:"phase"` // idle | control-plane | data-plane | done
-	Healthy    bool              `json:"healthy"`
-	LastError  string            `json:"last_error,omitempty"`
-	Retries    int               `json:"retries"` // transport flaps ridden out so far
-	Trajectory []TrajectoryPoint `json:"trajectory"`
+	Name       string   `json:"name"`
+	Role       string   `json:"role"`
+	Addrs      []string `json:"addrs"`
+	RoundsDone int      `json:"rounds_done"`
+	Round      int      `json:"round"`
+	Phase      string   `json:"phase"` // idle | control-plane | data-plane | done
+	Healthy    bool     `json:"healthy"`
+	LastError  string   `json:"last_error,omitempty"`
+	Retries    int      `json:"retries"` // transport flaps ridden out so far
+	// Quarantined counts shards sidelined by graceful degradation: their
+	// stacks kept failing after every flap retry, so their work was
+	// skipped rather than failing the whole round.
+	Quarantined int               `json:"quarantined"`
+	Trajectory  []TrajectoryPoint `json:"trajectory"`
 }
 
 // Daemon is the fleet-validation service.

@@ -22,11 +22,32 @@ func (d *Daemon) configFingerprint(t Target) string {
 		d.cfg.Seed, d.cfg.Shards, d.cfg.Requests, d.cfg.Updates, d.cfg.Entries, t.Role)
 }
 
-// runTargetRound drives one target through one validation round:
+// runTargetRound drives one target through one validation round,
+// recovering from corrupt checkpoints: when any of the round's
+// documents fails to decode (ErrCorrupt), the round directory is
+// quarantined — renamed aside, bytes preserved for forensics — and the
+// round re-runs from the previous good state instead of wedging the
+// daemon on a bad file forever.
+func (d *Daemon) runTargetRound(t Target, round int) roundOutcome {
+	out := d.runTargetRoundOnce(t, round)
+	if out.err != nil && errors.Is(out.err, ErrCorrupt) {
+		dst, qerr := d.store.QuarantineRound(t.Name, round)
+		if qerr != nil {
+			out.err = fmt.Errorf("%v (and quarantining the round failed: %v)", out.err, qerr)
+			return out
+		}
+		d.cfg.Logf("daemon: target %s round %d: %v; quarantined to %s, re-running the round",
+			t.Name, round, out.err, dst)
+		out = d.runTargetRoundOnce(t, round)
+	}
+	return out
+}
+
+// runTargetRoundOnce drives one target through one validation round:
 // control-plane campaign (checkpointed per shard, resumable), then
 // data-plane campaign, then history update. Transport flaps are ridden
 // out with backoff + resume up to FlapRetries times.
-func (d *Daemon) runTargetRound(t Target, round int) roundOutcome {
+func (d *Daemon) runTargetRoundOnce(t Target, round int) roundOutcome {
 	out := roundOutcome{target: t.Name, round: round}
 	info := d.infos[t.Role]
 	fp := d.configFingerprint(t)
@@ -181,21 +202,30 @@ func (d *Daemon) runControlPlane(t Target, round int, info *p4info.Info) (*switc
 			return err
 		}
 
+		// The last attempt runs with quarantine semantics: shards whose
+		// stacks still fail after every flap retry are sidelined (recorded
+		// in the report with their seeds) and the round completes over the
+		// healthy shards — graceful degradation instead of losing the
+		// whole round to one dead switch.
+		quarantine := attempt >= d.cfg.FlapRetries
 		rep, err := switchv.RunParallelCampaign(info, switchv.ParallelOptions{
-			Workers:  len(t.Addrs),
-			Shards:   d.cfg.Shards,
-			Fuzz:     fuzzer.Options{Seed: roundSeed, NumRequests: d.cfg.Requests, UpdatesPerRequest: d.cfg.Updates},
-			Factory:  d.stackFactory(t, info),
-			Precheck: d.cfg.Precheck,
-			Resume:   resume,
+			Workers:    len(t.Addrs),
+			Shards:     d.cfg.Shards,
+			Fuzz:       fuzzer.Options{Seed: roundSeed, NumRequests: d.cfg.Requests, UpdatesPerRequest: d.cfg.Updates},
+			Factory:    d.stackFactory(t, info),
+			Precheck:   d.cfg.Precheck,
+			Resume:     resume,
+			Quarantine: quarantine,
+			Reconcile:  d.cfg.Harden,
 			OnShard: func(shard int, cp *switchv.ShardCheckpoint) error {
 				if d.stopping() {
 					return setCause(errStopped)
 				}
 				// A shard whose read-backs died mid-flight observed a
 				// flapping transport, not the switch's behavior; drop it
-				// and re-run after the target settles.
-				if flapped(cp.Report.Incidents) {
+				// and re-run after the target settles — except on the
+				// final degraded attempt, which takes what it can get.
+				if !quarantine && flapped(cp.Report.Incidents) {
 					return setCause(errFlap)
 				}
 				if err := d.store.SaveShard(t.Name, round, shard, cp); err != nil {
@@ -210,6 +240,15 @@ func (d *Daemon) runControlPlane(t Target, round int, info *p4info.Info) (*switc
 			},
 		})
 		if err == nil {
+			if n := len(rep.Quarantined); n > 0 {
+				d.cfg.Logf("daemon: target %s round %d: completed degraded with %d quarantined shard(s)",
+					t.Name, round, n)
+				d.mu.Lock()
+				if st := d.states[t.Name]; st != nil {
+					st.Quarantined += n
+				}
+				d.mu.Unlock()
+			}
 			return rep.Canon(), nil
 		}
 		if errors.Is(err, switchv.ErrCampaignStopped) {
@@ -279,12 +318,25 @@ func (d *Daemon) stackFactory(t Target, info *p4info.Info) switchv.StackFactory 
 			pool <- addr
 			return nil, nil, err
 		}
-		if err := prepareSwitch(info, cli); err != nil {
+		if d.cfg.RPCTimeout > 0 {
+			cli.SetTimeout(d.cfg.RPCTimeout)
+		}
+		var dev p4rt.Device = cli
+		if d.cfg.Harden {
+			// Self-healing stack: transparent in-RPC retry over redials
+			// (idempotent via session replay), plus warm-restart recovery
+			// wrapping the whole client. The wrapper sits below
+			// prepareSwitch so the pipeline push is recorded for replay.
+			cli.SetRedialAddr(addr)
+			cli.SetRetry(d.cfg.Backoff)
+			dev = switchv.NewSelfHealing(cli)
+		}
+		if err := prepareSwitch(info, dev); err != nil {
 			cli.Close()
 			pool <- addr
 			return nil, nil, err
 		}
-		return cli, func() {
+		return dev, func() {
 			cli.Close()
 			pool <- addr
 		}, nil
@@ -344,8 +396,20 @@ func (d *Daemon) runDataPlane(t Target, round int, info *p4info.Info) (*DataPlan
 			d.sleep(d.cfg.Backoff.Delay(attempt + 1))
 			continue
 		}
-		h := switchv.New(info, cli, cli)
+		if d.cfg.RPCTimeout > 0 {
+			cli.SetTimeout(d.cfg.RPCTimeout)
+		}
+		var dev p4rt.Device = cli
+		var dp switchv.DataPlane = cli
+		if d.cfg.Harden {
+			cli.SetRedialAddr(t.Addrs[0])
+			cli.SetRetry(d.cfg.Backoff)
+			shd := switchv.NewSelfHealing(cli)
+			dev, dp = shd, shd
+		}
+		h := switchv.New(info, dev, dp)
 		h.Precheck = d.cfg.Precheck
+		h.Reconcile = d.cfg.Harden
 		if err := h.PushPipeline(); err != nil {
 			cli.Close()
 			return nil, fmt.Errorf("daemon: target %s round %d: pushing pipeline: %w", t.Name, round, err)

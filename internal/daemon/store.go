@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -117,16 +118,46 @@ func writeJSON(path string, v any) error {
 	return os.Rename(tmp, path)
 }
 
-// readJSON decodes path into v; missing files return os.ErrNotExist.
+// ErrCorrupt marks a checkpoint file that exists but does not decode —
+// a torn or bit-rotted document (atomic renames rule out torn writes
+// from this process, but disks, copies and crashes mid-fsync do not
+// honour that contract). The scheduler treats it as a quarantine
+// signal: sideline the round directory and rebuild from the previous
+// good checkpoint instead of crashing the daemon.
+var ErrCorrupt = errors.New("daemon: corrupt checkpoint")
+
+// readJSON decodes path into v; missing files return os.ErrNotExist,
+// undecodable ones wrap ErrCorrupt.
 func readJSON(path string, v any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	if err := json.Unmarshal(data, v); err != nil {
-		return fmt.Errorf("daemon: corrupt checkpoint %s: %w", path, err)
+		return fmt.Errorf("%w %s: %v", ErrCorrupt, path, err)
 	}
 	return nil
+}
+
+// QuarantineRound sidelines a (target, round) checkpoint directory by
+// renaming it to round-NNNN.corrupt-K (K picks the first free suffix),
+// preserving the bytes for forensics while clearing the path for a
+// fresh round directory. Missing directories are a no-op.
+func (s *Store) QuarantineRound(target string, round int) (string, error) {
+	dir := s.roundDir(target, round)
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return "", nil
+	}
+	for k := 0; ; k++ {
+		dst := fmt.Sprintf("%s.corrupt-%d", dir, k)
+		if _, err := os.Stat(dst); err == nil {
+			continue
+		}
+		if err := os.Rename(dir, dst); err != nil {
+			return "", fmt.Errorf("daemon: quarantining %s: %w", dir, err)
+		}
+		return dst, nil
+	}
 }
 
 // LoadCampaign returns the (target, round) campaign meta, or nil if the

@@ -73,6 +73,16 @@ type Oracle struct {
 	info  *p4info.Info
 	state *pdpi.Store
 	cov   *coverage.Map
+
+	// AllowUnavailable relaxes judgement for statuses with code
+	// Unavailable: the transport layer (chaos-hardened campaigns) uses
+	// that code to mean "this update's outcome is unknown or it was not
+	// applied" after read-back reconciliation. Such updates are exempt
+	// from rejected-valid/wrong-status-code checks and are not replayed
+	// onto the expected state — the read-back check still holds because
+	// reconciliation derives Unavailable only for entries absent from
+	// the observed state.
+	AllowUnavailable bool
 }
 
 // New returns an oracle starting from an empty switch.
@@ -313,6 +323,19 @@ func (o *Oracle) CheckBatch(req p4rt.WriteRequest, resp p4rt.WriteResponse, obse
 		}
 		verdicts[i] = verdict
 		accepted := resp.Statuses[i].Code == p4rt.OK
+		if o.AllowUnavailable && resp.Statuses[i].Code == p4rt.Unavailable {
+			// Outcome unknown / not applied (per reconciliation): record
+			// the verdict and coverage, but judge nothing and replay
+			// nothing for this update.
+			if o.cov != nil {
+				table := "?"
+				if e, err := p4rt.FromWire(o.info, &u.Entry); err == nil {
+					table = e.Table.Name
+				}
+				o.cov.NoteVerdictOutcome(table, verdict.String(), false)
+			}
+			continue
+		}
 		if o.cov != nil {
 			table := "?" // undecodable updates have no table
 			if e, err := p4rt.FromWire(o.info, &u.Entry); err == nil {

@@ -1,0 +1,42 @@
+package p4rt
+
+import "io"
+
+// RawFrame is the exported view of one wire frame, for transport
+// middleboxes (internal/chaos's fault-injection proxy) that relay or
+// reorder frames without interpreting their payloads. The Kind byte may
+// carry FrameRetryFlag; mask it off before comparing against the Frame*
+// constants.
+type RawFrame struct {
+	Kind    uint8
+	ID      uint64
+	Payload []byte
+}
+
+// Exported frame kinds, mirroring the internal msgKind values.
+const (
+	FrameSetPipeline = uint8(kindSetPipeline)
+	FrameWrite       = uint8(kindWrite)
+	FrameRead        = uint8(kindRead)
+	FramePacketOut   = uint8(kindPacketOut)
+	FramePacketIn    = uint8(kindPacketIn)
+	FrameResponse    = uint8(kindResponse)
+	FrameInject      = uint8(kindInject)
+	FrameHello       = uint8(kindHello)
+	// FrameRetryFlag marks a re-sent request frame (see kindFlagRetry).
+	FrameRetryFlag = uint8(kindFlagRetry)
+)
+
+// ReadRawFrame reads one frame from r.
+func ReadRawFrame(r io.Reader) (RawFrame, error) {
+	f, err := readFrame(r)
+	if err != nil {
+		return RawFrame{}, err
+	}
+	return RawFrame{Kind: uint8(f.kind), ID: f.id, Payload: f.payload}, nil
+}
+
+// WriteRawFrame writes one frame to w.
+func WriteRawFrame(w io.Writer, f RawFrame) error {
+	return writeFrame(w, frame{kind: msgKind(f.Kind), id: f.ID, payload: f.Payload})
+}

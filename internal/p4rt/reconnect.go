@@ -15,6 +15,11 @@ type Backoff struct {
 	Max time.Duration
 	// Attempts is the total number of dial attempts (default 8).
 	Attempts int
+	// Jitter, when positive, adds a deterministic decorrelation offset
+	// in [0, Jitter) to every non-zero delay, derived from the attempt
+	// number alone — pure, so retry schedules stay reproducible (no
+	// process-global randomness, per the determinism contract).
+	Jitter time.Duration
 	// Sleep replaces time.Sleep between attempts — a test hook, and the
 	// place a caller can park a cancellation check.
 	Sleep func(time.Duration)
@@ -37,23 +42,39 @@ func (b Backoff) withDefaults() Backoff {
 }
 
 // Delay returns the backoff before dial attempt i (the first attempt is
-// i=0 and has no delay): Initial·2^(i-1), capped at Max.
+// i=0 and has no delay): Initial·2^(i-1), capped at Max, plus the
+// deterministic Jitter offset. Attempt counts large enough to overflow
+// the doubling clamp to Max instead of going negative.
 func (b Backoff) Delay(attempt int) time.Duration {
 	b = b.withDefaults()
 	if attempt <= 0 {
 		return 0
 	}
-	d := b.Initial
-	for i := 1; i < attempt; i++ {
-		d *= 2
-		if d >= b.Max {
-			return b.Max
+	d := b.Max
+	if shift := uint(attempt - 1); shift < 63 {
+		if doubled := b.Initial << shift; doubled>>shift == b.Initial && doubled > 0 {
+			d = doubled
 		}
 	}
 	if d > b.Max {
 		d = b.Max
 	}
+	if b.Jitter > 0 {
+		jit := time.Duration(jitterHash(uint64(attempt)) % uint64(b.Jitter))
+		if d+jit > d { // skip on overflow near MaxInt64
+			d += jit
+		}
+	}
 	return d
+}
+
+// jitterHash is a splitmix64 step: a pure, well-mixed function of the
+// attempt number, standing in for randomness without any global state.
+func jitterHash(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Reconnect dials a P4Runtime server like Dial, but retries failed

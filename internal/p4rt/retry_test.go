@@ -1,0 +1,180 @@
+package p4rt
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestServerReplayCacheIdempotent exercises the replay cache at the
+// frame level: after a hello establishes a session, a retry-flagged
+// re-send of an executed request is answered from the cache (same
+// response bytes, no second execution), while ResetSessions — the
+// switch-restart model — forgets everything and lets the retry execute
+// again.
+func TestServerReplayCacheIdempotent(t *testing.T) {
+	dev := newFakeDevice()
+	srv := NewServer(dev, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(dev.packetIns)
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if err := WriteRawFrame(conn, RawFrame{Kind: FrameHello, ID: 77}); err != nil {
+		t.Fatal(err)
+	}
+	writeReq := func(id uint64, tableID uint32, retry bool) RawFrame {
+		t.Helper()
+		kind := FrameWrite
+		if retry {
+			kind |= FrameRetryFlag
+		}
+		req := WriteRequest{Updates: []Update{{Type: Insert, Entry: TableEntry{TableID: tableID}}}}
+		if err := WriteRawFrame(conn, RawFrame{Kind: kind, ID: id, Payload: encodeWriteRequest(&req)}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ReadRawFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Kind != FrameResponse || resp.ID != id {
+			t.Fatalf("response frame = kind %d id %d, want response to %d", resp.Kind, resp.ID, id)
+		}
+		return resp
+	}
+	executed := func() int {
+		dev.mu.Lock()
+		defer dev.mu.Unlock()
+		return len(dev.entries)
+	}
+
+	first := writeReq(1, 100, false)
+	if executed() != 1 {
+		t.Fatalf("device holds %d entries after one write, want 1", executed())
+	}
+
+	// Retry of an executed id: replayed, not re-executed.
+	replayed := writeReq(1, 100, true)
+	if executed() != 1 {
+		t.Errorf("retry re-executed: device holds %d entries, want 1", executed())
+	}
+	if !bytes.Equal(replayed.Payload, first.Payload) {
+		t.Error("replayed response differs from the original")
+	}
+
+	// Retry of an id the session never executed: runs normally (the
+	// first send may be the one that was lost).
+	writeReq(2, 200, true)
+	if executed() != 2 {
+		t.Errorf("unseen retry-flagged request not executed: %d entries, want 2", executed())
+	}
+
+	// A restarted switch has no replay cache: the same retry executes
+	// again. (Recovering the duplicate effect is the self-healing
+	// layer's job, not the transport's.)
+	srv.ResetSessions()
+	writeReq(1, 100, true)
+	if executed() != 3 {
+		t.Errorf("retry after ResetSessions served from a cache that should be gone: %d entries, want 3", executed())
+	}
+}
+
+// TestTimeoutLeaksNothing: repeated timed-out RPCs must leave no
+// pending-call entries and no lingering goroutines — the regression
+// gate for the timeout path's timer cleanup.
+func TestTimeoutLeaksNothing(t *testing.T) {
+	cli, err := Dial(silentListener(t).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetTimeout(2 * time.Millisecond)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		if _, err := cli.Read(ReadRequest{}); err == nil {
+			t.Fatal("Read against a silent server succeeded")
+		}
+	}
+	if n := cli.PendingRPCs(); n != 0 {
+		t.Errorf("%d pending RPCs leaked after 50 timeouts", n)
+	}
+	// Give any stragglers a moment to exit, then compare. A leak of one
+	// goroutine per timed-out RPC would show up as ~50 extras.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew from %d to %d across 50 timed-out RPCs", before, runtime.NumGoroutine())
+}
+
+// TestBackoffDelayOverflowSafe: absurd attempt counts and near-MaxInt64
+// Initial values clamp to Max instead of overflowing negative.
+func TestBackoffDelayOverflowSafe(t *testing.T) {
+	b := Backoff{Initial: 100 * time.Millisecond, Max: time.Second}
+	for _, attempt := range []int{62, 63, 64, 100, 1000, 1 << 30} {
+		if got := b.Delay(attempt); got != time.Second {
+			t.Errorf("Delay(%d) = %v, want the %v cap", attempt, got, time.Second)
+		}
+	}
+	huge := Backoff{Initial: time.Duration(1) << 62, Max: time.Duration(math.MaxInt64)}
+	for attempt := 1; attempt < 10; attempt++ {
+		if got := huge.Delay(attempt); got < 0 {
+			t.Errorf("Delay(%d) with Initial=1<<62 went negative: %v", attempt, got)
+		}
+	}
+	if got := (Backoff{Initial: time.Second, Max: time.Second}).Delay(0); got != 0 {
+		t.Errorf("Delay(0) = %v, want 0 (first attempt is immediate)", got)
+	}
+	if got := (Backoff{Initial: time.Second, Max: time.Second}).Delay(-5); got != 0 {
+		t.Errorf("Delay(-5) = %v, want 0", got)
+	}
+}
+
+// TestBackoffJitterDeterministic: jitter decorrelates attempts without
+// breaking reproducibility — a pure function of the attempt number,
+// bounded by [d, d+Jitter), and skipped rather than overflowed at the
+// top of the Duration range.
+func TestBackoffJitterDeterministic(t *testing.T) {
+	b := Backoff{Initial: 100 * time.Millisecond, Max: 10 * time.Second, Jitter: 50 * time.Millisecond}
+	base := Backoff{Initial: 100 * time.Millisecond, Max: 10 * time.Second}
+	varied := false
+	for attempt := 1; attempt <= 8; attempt++ {
+		d1, d2 := b.Delay(attempt), b.Delay(attempt)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		lo := base.Delay(attempt)
+		if d1 < lo || d1 >= lo+b.Jitter {
+			t.Errorf("Delay(%d) = %v outside [%v, %v)", attempt, d1, lo, lo+b.Jitter)
+		}
+		if d1 != lo {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter never moved any delay off its base value")
+	}
+
+	// Near MaxInt64 the jitter is skipped, never wrapped negative.
+	top := Backoff{Initial: time.Duration(math.MaxInt64), Max: time.Duration(math.MaxInt64), Jitter: time.Hour}
+	for attempt := 1; attempt <= 4; attempt++ {
+		if got := top.Delay(attempt); got < 0 {
+			t.Errorf("Delay(%d) at MaxInt64 wrapped negative: %v", attempt, got)
+		}
+	}
+}

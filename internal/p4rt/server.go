@@ -6,7 +6,8 @@ import (
 	"sync"
 )
 
-// Server exposes a Device over TCP to remote P4Runtime clients.
+// Server exposes a Device over TCP (Listen) or over caller-established
+// connections (ServeConn) to P4Runtime clients.
 type Server struct {
 	device Device
 	logf   func(format string, args ...any)
@@ -16,6 +17,74 @@ type Server struct {
 	conns  map[net.Conn]*connWriter
 	closed bool
 	wg     sync.WaitGroup
+
+	pinOnce  sync.Once
+	sessions replayCache
+}
+
+// replayCache remembers recent response payloads per client session so a
+// retried request (same id, retry flag set) returns the original
+// response instead of executing twice — the server half of the
+// idempotency contract behind Client.SetRetry. Bounded per session and
+// across sessions; retries arrive promptly, so a small window suffices.
+type replayCache struct {
+	mu       sync.Mutex
+	sessions map[uint64]*sessionCache
+	order    []uint64
+}
+
+type sessionCache struct {
+	responses map[uint64][]byte
+	order     []uint64
+}
+
+const (
+	maxCachedSessions  = 128
+	maxCachedResponses = 64
+)
+
+func (rc *replayCache) store(session, id uint64, payload []byte) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.sessions == nil {
+		rc.sessions = map[uint64]*sessionCache{}
+	}
+	sc := rc.sessions[session]
+	if sc == nil {
+		sc = &sessionCache{responses: map[uint64][]byte{}}
+		rc.sessions[session] = sc
+		rc.order = append(rc.order, session)
+		if len(rc.order) > maxCachedSessions {
+			delete(rc.sessions, rc.order[0])
+			rc.order = rc.order[1:]
+		}
+	}
+	if _, dup := sc.responses[id]; !dup {
+		sc.order = append(sc.order, id)
+		if len(sc.order) > maxCachedResponses {
+			delete(sc.responses, sc.order[0])
+			sc.order = sc.order[1:]
+		}
+	}
+	sc.responses[id] = payload
+}
+
+func (rc *replayCache) lookup(session, id uint64) ([]byte, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	sc := rc.sessions[session]
+	if sc == nil {
+		return nil, false
+	}
+	payload, ok := sc.responses[id]
+	return payload, ok
+}
+
+func (rc *replayCache) reset() {
+	rc.mu.Lock()
+	rc.sessions = nil
+	rc.order = nil
+	rc.mu.Unlock()
 }
 
 type connWriter struct {
@@ -54,11 +123,45 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	s.ln = ln
 	s.mu.Unlock()
 
-	s.wg.Add(2)
+	s.wg.Add(1)
 	go s.acceptLoop(ln)
-	go s.packetInLoop()
+	s.startPacketIns()
 	return ln.Addr(), nil
 }
+
+// startPacketIns launches the packet-in fan-out loop exactly once (both
+// Listen and ServeConn need it).
+func (s *Server) startPacketIns() {
+	s.pinOnce.Do(func() {
+		s.wg.Add(1)
+		go s.packetInLoop()
+	})
+}
+
+// ServeConn serves one caller-established connection (e.g. the backend
+// half of an in-process pipe or a chaos wire) on a background
+// goroutine until the connection or the server closes.
+func (s *Server) ServeConn(conn net.Conn) error {
+	cw := &connWriter{conn: conn}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return errors.New("p4rt: server is closed")
+	}
+	s.conns[conn] = cw
+	s.mu.Unlock()
+	s.startPacketIns()
+	s.wg.Add(1)
+	go s.serveConn(conn, cw)
+	return nil
+}
+
+// ResetSessions drops the response replay cache — what a full process
+// restart of a real switch stack would do. The chaos wire's restart
+// hook calls it alongside the device's state loss so recovery is tested
+// against a genuinely amnesiac server.
+func (s *Server) ResetSessions() { s.sessions.reset() }
 
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
@@ -108,12 +211,35 @@ func (s *Server) serveConn(conn net.Conn, cw *connWriter) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	var session uint64
 	for {
 		f, err := readFrame(conn)
 		if err != nil {
 			return
 		}
+		retry := f.kind&kindFlagRetry != 0
+		f.kind &^= kindFlagRetry
+		if f.kind == kindHello {
+			session = f.id // adopt the client's session; no response
+			continue
+		}
+		// A flagged retry of a request this session already executed is
+		// answered from the replay cache: the first execution's effects
+		// stand and its original response is re-sent, making retries
+		// idempotent even when the first ACK was lost in flight.
+		if retry && session != 0 {
+			if payload, ok := s.sessions.lookup(session, f.id); ok {
+				if err := cw.send(frame{kind: kindResponse, id: f.id, payload: payload}); err != nil {
+					s.logf("p4rt: response send: %v", err)
+					return
+				}
+				continue
+			}
+		}
 		resp := s.dispatch(f)
+		if session != 0 {
+			s.sessions.store(session, f.id, resp.payload)
+		}
 		if err := cw.send(resp); err != nil {
 			s.logf("p4rt: response send: %v", err)
 			return

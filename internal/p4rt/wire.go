@@ -18,7 +18,21 @@ const (
 	kindPacketOut   msgKind = 4
 	kindPacketIn    msgKind = 5
 	kindResponse    msgKind = 6
+	// kindInject (7) lives in dataplane.go.
+
+	// kindHello announces a client transport session: the id field
+	// carries the client's session id and there is no response. The
+	// server keys its response replay cache on (session, request id) so
+	// an in-RPC retry after a reconnect deduplicates against work the
+	// previous connection already applied.
+	kindHello msgKind = 8
 )
+
+// kindFlagRetry marks a request frame as a re-send of an earlier frame
+// with the same id: the server may serve it from its replay cache
+// instead of executing the request a second time. It is a flag bit on
+// the kind byte, not a kind of its own.
+const kindFlagRetry msgKind = 0x80
 
 const maxFrameSize = 64 << 20 // 64 MiB guards against corrupt length prefixes
 

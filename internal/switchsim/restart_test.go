@@ -1,0 +1,102 @@
+package switchsim
+
+import (
+	"strings"
+	"testing"
+
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4rt"
+	"switchv/internal/testutil"
+	"switchv/models"
+)
+
+// TestRestartWipesState: Restart models a full reboot — pipeline config
+// and every table entry are gone, RPCs fail with the no-pipeline
+// precondition until a fresh push, after which the switch is usable
+// again from a factory-clean slate.
+func TestRestartWipesState(t *testing.T) {
+	sw, info := startSwitch(t, "middleblock")
+	defer sw.Close()
+	rr, err := sw.Read(p4rt.ReadRequest{})
+	if err != nil || len(rr.Entries) == 0 {
+		t.Fatalf("fixture not installed before restart: %d entries, %v", len(rr.Entries), err)
+	}
+
+	sw.Restart()
+
+	if _, err := sw.Read(p4rt.ReadRequest{}); err == nil ||
+		!strings.Contains(err.Error(), "no forwarding pipeline config") {
+		t.Errorf("Read after restart = %v, want the no-pipeline precondition", err)
+	}
+	resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert}}})
+	if resp.OK() || resp.Statuses[0].Code != p4rt.FailedPrecondition {
+		t.Errorf("Write after restart = %+v, want FailedPrecondition", resp.Statuses)
+	}
+
+	// The packet-in subscription survives the reboot: the channel is
+	// open (a closed channel would be immediately readable).
+	select {
+	case _, ok := <-sw.PacketIns():
+		if !ok {
+			t.Error("packet-in stream closed by restart")
+		}
+	default:
+	}
+
+	// A fresh pipeline push restores service with zero residual state.
+	if err := sw.SetForwardingPipelineConfig(p4rt.ForwardingPipelineConfig{P4Info: info.Text()}); err != nil {
+		t.Fatalf("re-push after restart: %v", err)
+	}
+	rr, err = sw.Read(p4rt.ReadRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Entries) != 0 {
+		t.Errorf("%d entries survived the restart", len(rr.Entries))
+	}
+	store := pdpi.NewStore()
+	testutil.RoutingFixture(models.MustLoad("middleblock"), store)
+	for _, e := range testutil.InstallOrder(info, store) {
+		if resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: p4rt.ToWire(e)}}}); !resp.OK() {
+			t.Fatalf("reinstalling %s after restart: %s", e, resp.String())
+		}
+	}
+}
+
+// TestRestartKeepsFaults: faults model firmware bugs, not state — a
+// reboot must not cure them. The RIF-limit fault still caps the chip at
+// 8 interfaces after a restart and re-push.
+func TestRestartKeepsFaults(t *testing.T) {
+	sw, info := startSwitch(t, "middleblock", FaultRouterInterfaceLimit8)
+	defer sw.Close()
+	sw.Restart()
+	if !sw.hasFault(FaultRouterInterfaceLimit8) {
+		t.Fatal("restart dropped the configured fault")
+	}
+	if err := sw.SetForwardingPipelineConfig(p4rt.ForwardingPipelineConfig{P4Info: info.Text()}); err != nil {
+		t.Fatal(err)
+	}
+	rif, _ := info.TableByName("router_interface_table")
+	act, _ := info.ActionByName("set_port_and_src_mac")
+	okCount := 0
+	for id := byte(1); id < 20; id++ {
+		resp := sw.Write(p4rt.WriteRequest{Updates: []p4rt.Update{{Type: p4rt.Insert, Entry: p4rt.TableEntry{
+			TableID: rif.ID,
+			Match:   []p4rt.FieldMatch{{FieldID: 1, Exact: &p4rt.ExactMatch{Value: []byte{id}}}},
+			Action: p4rt.TableAction{Action: &p4rt.Action{ActionID: act.ID, Params: []p4rt.ActionParam{
+				{ParamID: 1, Value: []byte{20}},
+				{ParamID: 2, Value: []byte{2, 0, 0, 0, 0, id}},
+			}}},
+		}}}})
+		switch resp.Statuses[0].Code {
+		case p4rt.OK:
+			okCount++
+		case p4rt.ResourceExhausted:
+		default:
+			t.Fatalf("unexpected status: %s", resp.Statuses[0])
+		}
+	}
+	if okCount != 8 {
+		t.Errorf("rebooted chip accepted %d router interfaces, want the fault's limit of 8", okCount)
+	}
+}

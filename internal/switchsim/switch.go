@@ -400,6 +400,25 @@ const cpuPort uint16 = 0xffff
 // PacketIns implements p4rt.Device.
 func (s *Switch) PacketIns() <-chan p4rt.PacketIn { return s.packetIns }
 
+// Restart models a full switch reboot with table-state loss: the
+// forwarding pipeline config, app state, orchestration agent, and ASIC
+// are all reset to factory-fresh, as if the whole stack restarted.
+// Configured faults survive (they model firmware bugs, not state), and
+// the packet-in stream stays open so connected clients keep their
+// subscription across the reboot. Chaos restart mode drives this.
+func (s *Switch) Restart() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.info = nil
+	s.appState = pdpi.NewStore()
+	s.rawValues = map[string]p4rt.TableEntry{}
+	s.refCounts = map[string]int{}
+	s.asic = newASIC(s.role, s.hasFault)
+	s.orch = newOrchAgent(s.asic, s.hasFault)
+	s.egressLog = nil
+	s.injected = 0
+}
+
 // Close shuts down the packet-in stream.
 func (s *Switch) Close() {
 	s.mu.Lock()

@@ -90,6 +90,24 @@ type ParallelOptions struct {
 	// ErrCampaignStopped. Shards already in flight still finish (and are
 	// offered to OnShard), so no completed work is lost.
 	OnShard func(shard int, cp *ShardCheckpoint) error
+	// Quarantine degrades gracefully on shard errors: instead of
+	// failing the whole campaign, an erroring shard is recorded in
+	// Quarantined and the merge proceeds over the healthy shards. The
+	// quarantined record carries the shard's seed, so its campaign can
+	// be re-run standalone to reproduce the failure.
+	Quarantine bool
+	// Reconcile enables torn-write read-back reconciliation on every
+	// shard harness (see Harness.Reconcile).
+	Reconcile bool
+}
+
+// QuarantinedShard records one shard whose stack or campaign failed
+// under ParallelOptions.Quarantine — enough (shard index + derived
+// seed) to replay the failure in isolation.
+type QuarantinedShard struct {
+	Shard  int    `json:"shard"`
+	Seed   int64  `json:"seed"`
+	Reason string `json:"reason"`
 }
 
 // ShardCheckpoint is the durable record of one completed shard: its
@@ -142,6 +160,11 @@ type ParallelReport struct {
 	// ResumedShards counts shards merged from Resume checkpoints rather
 	// than executed by this run.
 	ResumedShards int
+
+	// Quarantined lists shards sidelined under ParallelOptions.Quarantine
+	// (empty otherwise — the campaign then fails on the first shard
+	// error instead).
+	Quarantined []QuarantinedShard
 
 	// Coverage is the snapshot of the merged coverage map.
 	Coverage *coverage.Snapshot
@@ -303,8 +326,21 @@ func RunParallelCampaign(info *p4info.Info, opts ParallelOptions) (*ParallelRepo
 		r := results[shard]
 		// Skipped-on-stop pseudo-errors don't outrank real shard errors;
 		// the stop itself is reported via ErrCampaignStopped below.
-		if r.err != nil && firstErr == nil && !errors.Is(r.err, ErrCampaignStopped) {
-			firstErr = r.err
+		if r.err != nil && !errors.Is(r.err, ErrCampaignStopped) {
+			if opts.Quarantine {
+				// Graceful degradation: sideline the broken shard (with its
+				// seed, for standalone reproduction) and keep the campaign.
+				rep.Quarantined = append(rep.Quarantined, QuarantinedShard{
+					Shard:  shard,
+					Seed:   fuzzer.DeriveSeed(opts.Fuzz.Seed, shard),
+					Reason: r.err.Error(),
+				})
+				rep.PerShard = append(rep.PerShard, r.stats)
+				continue
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
 		}
 		rep.PerShard = append(rep.PerShard, r.stats)
 		if r.rep == nil {
@@ -356,6 +392,9 @@ type CanonicalReport struct {
 	DuplicateIncidents int                `json:"duplicate_incidents"`
 	PerMutation        map[string]int     `json:"per_mutation"`
 	Coverage           *coverage.Snapshot `json:"coverage"`
+	// Quarantined is omitted when empty so reports from clean runs stay
+	// byte-identical to those produced before quarantine existed.
+	Quarantined []QuarantinedShard `json:"quarantined,omitempty"`
 }
 
 // Canon extracts the deterministic projection of the report.
@@ -371,6 +410,7 @@ func (r *ParallelReport) Canon() *CanonicalReport {
 		DuplicateIncidents: r.DuplicateIncidents,
 		PerMutation:        r.PerMutation,
 		Coverage:           r.Coverage,
+		Quarantined:        r.Quarantined,
 	}
 }
 
@@ -401,6 +441,7 @@ func runShard(info *p4info.Info, opts ParallelOptions, worker, shard, batches, d
 	}
 	h := New(info, dev, nil)
 	h.Precheck = opts.Precheck
+	h.Reconcile = opts.Reconcile
 	if err := h.PushPipeline(); err != nil {
 		res.err = fmt.Errorf("shard %d: pushing pipeline: %w", shard, err)
 		return res
@@ -446,7 +487,10 @@ func runShard(info *p4info.Info, opts ParallelOptions, worker, shard, batches, d
 // coverage-guided scheduling all fall back to the sequential loop, as
 // does depth < 1.
 func (h *Harness) RunControlPlanePipelined(opts fuzzer.Options, depth int) (*ControlPlaneReport, error) {
-	if depth < 1 || opts.PlateauBatches > 0 || opts.StopAfterIncidents > 0 || opts.CoverageGuided {
+	// Reconcile needs the sequential loop too: torn-write resolution
+	// reads the oracle's pre-batch state, which the pipelined producer
+	// races ahead of.
+	if depth < 1 || opts.PlateauBatches > 0 || opts.StopAfterIncidents > 0 || opts.CoverageGuided || h.Reconcile {
 		return h.RunControlPlane(opts)
 	}
 	crep, err := h.precheckGate("p4-fuzzer")

@@ -1,0 +1,164 @@
+package switchv
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"switchv/internal/p4rt"
+)
+
+// noPipelineMsg is the status message a P4Runtime switch reports when it
+// has no forwarding pipeline config — the telltale of a warm restart
+// with state loss when this harness pushed a pipeline earlier.
+const noPipelineMsg = "no forwarding pipeline config"
+
+// SelfHealingDevice wraps a p4rt.Device with warm-restart recovery: it
+// records the pushed pipeline config and the ordered log of accepted
+// updates, and when the switch suddenly reports "no forwarding pipeline
+// config" after a successful push (a generation reset — the device
+// restarted and lost its tables), it re-pushes the config, replays the
+// entry log, and re-executes the interrupted RPC. To the campaign above
+// it, the restart is invisible: the replay reconstructs the exact
+// pre-restart state, so the resumed run is byte-identical to one where
+// the switch never restarted.
+type SelfHealingDevice struct {
+	inner p4rt.Device
+
+	mu         sync.Mutex
+	cfg        *p4rt.ForwardingPipelineConfig
+	log        []p4rt.Update // accepted updates, in application order
+	recoveries int
+}
+
+var _ p4rt.Device = (*SelfHealingDevice)(nil)
+
+// NewSelfHealing wraps dev with warm-restart recovery.
+func NewSelfHealing(dev p4rt.Device) *SelfHealingDevice {
+	return &SelfHealingDevice{inner: dev}
+}
+
+// Recoveries returns how many generation resets were detected and
+// healed — survival tests assert it is non-zero to prove the chaos
+// restart actually happened.
+func (d *SelfHealingDevice) Recoveries() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.recoveries
+}
+
+// SetForwardingPipelineConfig implements p4rt.Device, recording the
+// config for replay.
+func (d *SelfHealingDevice) SetForwardingPipelineConfig(cfg p4rt.ForwardingPipelineConfig) error {
+	err := d.inner.SetForwardingPipelineConfig(cfg)
+	if err == nil {
+		d.mu.Lock()
+		c := cfg
+		d.cfg = &c
+		d.mu.Unlock()
+	}
+	return err
+}
+
+// generationReset reports whether a write response is the all-updates
+// "no forwarding pipeline config" failure that marks a restarted switch
+// (per-update rejections never produce that message for every update of
+// a batch after a successful push).
+func generationReset(resp p4rt.WriteResponse) bool {
+	if len(resp.Statuses) == 0 {
+		return false
+	}
+	for _, st := range resp.Statuses {
+		if st.Code != p4rt.FailedPrecondition || !strings.Contains(st.Message, noPipelineMsg) {
+			return false
+		}
+	}
+	return true
+}
+
+// Write implements p4rt.Device: on a generation reset it recovers and
+// re-executes the batch, then records the accepted updates for future
+// replays.
+func (d *SelfHealingDevice) Write(req p4rt.WriteRequest) p4rt.WriteResponse {
+	resp := d.inner.Write(req)
+	if generationReset(resp) && d.recover() {
+		resp = d.inner.Write(req)
+	}
+	d.mu.Lock()
+	for i, st := range resp.Statuses {
+		if i < len(req.Updates) && st.Code == p4rt.OK {
+			d.log = append(d.log, req.Updates[i])
+		}
+	}
+	d.mu.Unlock()
+	return resp
+}
+
+// Read implements p4rt.Device, healing a generation reset surfaced as a
+// FailedPrecondition read error.
+func (d *SelfHealingDevice) Read(req p4rt.ReadRequest) (p4rt.ReadResponse, error) {
+	resp, err := d.inner.Read(req)
+	if err != nil {
+		var se *p4rt.StatusError
+		if errors.As(err, &se) && se.Status.Code == p4rt.FailedPrecondition &&
+			strings.Contains(se.Status.Message, noPipelineMsg) && d.recover() {
+			return d.inner.Read(req)
+		}
+	}
+	return resp, err
+}
+
+// recover re-pushes the recorded pipeline config and replays the entry
+// log, reconstructing the pre-restart switch state. Returns false when
+// there is nothing to recover with (no config was ever pushed) or the
+// replay fails — the caller then surfaces the original failure.
+func (d *SelfHealingDevice) recover() bool {
+	d.mu.Lock()
+	cfg := d.cfg
+	log := make([]p4rt.Update, len(d.log))
+	copy(log, d.log)
+	d.mu.Unlock()
+	if cfg == nil {
+		return false
+	}
+	if err := d.inner.SetForwardingPipelineConfig(*cfg); err != nil {
+		return false
+	}
+	// Replay one update per RPC, in original application order, so
+	// entry-to-entry references are re-established before their
+	// dependents — the log's order already proved dependency-safe once.
+	for _, u := range log {
+		resp := d.inner.Write(p4rt.WriteRequest{Updates: []p4rt.Update{u}})
+		for _, st := range resp.Statuses {
+			if st.Code == p4rt.OK {
+				continue
+			}
+			// A replayed Delete may find its target already gone; any
+			// other failure means the state cannot be reconstructed.
+			if u.Type == p4rt.Delete && st.Code == p4rt.NotFound {
+				continue
+			}
+			return false
+		}
+	}
+	d.mu.Lock()
+	d.recoveries++
+	d.mu.Unlock()
+	return true
+}
+
+// PacketOut implements p4rt.Device.
+func (d *SelfHealingDevice) PacketOut(p p4rt.PacketOut) error { return d.inner.PacketOut(p) }
+
+// PacketIns implements p4rt.Device.
+func (d *SelfHealingDevice) PacketIns() <-chan p4rt.PacketIn { return d.inner.PacketIns() }
+
+// InjectFrame passes through data-plane injection when the inner device
+// supports it.
+func (d *SelfHealingDevice) InjectFrame(req p4rt.InjectRequest) (p4rt.InjectResult, error) {
+	if dp, ok := d.inner.(p4rt.DataPlaneDevice); ok {
+		return dp.InjectFrame(req)
+	}
+	return p4rt.InjectResult{}, fmt.Errorf("switchv: inner device has no data-plane injection")
+}

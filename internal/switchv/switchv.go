@@ -6,6 +6,7 @@
 package switchv
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -68,6 +69,13 @@ type Harness struct {
 	// the gate: a defective model silently corrupts every downstream
 	// verdict, so opting out is the explicit choice.
 	Precheck PrecheckMode
+	// Reconcile hardens control-plane campaigns against torn writes: a
+	// write whose ACK was lost in transit (transport-failure response)
+	// is resolved by read-back — per-update statuses are reconstructed
+	// from the observed state, with genuinely unknowable outcomes marked
+	// Unavailable and exempted from oracle judgement. Without it, a torn
+	// write poisons the campaign with false incidents or kills it.
+	Reconcile bool
 }
 
 // New builds a harness.
@@ -142,6 +150,47 @@ func (r *ControlPlaneReport) EntriesPerSecond() float64 {
 	return float64(r.Updates) / r.Elapsed.Seconds()
 }
 
+// CanonicalControlPlaneReport is the deterministic projection of a
+// single-stack campaign: every field is a pure function of (model,
+// seed, options); Elapsed is excluded. The chaos survival matrix states
+// its byte-identity contract over it — a campaign run under injected
+// faults on a hardened stack must render the same JSON as the same
+// campaign with no faults at all.
+type CanonicalControlPlaneReport struct {
+	Batches        int                `json:"batches"`
+	Updates        int                `json:"updates"`
+	MustAccept     int                `json:"must_accept"`
+	MustReject     int                `json:"must_reject"`
+	MayReject      int                `json:"may_reject"`
+	Incidents      []Incident         `json:"incidents"`
+	PerMutation    map[string]int     `json:"per_mutation"`
+	Coverage       *coverage.Snapshot `json:"coverage"`
+	Trajectory     []BatchCoverage    `json:"trajectory"`
+	PlateauStopped bool               `json:"plateau_stopped"`
+}
+
+// Canon extracts the deterministic projection of the report.
+func (r *ControlPlaneReport) Canon() *CanonicalControlPlaneReport {
+	return &CanonicalControlPlaneReport{
+		Batches:        r.Batches,
+		Updates:        r.Updates,
+		MustAccept:     r.MustAccept,
+		MustReject:     r.MustReject,
+		MayReject:      r.MayReject,
+		Incidents:      r.Incidents,
+		PerMutation:    r.PerMutation,
+		Coverage:       r.Coverage,
+		Trajectory:     r.Trajectory,
+		PlateauStopped: r.PlateauStopped,
+	}
+}
+
+// JSON renders the canonical report; encoding/json sorts map keys, so
+// equal reports render byte-equal.
+func (r *CanonicalControlPlaneReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
 // RunControlPlane fuzzes the switch's control plane API: batches of valid
 // and mutated updates, each followed by a full read-back that the oracle
 // judges (§4.3, §4.4).
@@ -161,6 +210,7 @@ func (h *Harness) RunControlPlane(opts fuzzer.Options) (*ControlPlaneReport, err
 	f := fuzzer.New(h.Info, opts)
 	orc := oracle.New(h.Info)
 	orc.SetCoverage(cov)
+	orc.AllowUnavailable = h.Reconcile
 	rep := &ControlPlaneReport{}
 	start := time.Now()
 	n := opts.NumRequests
@@ -184,6 +234,11 @@ func (h *Harness) RunControlPlane(opts fuzzer.Options) (*ControlPlaneReport, err
 				Detail: fmt.Sprintf("reading back after batch %d: %v", batch, err),
 			})
 			continue
+		}
+		if h.Reconcile && isTransportFailure(resp) {
+			// Torn write: the ACK died in transit, so resolve what actually
+			// landed from the read-back before judging the batch.
+			resp = reconcileWriteResponse(h.Info, orc.State(), observed, req)
 		}
 		verdicts, violations := orc.CheckBatch(req, resp, observed)
 		for i, v := range verdicts {
