@@ -24,7 +24,7 @@ race:
 # wall-clock time or process-global randomness in results, no map
 # iteration order leaking into ordered output (see tools/detlint).
 lint:
-	$(GO) run ./tools/detlint ./internal/fuzzer ./internal/symbolic ./internal/switchv ./internal/coverage ./internal/daemon ./internal/p4/compile ./internal/chaos
+	$(GO) run ./tools/detlint ./internal/fuzzer ./internal/symbolic ./internal/switchv ./internal/coverage ./internal/daemon ./internal/p4/compile ./internal/chaos ./internal/sat ./internal/smt ./internal/bdd
 
 # matrix runs the fault-detection matrix: every injectable fault must be
 # caught, and the union of all fixtures must stay incident-free.
@@ -49,28 +49,37 @@ precheck:
 daemon-smoke:
 	$(GO) run ./tools/daemonsmoke
 
-# fuzz-smoke runs the interpreter-vs-compiled differential fuzzer for a
-# short burst: arbitrary frames plus the seeded corpus must produce
-# bit-identical outcomes from both engines.
+# fuzz-smoke runs the differential fuzzers for a short burst each: the
+# interpreter-vs-compiled engine fuzzer (arbitrary frames must produce
+# bit-identical outcomes) and the witness-vs-solver generation fuzzer
+# (fuzzed workloads must reach identical per-goal verdicts with and
+# without the solver-free pre-pass).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDifferentialEngines' -fuzztime 10s ./internal/p4/compile
+	$(GO) test -run '^$$' -fuzz 'FuzzWitnessVsSolver' -fuzztime 10s ./internal/symbolic
 
 # bench reruns the paper-evaluation benchmarks once each and records the
 # parallel-engine scaling run as machine-readable JSON.
 bench: bench-parallel bench-symbolic bench-dataplane
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
+# Each bench-* target records the raw `go test -json` stream and then
+# distills it into a compact deterministic summary (benchmark name ->
+# sorted metrics) so BENCH_* trajectories diff cleanly across commits.
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelCampaign' -benchtime 1x -json . > BENCH_parallel.json
+	$(GO) run ./tools/benchsummary BENCH_parallel.json
 
 # bench-symbolic records the data-plane generation ablation (serial vs
-# pruned vs pruned+parallel) with its built-in reduction/identity/speedup
-# gates as machine-readable JSON.
+# pruned vs pruned+parallel+witness) with its built-in reduction/
+# identity/check-budget/speedup gates as machine-readable JSON.
 bench-symbolic:
 	$(GO) test -run '^$$' -bench 'BenchmarkDataPlaneGen' -benchtime 1x -json . > BENCH_symbolic.json
+	$(GO) run ./tools/benchsummary BENCH_symbolic.json
 
 # bench-dataplane records the interpreter-vs-compiled packets/sec
 # comparison, including its built-in >= 10x single-thread speedup gate,
 # as machine-readable JSON.
 bench-dataplane:
 	$(GO) test -run '^$$' -bench 'BenchmarkCompiledVsInterp' -benchtime 1x -json . > BENCH_dataplane.json
+	$(GO) run ./tools/benchsummary BENCH_dataplane.json

@@ -168,7 +168,9 @@ func BenchmarkTable3GenerationCached(b *testing.B) {
 //
 // Gates asserted: pruning cuts CheckAssuming calls by >=40% (small);
 // packet set and report are bit-identical across worker counts (both);
-// on a >=4-CPU machine pruning+parallelism beat the serial baseline's
+// witness synthesis plus pruning keep the large instance under 200 SMT
+// checks (the check-budget regression gate for DESIGN.md §5h); on a
+// >=4-CPU machine pruning+parallelism beat the serial baseline's
 // wall-clock by >=2x (large).
 func BenchmarkDataPlaneGen(b *testing.B) {
 	prog := models.Middleblock()
@@ -231,6 +233,8 @@ func BenchmarkDataPlaneGen(b *testing.B) {
 			res = &result{pkts, rep, time.Since(start)}
 			b.ReportMetric(float64(rep.SMTChecks), "smt-checks")
 			b.ReportMetric(float64(rep.Pruned), "pruned")
+			b.ReportMetric(float64(rep.Witnessed), "witnessed")
+			b.ReportMetric(float64(rep.WitnessUnsat), "witness-unsat")
 			b.ReportMetric(float64(rep.Goals), "goals")
 		}
 		return res
@@ -273,6 +277,14 @@ func BenchmarkDataPlaneGen(b *testing.B) {
 	// report are bit-identical, on both instances.
 	checkIdentity(b, pruned1S, pruned4S)
 	checkIdentity(b, pruned1L, pruned4L)
+	// Gate 2b (check-budget regression): witness synthesis plus pruning
+	// must keep the large instance's SMT check count under 200 (the
+	// solver-free ceiling of ROADMAP item 3; the pre-witness pruned path
+	// needed 560 checks here).
+	if pruned1L.rep.SMTChecks >= 200 {
+		b.Fatalf("large instance used %d SMT checks, want < 200 (witnessed %d, pruned %d of %d goals)",
+			pruned1L.rep.SMTChecks, pruned1L.rep.Witnessed, pruned1L.rep.Pruned, pruned1L.rep.Goals)
+	}
 	// Gate 3: >=2x wall-clock over the serial baseline on >=4 CPUs.
 	speedup := float64(serialL.elapsed) / float64(pruned4L.elapsed)
 	b.ReportMetric(speedup, "speedup-x")

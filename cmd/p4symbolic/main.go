@@ -6,6 +6,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +32,8 @@ func main() {
 	dpShards := flag.Int("dp-shards", 0, "goal-shard count for -dp-workers (0 = default; results depend on it)")
 	precheck := flag.String("precheck", "on", "static model preflight: on (refuse on error findings), warn (report only), off (skip)")
 	engine := flag.String("engine", "compiled", "reference simulator engine for replaying generated packets: compiled (closure-tree) or interp (IR walker)")
+	witness := flag.Bool("witness", true, "solver-free witness synthesis pre-pass (parallel generator only)")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON report instead of text")
 	flag.Parse()
 
 	eng, err := switchv.ParseEngine(*engine)
@@ -54,7 +57,7 @@ func main() {
 	var dead map[string]bool
 	if *precheck != "off" {
 		crep := check.Cached(prog)
-		if len(crep.Findings) > 0 {
+		if len(crep.Findings) > 0 && !*jsonOut {
 			fmt.Printf("== p4check preflight ==\n%s", crep.Text())
 		}
 		if crep.HasErrors() && *precheck != "warn" {
@@ -82,7 +85,8 @@ func main() {
 	if *dpWorkers > 0 {
 		t0 := time.Now()
 		packets, rep, err = symbolic.GeneratePacketsParallel(prog, store, symbolic.Options{},
-			symbolic.GenOptions{Mode: mode, Workers: *dpWorkers, Shards: *dpShards, UnreachableTables: dead})
+			symbolic.GenOptions{Mode: mode, Workers: *dpWorkers, Shards: *dpShards,
+				UnreachableTables: dead, DisableWitness: !*witness})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -103,18 +107,24 @@ func main() {
 		genTime = time.Since(t1)
 	}
 
-	fmt.Printf("p4-symbolic: model %q, %d entries\n", prog.Name, len(entries))
-	if *dpWorkers > 0 {
-		fmt.Printf("symbolic execution: %d shards (%d terms, %d clauses)\n", rep.Shards, rep.Terms, rep.Clauses)
-		fmt.Printf("generation: %v for %d goals (%d covered, %d unreachable; %d solved, %d pruned, %d precheck-skipped, %d checks)\n",
-			genTime.Round(time.Millisecond), rep.Goals, rep.Covered, rep.Unreachable, rep.Solved, rep.Pruned, rep.Precheck, rep.SMTChecks)
-	} else {
-		fmt.Printf("symbolic execution: %v (%d terms, %d clauses)\n", execTime.Round(time.Millisecond), rep.Terms, rep.Clauses)
-		fmt.Printf("generation: %v for %d goals (%d covered, %d unreachable)\n",
-			genTime.Round(time.Millisecond), rep.Goals, rep.Covered, rep.Unreachable)
+	if !*jsonOut {
+		fmt.Printf("p4-symbolic: model %q, %d entries\n", prog.Name, len(entries))
+		if *dpWorkers > 0 {
+			fmt.Printf("symbolic execution: %d shards (%d terms, %d clauses)\n", rep.Shards, rep.Terms, rep.Clauses)
+			fmt.Printf("generation: %v for %d goals (%d covered, %d unreachable; %d solved, %d pruned, %d precheck-skipped, %d checks)\n",
+				genTime.Round(time.Millisecond), rep.Goals, rep.Covered, rep.Unreachable, rep.Solved, rep.Pruned, rep.Precheck, rep.SMTChecks)
+			fmt.Printf("checks avoided: %d/%d (witness %d, cache %d, prune %d)\n",
+				rep.Goals-rep.SMTChecks, rep.Goals,
+				rep.Witnessed+rep.WitnessUnsat, rep.Cached, rep.Pruned+rep.Precheck)
+		} else {
+			fmt.Printf("symbolic execution: %v (%d terms, %d clauses)\n", execTime.Round(time.Millisecond), rep.Terms, rep.Clauses)
+			fmt.Printf("generation: %v for %d goals (%d covered, %d unreachable)\n",
+				genTime.Round(time.Millisecond), rep.Goals, rep.Covered, rep.Unreachable)
+		}
+		fmt.Printf("solver: %d decisions, %d propagations, %d conflicts (%d solve calls, %d kept learnts, %d assumption conflicts, %d cnf-reuse hits)\n",
+			rep.SATStats.Decisions, rep.SATStats.Propagations, rep.SATStats.Conflicts,
+			rep.SATStats.SolveCalls, rep.SATStats.KeptLearnts, rep.SATStats.AssumpConflicts, rep.CNFReuse)
 	}
-	fmt.Printf("solver: %d decisions, %d propagations, %d conflicts\n",
-		rep.SATStats.Decisions, rep.SATStats.Propagations, rep.SATStats.Conflicts)
 
 	// Replay the synthesized packets through the reference simulator: a
 	// quick sanity check that every goal packet actually executes, and a
@@ -142,8 +152,43 @@ func main() {
 			punted++
 		}
 	}
+	simTime := time.Since(t2)
+	if *jsonOut {
+		// One machine-readable object: the full generation report
+		// (including sat.Stats and the witness/incremental counters) plus
+		// the replay dispositions. Everything except the timings is a
+		// deterministic function of (model, entries, options, shards).
+		out := struct {
+			Model        string          `json:"model"`
+			Entries      int             `json:"entries"`
+			Coverage     string          `json:"coverage"`
+			Workers      int             `json:"workers"`
+			Engine       string          `json:"engine"`
+			Report       symbolic.Report `json:"report"`
+			ChecksAvoid  int             `json:"checks_avoided"`
+			Packets      int             `json:"packets"`
+			Forwarded    int             `json:"forwarded"`
+			Dropped      int             `json:"dropped"`
+			Punted       int             `json:"punted"`
+			GenerationMS float64         `json:"generation_ms"`
+			SimulationMS float64         `json:"simulation_ms"`
+		}{
+			Model: prog.Name, Entries: len(entries), Coverage: *coverage,
+			Workers: *dpWorkers, Engine: string(eng), Report: rep,
+			ChecksAvoid: rep.Goals - rep.SMTChecks,
+			Packets:     len(packets), Forwarded: fwd, Dropped: dropped, Punted: punted,
+			GenerationMS: float64(genTime.Microseconds()) / 1e3,
+			SimulationMS: float64(simTime.Microseconds()) / 1e3,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	fmt.Printf("simulation (%s engine): %d packets in %v: %d forwarded, %d dropped, %d punted\n",
-		eng, len(packets), time.Since(t2).Round(time.Millisecond), fwd, dropped, punted)
+		eng, len(packets), simTime.Round(time.Millisecond), fwd, dropped, punted)
 	if *emit {
 		for i, pkt := range packets {
 			fmt.Printf("%-60s port=%d %-9s %x\n", pkt.GoalKey, pkt.Port, outcomes[i].Disposition, pkt.Data)

@@ -256,8 +256,8 @@ func main() {
 		fmt.Printf("entries: %d  goals: %d  covered: %d  unreachable: %d\n",
 			rep.Entries, rep.Goals, rep.Covered, rep.Unreachable)
 		fmt.Printf("generation: %v  testing: %v  packets: %d\n", rep.GenElapsed, rep.TestElapsed, rep.Packets)
-		fmt.Printf("solver: %d checks (%d solved, %d pruned, %d cached, %d precheck-skipped) over %d shards\n",
-			srep.SMTChecks, srep.Solved, srep.Pruned, srep.Cached, srep.Precheck, srep.Shards)
+		fmt.Printf("solver: %d checks (%d solved, %d witnessed, %d pruned, %d cached, %d precheck-skipped) over %d shards\n",
+			srep.SMTChecks, srep.Solved, srep.Witnessed+srep.WitnessUnsat, srep.Pruned, srep.Cached, srep.Precheck, srep.Shards)
 		fmt.Printf("        %d terms, %d clauses, %d vars; %d decisions, %d propagations, %d conflicts\n",
 			srep.Terms, srep.Clauses, srep.Vars,
 			srep.SATStats.Decisions, srep.SATStats.Propagations, srep.SATStats.Conflicts)

@@ -301,6 +301,28 @@ func (b *Builder) Sample(n Node, rng *rand.Rand) (assignment []bool, ok bool) {
 	}
 }
 
+// MinSat returns the deterministic minimum satisfying assignment of n:
+// the walk prefers the lo (false) branch whenever it stays satisfiable,
+// and every variable the walk never constrains reads false. In a reduced
+// OBDD every node other than False has a satisfying path, so the walk
+// needs no backtracking. ok is false when n is unsatisfiable.
+func (b *Builder) MinSat(n Node) (assignment []bool, ok bool) {
+	if n == False {
+		return nil, false
+	}
+	assignment = make([]bool, b.numVars)
+	for n != True {
+		nd := b.nodes[n]
+		if nd.lo != False {
+			n = nd.lo
+		} else {
+			assignment[nd.level] = true
+			n = nd.hi
+		}
+	}
+	return assignment, true
+}
+
 // EqConst returns the BDD for "the integer formed by bits == value", where
 // bits lists variable indices most-significant first.
 func (b *Builder) EqConst(bits []int, value uint64) Node {

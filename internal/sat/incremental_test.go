@@ -1,0 +1,273 @@
+// Edge-case tests for the incremental assumption-based API: repeated
+// Solve calls under contradictory assumptions, the unsatCI fast path
+// after incremental clause additions, and learnt-clause soundness
+// across activation-literal deactivation (differential against a fresh
+// cold solver on random formulas).
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestContradictoryAssumptionsRepeated checks that Unsat under
+// assumptions — including self-contradictory assumption vectors — never
+// poisons the solver: the same instance keeps answering correctly over
+// many alternating calls, and the assumption-prefix conflicts are
+// surfaced in Stats.
+func TestContradictoryAssumptionsRepeated(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(neg(a), pos(b)) // a -> b
+	s.AddClause(neg(b), pos(c)) // b -> c
+
+	for round := 0; round < 10; round++ {
+		// Self-contradictory assumption vector.
+		if r := s.Solve(pos(a), neg(a)); r != Unsat {
+			t.Fatalf("round %d: Solve(a, ~a) = %v", round, r)
+		}
+		// Assumptions contradicting the formula (a forces c).
+		if r := s.Solve(pos(a), neg(c)); r != Unsat {
+			t.Fatalf("round %d: Solve(a, ~c) = %v", round, r)
+		}
+		// Still satisfiable outright and under compatible assumptions.
+		if r := s.Solve(); r != Sat {
+			t.Fatalf("round %d: Solve() = %v", round, r)
+		}
+		if r := s.Solve(pos(a)); r != Sat {
+			t.Fatalf("round %d: Solve(a) = %v", round, r)
+		}
+		if !s.Value(a) || !s.Value(b) || !s.Value(c) {
+			t.Fatalf("round %d: model violates implication chain", round)
+		}
+	}
+	if s.Stats.SolveCalls != 40 {
+		t.Errorf("SolveCalls = %d, want 40", s.Stats.SolveCalls)
+	}
+}
+
+// TestUnsatCIAfterIncrementalAdds drives the solver into level-0
+// unsatisfiability through incremental clause additions after earlier
+// Sat answers, then checks the unsatCI fast path: every later Solve —
+// with or without assumptions — answers Unsat, AddClause refuses new
+// clauses, and the call counter still advances.
+func TestUnsatCIAfterIncrementalAdds(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(pos(a), pos(b))
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("Solve = %v", r)
+	}
+	// Incrementally force both disjuncts false: the formula is now unsat
+	// at level 0, discovered inside the next Solve's initial propagate.
+	if !s.AddClause(neg(a)) {
+		t.Fatal("AddClause(~a) refused on a satisfiable formula")
+	}
+	if !s.AddClause(neg(b)) {
+		// Units propagate eagerly, so conflict detection at add time is
+		// also acceptable — but then Solve must still say Unsat below.
+		t.Log("AddClause(~b) detected the conflict eagerly")
+	}
+	calls := s.Stats.SolveCalls
+	if r := s.Solve(); r != Unsat {
+		t.Fatalf("Solve after contradiction = %v", r)
+	}
+	// Fast path: assumptions are irrelevant once the clause DB is unsat.
+	for i := 0; i < 3; i++ {
+		if r := s.Solve(pos(a)); r != Unsat {
+			t.Fatalf("Solve(a) after contradiction = %v", r)
+		}
+		if r := s.Solve(neg(a), pos(b)); r != Unsat {
+			t.Fatalf("Solve(~a, b) after contradiction = %v", r)
+		}
+	}
+	if got := s.Stats.SolveCalls - calls; got != 7 {
+		t.Errorf("SolveCalls advanced by %d across the fast path, want 7", got)
+	}
+	if s.AddClause(pos(a), pos(b)) {
+		t.Error("AddClause accepted a clause after level-0 unsat")
+	}
+}
+
+// randClauses draws m random 3-literal clauses over vars.
+func randClauses(rng *rand.Rand, vars []Var, m int) [][]Lit {
+	out := make([][]Lit, m)
+	for i := range out {
+		c := make([]Lit, 3)
+		for j := range c {
+			c[j] = MkLit(vars[rng.Intn(len(vars))], rng.Intn(2) == 1)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// TestActivationLiteralDifferential is the learnt-clause soundness test
+// for the push-free incremental API: random clause groups are installed
+// once behind activation literals, then solved many times under varying
+// activation subsets (accumulating learnt clauses), with every verdict
+// cross-checked against a fresh cold solver given exactly the active
+// groups' clauses unguarded. A learnt clause leaking consequences of a
+// deactivated group would flip some subset's verdict to Unsat.
+func TestActivationLiteralDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		const nVars, nGroups, perGroup = 12, 4, 14
+		inc := New()
+		vars := make([]Var, nVars)
+		for i := range vars {
+			vars[i] = inc.NewVar()
+		}
+		acts := make([]Lit, nGroups)
+		groups := make([][][]Lit, nGroups)
+		for g := range groups {
+			acts[g] = pos(inc.NewVar())
+			groups[g] = randClauses(rng, vars, perGroup)
+			for _, c := range groups[g] {
+				if !inc.AddGuarded(acts[g], c...) {
+					t.Fatalf("trial %d: AddGuarded failed", trial)
+				}
+			}
+		}
+		cold := func(subset int) Result {
+			s := New()
+			cv := make([]Var, nVars)
+			for i := range cv {
+				cv[i] = s.NewVar()
+			}
+			ok := true
+			for g := range groups {
+				if subset&(1<<g) == 0 {
+					continue
+				}
+				for _, c := range groups[g] {
+					lits := make([]Lit, len(c))
+					for j, l := range c {
+						lits[j] = MkLit(cv[l.Var()], l.Neg())
+					}
+					ok = ok && s.AddClause(lits...)
+				}
+			}
+			if !ok {
+				return Unsat
+			}
+			return s.Solve()
+		}
+		// Every activation subset, smallest first, so learnt clauses from
+		// early calls are live when later (larger) subsets are solved.
+		for subset := 0; subset < 1<<nGroups; subset++ {
+			var assume []Lit
+			for g := range groups {
+				if subset&(1<<g) != 0 {
+					assume = append(assume, acts[g])
+				}
+			}
+			got, want := inc.Solve(assume...), cold(subset)
+			if got != want {
+				t.Fatalf("trial %d subset %04b: incremental=%v cold=%v", trial, subset, got, want)
+			}
+			if got == Sat {
+				// The model must satisfy every active group's clauses.
+				for g := range groups {
+					if subset&(1<<g) == 0 {
+						continue
+					}
+					for i, c := range groups[g] {
+						sat := false
+						for _, l := range c {
+							if inc.LitValue(l) {
+								sat = true
+								break
+							}
+						}
+						if !sat {
+							t.Fatalf("trial %d subset %04b: model violates group %d clause %d", trial, subset, g, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRetireDeactivation checks permanent deactivation: after Retire,
+// the group's clauses no longer constrain any solution, assuming its
+// activation literal is contradictory, and verdicts for the remaining
+// groups still match a cold solver.
+func TestRetireDeactivation(t *testing.T) {
+	s := New()
+	x, y := s.NewVar(), s.NewVar()
+	actA, actB := pos(s.NewVar()), pos(s.NewVar())
+	// Group A forces x; group B forces ~x and y.
+	s.AddGuarded(actA, pos(x))
+	s.AddGuarded(actB, neg(x))
+	s.AddGuarded(actB, pos(y))
+	if r := s.Solve(actA, actB); r != Unsat {
+		t.Fatalf("Solve(A, B) = %v", r)
+	}
+	if !s.Retire(actA) {
+		t.Fatal("Retire(A) failed")
+	}
+	// B alone is satisfiable; A's clause must no longer bite.
+	if r := s.Solve(actB); r != Sat {
+		t.Fatalf("Solve(B) after Retire(A) = %v", r)
+	}
+	if s.Value(x) || !s.Value(y) {
+		t.Error("model ignores group B after Retire(A)")
+	}
+	// The retired activation literal is now contradictory.
+	if r := s.Solve(actA); r != Unsat {
+		t.Fatalf("Solve(A) after Retire(A) = %v", r)
+	}
+	// And the solver is still usable afterwards.
+	if r := s.Solve(actB); r != Sat {
+		t.Fatalf("Solve(B) again = %v", r)
+	}
+}
+
+// TestIncrementalStats pins the meaning of the incremental counters:
+// KeptLearnts only accrues on calls after the first and only when learnt
+// clauses survived, and AssumpConflicts counts conflicts inside the
+// assumption prefix.
+func TestIncrementalStats(t *testing.T) {
+	s := New()
+	const n = 16
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, c := range randClauses(rng, vars, 60) {
+		if !s.AddClause(c...) {
+			t.Skip("random formula trivially unsat at add time")
+		}
+	}
+	if s.Stats.SolveCalls != 0 || s.Stats.KeptLearnts != 0 {
+		t.Fatalf("counters non-zero before first Solve: %+v", s.Stats)
+	}
+	r1 := s.Solve()
+	if s.Stats.SolveCalls != 1 || s.Stats.KeptLearnts != 0 {
+		t.Fatalf("after first Solve: %+v", s.Stats)
+	}
+	learnt := s.Stats.Learnt
+	r2 := s.Solve()
+	if r2 != r1 {
+		t.Fatalf("verdict changed across identical Solves: %v then %v", r1, r2)
+	}
+	if s.Stats.SolveCalls != 2 {
+		t.Fatalf("SolveCalls = %d, want 2", s.Stats.SolveCalls)
+	}
+	if learnt > 0 && s.Stats.KeptLearnts == 0 {
+		t.Errorf("first call learnt %d clauses but second kept none", learnt)
+	}
+	// A contradiction confined to the assumption prefix.
+	a := s.NewVar()
+	s.AddClause(pos(a))
+	before := s.Stats.AssumpConflicts
+	if r := s.Solve(neg(a)); r != Unsat {
+		t.Fatalf("Solve(~a) = %v", r)
+	}
+	if s.Stats.AssumpConflicts < before {
+		t.Errorf("AssumpConflicts decreased: %d -> %d", before, s.Stats.AssumpConflicts)
+	}
+}

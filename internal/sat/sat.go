@@ -109,6 +109,18 @@ type Stats struct {
 	Conflicts    int64
 	Restarts     int64
 	Learnt       int64
+	// SolveCalls counts Solve invocations on this solver; together with
+	// KeptLearnts it measures how much the incremental path reuses.
+	SolveCalls int64
+	// KeptLearnts sums, over Solve calls after the first, the learnt
+	// clauses already present when the call started — the knowledge
+	// carried across goals instead of being rebuilt cold.
+	KeptLearnts int64
+	// AssumpConflicts counts conflicts hit inside the assumption prefix
+	// (decision level at or below the assumption count): contradictions
+	// between a goal's assumptions and the shared formula, resolved
+	// without descending into free search.
+	AssumpConflicts int64
 }
 
 // Add accumulates another solver's counters into s (aggregating work
@@ -119,6 +131,9 @@ func (s *Stats) Add(o Stats) {
 	s.Conflicts += o.Conflicts
 	s.Restarts += o.Restarts
 	s.Learnt += o.Learnt
+	s.SolveCalls += o.SolveCalls
+	s.KeptLearnts += o.KeptLearnts
+	s.AssumpConflicts += o.AssumpConflicts
 }
 
 // New returns an empty solver.
@@ -203,6 +218,26 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	s.clauses = append(s.clauses, cref)
 	s.watchClause(cref)
 	return true
+}
+
+// AddGuarded adds a clause guarded by an activation literal: the clause
+// only constrains the formula while act is assumed true in Solve. This is
+// the push-free incremental idiom — per-goal constraints are added under
+// fresh activation literals and switched on by assumption, so the CNF and
+// the learned-clause database survive from goal to goal. Soundness of
+// retained learnt clauses: any learnt clause derived through a guarded
+// clause resolves in ¬act, so once the guard is retired (¬act asserted)
+// or simply not assumed, those learnt clauses are satisfied and inert.
+func (s *Solver) AddGuarded(act Lit, lits ...Lit) bool {
+	return s.AddClause(append([]Lit{act.Not()}, lits...)...)
+}
+
+// Retire permanently deactivates an activation literal: every clause
+// guarded by act becomes satisfied and the solver may never enable it
+// again. Learnt clauses that depended on guarded clauses stay sound (they
+// contain ¬act and are now satisfied).
+func (s *Solver) Retire(act Lit) bool {
+	return s.AddClause(act.Not())
 }
 
 func (s *Solver) allocClause(lits []Lit, learnt bool) int {
@@ -476,6 +511,10 @@ func luby(i int64) int64 {
 // After Sat, Value reports the model; after Unsat under assumptions, the
 // formula itself may still be satisfiable.
 func (s *Solver) Solve(assumptions ...Lit) Result {
+	if s.Stats.SolveCalls > 0 {
+		s.Stats.KeptLearnts += int64(len(s.learnts))
+	}
+	s.Stats.SolveCalls++
 	if s.unsatCI {
 		return Unsat
 	}
@@ -493,6 +532,9 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 		confl := s.propagate()
 		if confl != -1 {
 			s.Stats.Conflicts++
+			if s.decisionLevel() <= len(assumptions) {
+				s.Stats.AssumpConflicts++
+			}
 			conflicts++
 			if s.decisionLevel() == 0 {
 				s.unsatCI = true

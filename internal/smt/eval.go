@@ -49,6 +49,30 @@ func (s *Solver) Model() *Model {
 	}
 }
 
+// WithVars returns a copy of the model with the given variable values
+// overriding the captured ones. Memoized evaluations are not shared: the
+// copy starts with fresh memo tables so patched variables take effect.
+func (m *Model) WithVars(patch map[*Term]value.V) *Model {
+	vars := make(map[*Term]value.V, len(m.vars)+len(patch))
+	for t, v := range m.vars {
+		vars[t] = v
+	}
+	for t, v := range patch {
+		if t.op != OpBVVar {
+			panic("smt: Model.WithVars on non-variable term")
+		}
+		if v.Width != t.width {
+			panic(fmt.Sprintf("smt: Model.WithVars width mismatch: %d vs %d", v.Width, t.width))
+		}
+		vars[t] = v
+	}
+	return &Model{
+		vars:   vars,
+		memoBV: map[*Term]value.V{},
+		memoB:  map[*Term]bool{},
+	}
+}
+
 // Var returns the model value of a bitvector variable (zero if the
 // variable never appeared in the formula).
 func (m *Model) Var(t *Term) value.V {

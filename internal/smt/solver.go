@@ -17,12 +17,18 @@ type Solver struct {
 	trueLit  sat.Lit
 	bvBits   map[*Term][]sat.Lit
 	boolLits map[*Term]sat.Lit
+	asserted []*Term
 
 	// NumClauses counts Tseitin clauses emitted (benchmark metric).
 	NumClauses int
 	// NumChecks counts Check/CheckAssuming calls (the per-goal solver
 	// invocations the pruning path avoids).
 	NumChecks int
+	// CNFReuse counts blast-memo hits: terms whose CNF encoding was
+	// requested again and served from the memo instead of being rebuilt.
+	// Across goals that share a program prefix this is the incremental
+	// win — the shared prefix is blasted once and reused per goal.
+	CNFReuse int
 }
 
 // NewSolver returns a solver sharing the builder's terms.
@@ -128,6 +134,7 @@ func (s *Solver) BlastBool(t *Term) sat.Lit {
 		panic("smt: BlastBool on bitvector term")
 	}
 	if l, ok := s.boolLits[t]; ok {
+		s.CNFReuse++
 		return l
 	}
 	var l sat.Lit
@@ -186,6 +193,7 @@ func (s *Solver) blastBV(t *Term) []sat.Lit {
 		panic("smt: blastBV on boolean term")
 	}
 	if bits, ok := s.bvBits[t]; ok {
+		s.CNFReuse++
 		return bits
 	}
 	w := t.width
@@ -290,8 +298,15 @@ func (s *Solver) blastBV(t *Term) []sat.Lit {
 
 // Assert permanently constrains a boolean term to true.
 func (s *Solver) Assert(t *Term) {
+	s.asserted = append(s.asserted, t)
 	s.addClause(s.BlastBool(t))
 }
+
+// AssertedTerms returns every term passed to Assert, in assertion order.
+// A candidate model is a genuine model of the solver's formula iff it
+// satisfies all of them; the witness engine uses this to confirm
+// synthesized packets without a solver call.
+func (s *Solver) AssertedTerms() []*Term { return s.asserted }
 
 // Check decides the asserted formula.
 func (s *Solver) Check() sat.Result {

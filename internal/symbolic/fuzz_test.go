@@ -1,0 +1,81 @@
+package symbolic
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/workload"
+	"switchv/models"
+)
+
+// FuzzWitnessVsSolver differentially tests the solver-free witness
+// pre-pass against the pure solver path: over fuzzed (entry count, seed)
+// workloads, both configurations must reach the identical verdict for
+// every goal — the same goal universe, the same covered set, the same
+// unreachable set. The witness layer is only allowed to skip SMT checks,
+// never to change an answer, and every witnessed packet must satisfy its
+// goal (confirmed here by the covered-set equality, since an unconfirmed
+// witness would have fallen back to the solver and changed SMTChecks,
+// not the verdict).
+func FuzzWitnessVsSolver(f *testing.F) {
+	f.Add(uint8(12), int64(42))
+	f.Add(uint8(40), int64(7))
+	f.Add(uint8(90), int64(1))
+	f.Add(uint8(1), int64(3))
+	prog := models.Middleblock()
+	coveredSet := func(pkts []TestPacket) string {
+		keys := make([]string, len(pkts))
+		for i, p := range pkts {
+			keys[i] = p.GoalKey
+		}
+		sort.Strings(keys)
+		return strings.Join(keys, "\n")
+	}
+	f.Fuzz(func(t *testing.T, n uint8, seed int64) {
+		entries := workload.MustEntries(prog, 1+int(n)%100, seed)
+		store := pdpi.NewStore()
+		for _, e := range entries {
+			if err := store.Insert(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run := func(disable bool) ([]TestPacket, Report) {
+			pkts, rep, err := GeneratePacketsParallel(prog, store, Options{},
+				GenOptions{Mode: CoverEntries, Enriched: true, DisableWitness: disable})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pkts, rep
+		}
+		wPkts, wRep := run(false)
+		sPkts, sRep := run(true)
+		if wRep.Goals != sRep.Goals || wRep.Covered != sRep.Covered || wRep.Unreachable != sRep.Unreachable {
+			t.Fatalf("verdict counts differ:\n  witness: %+v\n  solver:  %+v", wRep, sRep)
+		}
+		if w, s := coveredSet(wPkts), coveredSet(sPkts); w != s {
+			t.Fatalf("covered goal sets differ (witness-only=%q, solver-only=%q)",
+				diffSet(w, s), diffSet(s, w))
+		}
+		if wRep.SMTChecks > sRep.SMTChecks {
+			t.Fatalf("witness path issued more checks (%d) than the solver path (%d)",
+				wRep.SMTChecks, sRep.SMTChecks)
+		}
+	})
+}
+
+// diffSet returns the newline-separated elements of a not present in b.
+func diffSet(a, b string) string {
+	in := map[string]bool{}
+	for _, k := range strings.Split(b, "\n") {
+		in[k] = true
+	}
+	var out []string
+	for _, k := range strings.Split(a, "\n") {
+		if !in[k] {
+			out = append(out, k)
+		}
+	}
+	return strings.Join(out, ",")
+}

@@ -90,6 +90,26 @@ func (ex *Executor) extractPacket(goalKey string) (*TestPacket, error) {
 	return &TestPacket{GoalKey: goalKey, Port: port, Data: data}, nil
 }
 
+// extractPacketFromModel deparses a concrete model of the input
+// variables into packet bytes, without touching the solver. The witness
+// path uses it: a synthesized candidate model confirmed by concrete
+// evaluation yields its packet here, spending no SMT check.
+func (ex *Executor) extractPacketFromModel(m *smt.Model, goalKey string) (*TestPacket, error) {
+	fields := make([]value.V, len(ex.prog.Fields))
+	for i, f := range ex.prog.Fields {
+		fields[i] = m.Var(ex.inputs[i]).WithWidth(f.Width)
+	}
+	data, err := bmv2DeparseFields(ex.prog, fields, []byte("switchv-test"))
+	if err != nil {
+		return nil, fmt.Errorf("symbolic: deparsing witness for %s: %w", goalKey, err)
+	}
+	port := uint16(0)
+	if f, ok := ex.prog.FieldByName(ir.FieldIngressPort); ok {
+		port = uint16(fields[f.ID].Uint64())
+	}
+	return &TestPacket{GoalKey: goalKey, Port: port, Data: data}, nil
+}
+
 // Report summarizes a generation run.
 type Report struct {
 	Goals       int
@@ -104,6 +124,13 @@ type Report struct {
 	Pruned   int
 	Cached   int
 	Precheck int
+	// Witnessed counts goals decided by a solver-free synthesized
+	// witness: a candidate packet built by prefix arithmetic over the
+	// goal's key constraints and confirmed by concrete evaluation of the
+	// full path condition (no SMT check). WitnessUnsat counts goals the
+	// witness layer proved unreachable by key arithmetic alone.
+	Witnessed    int
+	WitnessUnsat int
 	// SMTChecks counts the CheckAssuming calls actually issued; the gap
 	// to Goals is the work pruning and caching avoided.
 	SMTChecks int
@@ -119,6 +146,11 @@ type Report struct {
 	Terms   int
 	Clauses int
 	Vars    int
+	// CNFReuse counts blast-memo hits summed across shard solvers: CNF
+	// encodings requested again and served from the memo instead of
+	// being rebuilt — the shared-program-prefix reuse of the
+	// incremental solving path.
+	CNFReuse int
 }
 
 // GeneratePackets solves every goal of the mode sequentially, one SMT
@@ -148,6 +180,7 @@ func (ex *Executor) GeneratePackets(mode CoverageMode) ([]TestPacket, Report, er
 	rep.Terms = ex.b.NumTerms()
 	rep.Clauses = ex.solver.NumClauses
 	rep.Vars = ex.solver.NumVars()
+	rep.CNFReuse = ex.solver.CNFReuse
 	return packets, rep, nil
 }
 

@@ -77,6 +77,11 @@ type GenOptions struct {
 	// solver, since the analyzer's branch numbering does not align with
 	// the executor's per-entry expansion.
 	UnreachableTables map[string]bool
+	// DisableWitness turns off the solver-free witness pre-pass (see
+	// witness.go), forcing every goal through the solver path. Verdicts
+	// are identical either way; the flag exists for ablation and
+	// differential testing.
+	DisableWitness bool
 }
 
 // Generator runs parallel, solve-avoiding packet generation. Build one
@@ -127,6 +132,8 @@ const (
 	byPrune
 	byCache
 	byPrecheck
+	byWitness
+	byWitnessUnsat
 )
 
 // shardState is one logical shard's solving context, owned by at most
@@ -188,6 +195,19 @@ func (g *Generator) Run() ([]TestPacket, Report, error) {
 			}
 		}
 	}
+	// Solver-free witness pre-pass, sequential on the shard-0 executor:
+	// worker- and engine-independent by construction, so the determinism
+	// contract is untouched. Checks it spends (fallback solves) happen
+	// before the shard snapshots below, so they are accounted separately.
+	prepassChecks := 0
+	if !g.gopts.DisableWitness {
+		startChecks := g.ex0.solver.NumChecks
+		if err := g.witnessPrepass(decided, outcomes); err != nil {
+			return nil, rep, err
+		}
+		prepassChecks = g.ex0.solver.NumChecks - startChecks
+	}
+
 	var missing []int
 	for i := range g.goals {
 		if !decided[i] {
@@ -319,18 +339,23 @@ func (g *Generator) Run() ([]TestPacket, Report, error) {
 		}
 	}
 
+	rep.SMTChecks += prepassChecks
 	for _, st := range states {
 		rep.SMTChecks += st.ex.solver.NumChecks - st.checks
 		rep.SATStats.Add(st.ex.solver.Stats())
 		rep.Terms += st.ex.b.NumTerms()
 		rep.Clauses += st.ex.solver.NumClauses
 		rep.Vars += st.ex.solver.NumVars()
+		rep.CNFReuse += st.ex.solver.CNFReuse
 	}
 	if shards == 0 {
-		// Fully cached: only the shard-0 executor was built.
+		// Everything was decided before sharding (cache plus witness
+		// pre-pass): only the shard-0 executor was built.
 		rep.Terms = g.ex0.b.NumTerms()
 		rep.Clauses = g.ex0.solver.NumClauses
 		rep.Vars = g.ex0.solver.NumVars()
+		rep.CNFReuse = g.ex0.solver.CNFReuse
+		rep.SATStats.Add(g.ex0.solver.Stats())
 	}
 
 	var packets []TestPacket
@@ -345,6 +370,10 @@ func (g *Generator) Run() ([]TestPacket, Report, error) {
 			rep.Cached++
 		case byPrecheck:
 			rep.Precheck++
+		case byWitness:
+			rep.Witnessed++
+		case byWitnessUnsat:
+			rep.WitnessUnsat++
 		}
 		if out.pkt != nil {
 			rep.Covered++

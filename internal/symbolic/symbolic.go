@@ -62,6 +62,20 @@ type Executor struct {
 	applySeq   int
 	firstApply map[string]int
 	lastApply  map[string]int
+
+	// keyState snapshots the symbolic key expressions of each table at
+	// its first application: keyState[table][i] is the state term the
+	// i-th key field is matched against. The witness engine uses it to
+	// tell which keys are still the raw input variables (directly
+	// patchable in a candidate model) and to read a seed model's values
+	// for the others.
+	keyState map[string][]*smt.Term
+	// choiceVars lists the selector-choice variables, one per selector
+	// entry. A model only constrains the choice of entries it fires; the
+	// witness engine pins them all to member 0 (always valid) so grafted
+	// candidates cannot inherit garbage choices for entries the seed
+	// never fired.
+	choiceVars []*smt.Term
 }
 
 // TraceKeyEntry names the trace guard for a concrete entry of a table.
@@ -88,6 +102,7 @@ func New(prog *ir.Program, store *pdpi.Store, opts Options) (*Executor, error) {
 		trace:      map[string]*smt.Term{},
 		firstApply: map[string]int{},
 		lastApply:  map[string]int{},
+		keyState:   map[string][]*smt.Term{},
 	}
 	ex.halt = b.False()
 
@@ -401,6 +416,11 @@ func (ex *Executor) applyTable(state []*smt.Term, t *ir.Table, g *smt.Term) {
 	ex.applySeq++
 	if _, ok := ex.firstApply[t.Name]; !ok {
 		ex.firstApply[t.Name] = ex.applySeq
+		ks := make([]*smt.Term, len(t.Keys))
+		for i, k := range t.Keys {
+			ks[i] = state[k.Field.ID]
+		}
+		ex.keyState[t.Name] = ks
 	}
 	ex.lastApply[t.Name] = ex.applySeq
 	entries := orderEntries(t, ex.store)
@@ -415,6 +435,7 @@ func (ex *Executor) applyTable(state []*smt.Term, t *ir.Table, g *smt.Term) {
 			// fresh choice variable, constrained only to pick some member
 			// (§5 "Hashing").
 			choice := b.BV(fmt.Sprintf("choice!%s!%d", t.Name, entryIdx), 16)
+			ex.choiceVars = append(ex.choiceVars, choice)
 			ex.solver.Assert(b.Implies(fire, b.Ult(choice, b.ConstUint(uint64(len(e.ActionSet)), 16))))
 			for i := range e.ActionSet {
 				member := &e.ActionSet[i]

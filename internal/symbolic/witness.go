@@ -1,0 +1,327 @@
+// Solver-free witness synthesis (ROADMAP item 3): most table goals on
+// realistic entry sets are pairwise-disjoint exact/LPM/ternary matches,
+// so model-reuse pruning can never absorb them — each would pay a full
+// SMT check. But their reachability reduces to key arithmetic: a packet
+// hits entry E of table T iff its key values satisfy E's match while
+// escaping every higher-precedence entry. That predicate is computed
+// here as a per-table BDD over the key bits (handling correlated and
+// shadowed prefixes exactly, not just the common disjoint case), a
+// candidate key assignment is read off deterministically (MinSat), and
+// the candidate is grafted onto a previously-found seed model. The
+// grafted model is confirmed end-to-end by concrete evaluation of the
+// goal's full path condition plus every solver assertion (smt.EvalBool
+// over the hash-consed DAG) — a confirmed witness is a genuine model of
+// the formula, so the goal's SMT check is skipped entirely. Any failure
+// falls back to the solver, so verdicts are identical to the solver path
+// by construction: the witness layer only ever skips work, never
+// changes an answer.
+//
+// The pre-pass runs sequentially on the shard-0 executor before
+// sharding, so its results are independent of the worker count and the
+// simulation engine, preserving the generator's determinism contract.
+package symbolic
+
+import (
+	"switchv/internal/bdd"
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/pdpi"
+	"switchv/internal/p4/value"
+	"switchv/internal/smt"
+)
+
+// maxWitnessSeeds bounds each table's seed-model pool. Seeds capture
+// distinct pipeline contexts (VRF assignments, parse states); a handful
+// per table suffices because each solver fallback on that table
+// contributes its model as a fresh seed. Pools are per table so an
+// early table's context diversity cannot starve a later one (an IPv6
+// route goal needs an IPv6-parsed seed, which no IPv4 goal provides).
+const maxWitnessSeeds = 16
+
+// keySlot is one key field of a witnessed table: its bit range in the
+// table's BDD, the symbolic expression it is matched against, and
+// whether a candidate model can set it directly.
+type keySlot struct {
+	key   ir.KeyField
+	off   int       // first BDD variable (MSB) of this key
+	state *smt.Term // symbolic key expression at first application
+	// patchable keys are matched against their raw input variable (no
+	// pipeline rewrite before the table) and are not validity bits, so a
+	// candidate may assign them freely; the rest are pinned to a seed
+	// model's value.
+	patchable bool
+}
+
+// tableWitness is the per-table BDD precedence model: base[goalKey] is
+// the exact condition over the key bits under which that entry (or the
+// default action) is selected — its match, minus every higher-precedence
+// match, mirroring applyTable's guard construction entry for entry.
+type tableWitness struct {
+	bld    *bdd.Builder
+	slots  []keySlot
+	global bdd.Node // range constraints (ingress port < MaxPort)
+	base   map[string]bdd.Node
+}
+
+// newTableWitness builds the witness model for a table, or nil when the
+// table is not witnessable (never applied, or no patchable key — its
+// selection then depends entirely on upstream pipeline state, which key
+// arithmetic cannot steer).
+func newTableWitness(ex *Executor, t *ir.Table) *tableWitness {
+	ks, ok := ex.keyState[t.Name]
+	if !ok {
+		return nil
+	}
+	slots := make([]keySlot, len(t.Keys))
+	total, anyPatch := 0, false
+	for i, k := range t.Keys {
+		patchable := ks[i] == ex.inputs[k.Field.ID] && !k.Field.IsValidity
+		slots[i] = keySlot{key: k, off: total, state: ks[i], patchable: patchable}
+		total += k.Field.Width
+		anyPatch = anyPatch || patchable
+	}
+	if !anyPatch {
+		return nil
+	}
+	bld := bdd.New(total)
+	global := bdd.True
+	for _, s := range slots {
+		if s.patchable && s.key.Field.Name == ir.FieldIngressPort {
+			bits := make([]int, s.key.Field.Width)
+			for j := range bits {
+				bits[j] = s.off + j
+			}
+			global = bld.And(global, bld.LtConst(bits, uint64(ex.opts.MaxPort)))
+		}
+	}
+	tw := &tableWitness{bld: bld, slots: slots, global: global, base: map[string]bdd.Node{}}
+	notHigher := bdd.True
+	for _, e := range orderEntries(t, ex.store) {
+		m := tw.matchNode(e)
+		tw.base[TraceKeyEntry(t.Name, e)] = bld.And(notHigher, m)
+		notHigher = bld.And(notHigher, bld.Not(m))
+	}
+	tw.base[TraceKeyDefault(t.Name)] = notHigher
+	return tw
+}
+
+// matchNode lowers an entry's match to the key-bit BDD, mirroring
+// Executor.matchCond: exact/optional pin every bit, LPM pins the top
+// PrefixLen bits, ternary pins the mask's bits, absent matches are
+// unconstrained, and an unknown key never matches.
+func (tw *tableWitness) matchNode(e *pdpi.Entry) bdd.Node {
+	cond := bdd.True
+	for i := range e.Matches {
+		m := &e.Matches[i]
+		var slot *keySlot
+		for j := range tw.slots {
+			if tw.slots[j].key.Name == m.Key {
+				slot = &tw.slots[j]
+				break
+			}
+		}
+		if slot == nil {
+			return bdd.False
+		}
+		w := slot.key.Field.Width
+		switch m.Kind {
+		case ir.MatchExact, ir.MatchOptional:
+			cond = tw.bld.And(cond, tw.eqBits(slot.off, w, m.Value, value.PrefixMask(w, w)))
+		case ir.MatchLPM:
+			mask := value.PrefixMask(m.PrefixLen, w)
+			cond = tw.bld.And(cond, tw.eqBits(slot.off, w, m.Value.And(mask), mask))
+		case ir.MatchTernary:
+			cond = tw.bld.And(cond, tw.eqBits(slot.off, w, m.Value.And(m.Mask), m.Mask))
+		}
+	}
+	return cond
+}
+
+// eqBits constrains the masked bits of the key at off (width w, BDD
+// variables MSB-first) to the value's bits.
+func (tw *tableWitness) eqBits(off, w int, v, mask value.V) bdd.Node {
+	cond := bdd.True
+	for j := 0; j < w; j++ { // j indexes value bits, LSB first
+		if !mask.Bit(j) {
+			continue
+		}
+		vi := off + (w - 1 - j)
+		if v.Bit(j) {
+			cond = tw.bld.And(cond, tw.bld.Var(vi))
+		} else {
+			cond = tw.bld.And(cond, tw.bld.NVar(vi))
+		}
+	}
+	return cond
+}
+
+// pinSeed conjoins the constraint that every pinned (non-patchable) key
+// equals its value under the seed model, evaluated through the key's
+// symbolic state expression. False means this seed's pipeline context
+// cannot select the goal entry, whatever the patchable keys.
+func (tw *tableWitness) pinSeed(seed *smt.Model, node bdd.Node) bdd.Node {
+	for i := range tw.slots {
+		s := &tw.slots[i]
+		if s.patchable {
+			continue
+		}
+		w := s.key.Field.Width
+		v := smt.Eval(seed, s.state).WithWidth(w)
+		node = tw.bld.And(node, tw.eqBits(s.off, w, v, value.PrefixMask(w, w)))
+		if node == bdd.False {
+			return bdd.False
+		}
+	}
+	return node
+}
+
+// synth reads the deterministic minimum satisfying key assignment off
+// the pinned BDD and grafts the patchable key values onto the seed,
+// returning the candidate model (nil when the pinned BDD is UNSAT).
+// Every selector-choice variable is pinned to member 0 — always a valid
+// choice — because the seed only constrained the choices of entries it
+// actually fired, and the graft may fire different ones.
+func (tw *tableWitness) synth(ex *Executor, seed *smt.Model, node bdd.Node) *smt.Model {
+	assign, ok := tw.bld.MinSat(tw.pinSeed(seed, node))
+	if !ok {
+		return nil
+	}
+	patch := map[*smt.Term]value.V{}
+	for _, c := range ex.choiceVars {
+		patch[c] = value.Zero(c.Width())
+	}
+	for i := range tw.slots {
+		s := &tw.slots[i]
+		if !s.patchable {
+			continue
+		}
+		w := s.key.Field.Width
+		v := value.Zero(w)
+		for j := 0; j < w; j++ {
+			if assign[s.off+(w-1-j)] {
+				v = v.SetBit(j, true)
+			}
+		}
+		patch[ex.inputs[s.key.Field.ID]] = v
+	}
+	return seed.WithVars(patch)
+}
+
+// witnessPass drives the solver-free pre-pass over the goal universe.
+type witnessPass struct {
+	ex     *Executor
+	tables map[string]*tableWitness
+	seeds  map[string][]*smt.Model // per-table seed pools
+}
+
+// confirm checks that a candidate model genuinely models the executor's
+// formula and the goal condition: the goal's full path condition first
+// (cheapest to fail), then every assertion the executor ever made
+// (parser axioms, selector constraints). A confirmed candidate is
+// indistinguishable from a solver model.
+func (w *witnessPass) confirm(cand *smt.Model, cond *smt.Term) bool {
+	if !smt.EvalBool(cand, cond) {
+		return false
+	}
+	for _, a := range w.ex.solver.AssertedTerms() {
+		if !smt.EvalBool(cand, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// witnessPrepass decides table goals without the solver where possible,
+// running sequentially on the shard-0 executor. For each undecided goal
+// on a witnessable table it tries, in order: (1) BDD unsatisfiability of
+// the goal's key condition (unreachable, zero checks); (2) a synthesized
+// candidate per seed, confirmed by concrete evaluation (covered, zero
+// checks); (3) the solver (one check — and its SAT model both prunes
+// remaining goals and joins the seed pool, teaching the witness layer a
+// new pipeline context). Confirmed witnesses prune remaining goals
+// exactly like solver models. Decided goals are recorded in
+// outcomes/decided in place.
+func (g *Generator) witnessPrepass(decided []bool, outcomes []goalOutcome) error {
+	w := &witnessPass{ex: g.ex0, tables: map[string]*tableWitness{}, seeds: map[string][]*smt.Model{}}
+	claim := func(self int, m *smt.Model, pkt *TestPacket) {
+		for j := range g.goals {
+			if decided[j] || j == self {
+				continue
+			}
+			if smt.EvalBool(m, g.goals[j].Cond) {
+				decided[j] = true
+				outcomes[j] = goalOutcome{
+					pkt: &TestPacket{GoalKey: g.goals[j].Key, Port: pkt.Port, Data: pkt.Data},
+					how: byPrune,
+				}
+			}
+		}
+	}
+	for i := range g.goals {
+		if decided[i] {
+			continue
+		}
+		goal := g.goals[i]
+		tname := goalTable(goal.Key)
+		if tname == "" {
+			continue
+		}
+		tw, seen := w.tables[tname]
+		if !seen {
+			if t, ok := g.prog.TableByName(tname); ok {
+				tw = newTableWitness(g.ex0, t)
+			}
+			w.tables[tname] = tw
+		}
+		if tw == nil {
+			continue
+		}
+		node, ok := tw.base[goal.Key]
+		if !ok {
+			continue
+		}
+		node = tw.bld.And(node, tw.global)
+		if node == bdd.False {
+			// No key assignment selects this entry (fully shadowed by
+			// higher-precedence entries): unreachable without a check.
+			decided[i] = true
+			outcomes[i] = goalOutcome{how: byWitnessUnsat}
+			continue
+		}
+		var cand *smt.Model
+		for _, seed := range w.seeds[tname] {
+			if m := tw.synth(g.ex0, seed, node); m != nil && w.confirm(m, goal.Cond) {
+				cand = m
+				break
+			}
+		}
+		if cand != nil {
+			pkt, err := g.ex0.extractPacketFromModel(cand, goal.Key)
+			if err != nil {
+				return err
+			}
+			decided[i] = true
+			outcomes[i] = goalOutcome{pkt: pkt, how: byWitness}
+			claim(i, cand, pkt)
+			continue
+		}
+		// Fallback ladder bottom: the solver. Its model seeds future
+		// witnesses, so each genuinely new pipeline context costs one
+		// check and then amortizes across the rest of its table.
+		pkt, sat, err := g.ex0.SolveGoal(goal)
+		if err != nil {
+			return err
+		}
+		decided[i] = true
+		if !sat {
+			outcomes[i] = goalOutcome{how: bySolve}
+			continue
+		}
+		outcomes[i] = goalOutcome{pkt: pkt, how: bySolve}
+		model := g.ex0.solver.Model()
+		if len(w.seeds[tname]) < maxWitnessSeeds {
+			w.seeds[tname] = append(w.seeds[tname], model)
+		}
+		claim(i, model, pkt)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command benchsummary distills a `go test -json` benchmark stream into
+// a compact, deterministic summary: one JSON object mapping each
+// benchmark (sub)name to its reported metrics (ns/op plus every
+// b.ReportMetric unit — goals, smt-checks, pruned, witnessed, pps, ...).
+// The raw stream interleaves timestamps, RUN lines, and per-event
+// records that make diffs across commits unreadable; the summary sorts
+// keys and drops everything non-metric so BENCH_* trajectories diff
+// cleanly. Timing metrics still vary run to run, of course — the
+// determinism claim is about format and ordering, not wall-clock.
+//
+//	benchsummary BENCH_symbolic.json            # writes BENCH_symbolic.summary.json
+//	benchsummary -o - BENCH_symbolic.json       # writes to stdout
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json's record we consume.
+type event struct {
+	Action string
+	Output string
+}
+
+// parseBenchLine parses one benchmark result line
+// ("BenchmarkX/sub-4 <tab> 1 <tab> 12345 ns/op <tab> 47.0 smt-checks")
+// into its name (GOMAXPROCS suffix stripped) and metric map, or ok=false
+// for any other output line.
+func parseBenchLine(line string) (name string, metrics map[string]float64, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") || !strings.Contains(line, "\t") {
+		return "", nil, false
+	}
+	fields := strings.Split(line, "\t")
+	name = strings.TrimSpace(fields[0])
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	metrics = map[string]float64{}
+	for _, f := range fields[1:] {
+		toks := strings.Fields(f)
+		if len(toks) != 2 {
+			continue // the bare iteration count, or malformed
+		}
+		v, err := strconv.ParseFloat(toks[0], 64)
+		if err != nil {
+			continue
+		}
+		metrics[toks[1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return name, metrics, true
+}
+
+func summarize(in *os.File) (map[string]map[string]float64, error) {
+	// test2json splits one logical result line across several "output"
+	// events (the name and the metrics arrive separately, newline-free),
+	// so reassemble the raw text stream first and line-split that.
+	var raw strings.Builder
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("not a go test -json stream: %v", err)
+		}
+		if ev.Action == "output" {
+			raw.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sum := map[string]map[string]float64{}
+	for _, line := range strings.Split(raw.String(), "\n") {
+		name, metrics, ok := parseBenchLine(strings.TrimSpace(line))
+		if !ok {
+			continue
+		}
+		// A repeated name (from -count > 1) keeps the last run's values.
+		sum[name] = metrics
+	}
+	return sum, nil
+}
+
+func main() {
+	out := flag.String("o", "", `output path ("-" for stdout; default <input>.summary.json)`)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: benchsummary [-o out.json] BENCH_x.json")
+	}
+	path := flag.Arg(0)
+	in, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer in.Close()
+	sum, err := summarize(in)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	if len(sum) == 0 {
+		log.Fatalf("%s: no benchmark result lines found", path)
+	}
+	// encoding/json sorts map keys, so the summary is byte-stable for
+	// identical metric values.
+	buf, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(path, ".json") + ".summary.json"
+	}
+	if dst == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(dst, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchsummary: %s: %d benchmarks -> %s\n", path, len(sum), dst)
+}
