@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet lint test race matrix chaos precheck daemon-smoke fuzz-smoke bench bench-parallel bench-symbolic bench-dataplane
+.PHONY: ci build vet lint test race matrix chaos precheck analyze daemon-smoke fuzz-smoke bench bench-parallel bench-symbolic bench-dataplane
 
 # ci is the gate every change must pass: build, vet, the determinism
 # lint, the full test suite under the race detector, the fault-detection
-# matrix, the chaos survival matrix, the static model preflight, and the
-# daemon smoke test.
-ci: build vet lint race matrix chaos precheck daemon-smoke fuzz-smoke
+# matrix, the chaos survival matrix, the static model preflight, the
+# zero-findings analyzer gate, and the daemon smoke test.
+ci: build vet lint race matrix chaos precheck analyze daemon-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ race:
 # wall-clock time or process-global randomness in results, no map
 # iteration order leaking into ordered output (see tools/detlint).
 lint:
-	$(GO) run ./tools/detlint ./internal/fuzzer ./internal/symbolic ./internal/switchv ./internal/coverage ./internal/daemon ./internal/p4/compile ./internal/chaos ./internal/sat ./internal/smt ./internal/bdd
+	$(GO) run ./tools/detlint ./internal/fuzzer ./internal/symbolic ./internal/switchv ./internal/coverage ./internal/daemon ./internal/p4/compile ./internal/chaos ./internal/sat ./internal/smt ./internal/bdd ./internal/bugdb ./internal/oracle ./internal/packet
 
 # matrix runs the fault-detection matrix: every injectable fault must be
 # caught, and the union of all fixtures must stay incident-free.
@@ -43,6 +43,12 @@ chaos:
 precheck:
 	$(GO) run ./cmd/p4check $$(find models examples -name '*.p4' | sort)
 
+# analyze enforces zero findings of ANY severity on every model shipped
+# under models/ — stricter than precheck, which only blocks on errors.
+# p4check exits 1 on any finding, so the target fails on the first warn.
+analyze:
+	$(GO) run ./cmd/p4check $$(find models -name '*.p4' | sort)
+
 # daemon-smoke boots a faulty switchd over TCP, runs a one-target
 # switchvd round against it, and asserts through the HTTP API that the
 # fault surfaced as a fleet incident record.
@@ -51,12 +57,14 @@ daemon-smoke:
 
 # fuzz-smoke runs the differential fuzzers for a short burst each: the
 # interpreter-vs-compiled engine fuzzer (arbitrary frames must produce
-# bit-identical outcomes) and the witness-vs-solver generation fuzzer
+# bit-identical outcomes), the witness-vs-solver generation fuzzer
 # (fuzzed workloads must reach identical per-goal verdicts with and
-# without the solver-free pre-pass).
+# without the solver-free pre-pass), and the sliced-vs-full-blast fuzzer
+# (cone-of-influence slice restriction must never flip a verdict).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDifferentialEngines' -fuzztime 10s ./internal/p4/compile
 	$(GO) test -run '^$$' -fuzz 'FuzzWitnessVsSolver' -fuzztime 10s ./internal/symbolic
+	$(GO) test -run '^$$' -fuzz 'FuzzSlicedVsFullBlast' -fuzztime 10s ./internal/symbolic
 
 # bench reruns the paper-evaluation benchmarks once each and records the
 # parallel-engine scaling run as machine-readable JSON.

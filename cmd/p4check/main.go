@@ -1,20 +1,22 @@
 // Command p4check runs SwitchV's static preflight analyzer over P4
-// models: structural defects, unreachable control flow, and
+// models: structural defects, unreachable control flow, dataflow
+// defects (uninitialized reads, dead writes, validity misuse), and
 // solver-proved dead constraints, each with a stable diagnostic code.
 //
 //	p4check                       # analyze every embedded model
 //	p4check models/wan.p4 ...     # analyze specific sources
 //	p4check -json models/wan.p4   # machine-readable findings
 //
-// Exit status is 1 when any model has error-severity findings (the
-// same condition under which campaigns refuse to launch), 2 when a
-// source does not even compile.
+// Exit status is 1 when any model has findings of any severity — the
+// CI `make analyze` gate keys on this — and 2 when a source does not
+// even compile or load.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"switchv/internal/p4/check"
@@ -24,36 +26,46 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "print findings as JSON (one report per model)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command: parse flags, analyze, render, and return
+// the exit status (0 clean, 1 findings, 2 load error). Split from main
+// so the golden-file test can drive it in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("p4check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "print findings as JSON (one report per model)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var reports []*check.Report
-	exit := 0
-	if flag.NArg() == 0 {
+	if fs.NArg() == 0 {
 		for _, name := range models.Names() {
 			prog, err := models.Load(name)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "p4check: %s: %v\n", name, err)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "p4check: %s: %v\n", name, err)
+				return 2
 			}
 			reports = append(reports, check.Check(prog))
 		}
 	} else {
-		for _, path := range flag.Args() {
+		for _, path := range fs.Args() {
 			src, err := os.ReadFile(path)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "p4check: %v\n", err)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "p4check: %v\n", err)
+				return 2
 			}
 			ast, err := parser.Parse(string(src))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "p4check: %s: %v\n", path, err)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "p4check: %s: %v\n", path, err)
+				return 2
 			}
 			prog, err := ir.Compile(ast)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "p4check: %s: %v\n", path, err)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "p4check: %s: %v\n", path, err)
+				return 2
 			}
 			rep := check.Check(prog)
 			rep.Program = path
@@ -61,22 +73,23 @@ func main() {
 		}
 	}
 
+	exit := 0
 	for _, rep := range reports {
 		if *jsonOut {
-			enc := json.NewEncoder(os.Stdout)
+			enc := json.NewEncoder(stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(rep); err != nil {
-				fmt.Fprintf(os.Stderr, "p4check: %v\n", err)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "p4check: %v\n", err)
+				return 2
 			}
 		} else {
-			fmt.Print(rep.Text())
-			fmt.Printf("%s: %d findings (%d errors), %d solver checks\n",
+			fmt.Fprint(stdout, rep.Text())
+			fmt.Fprintf(stdout, "%s: %d findings (%d errors), %d solver checks\n",
 				rep.Program, len(rep.Findings), rep.Errors(), rep.SolverChecks)
 		}
-		if rep.HasErrors() {
+		if len(rep.Findings) > 0 {
 			exit = 1
 		}
 	}
-	os.Exit(exit)
+	return exit
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from current output")
+
+// TestGoldenJSON drives the command over one seeded-defect fixture per
+// diagnostic code (testdata/P4C001.p4 .. P4C016.p4) and pins the -json
+// output byte-for-byte. Regenerate with `go test ./cmd/p4check -update`
+// after an intentional output change.
+func TestGoldenJSON(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "P4C*.p4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) != 16 {
+		t.Fatalf("found %d fixtures, want one per code P4C001..P4C016", len(fixtures))
+	}
+	sort.Strings(fixtures)
+
+	var stdout, stderr bytes.Buffer
+	code := run(append([]string{"-json"}, fixtures...), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings present); stderr: %s", code, stderr.String())
+	}
+
+	// Every fixture must report the code it is named after.
+	for _, fx := range fixtures {
+		want := strings.TrimSuffix(filepath.Base(fx), ".p4")
+		if !strings.Contains(stdout.String(), fmt.Sprintf("%q", want)) {
+			t.Errorf("output lacks a %s finding", want)
+		}
+	}
+
+	golden := filepath.Join("testdata", "defects.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("-json output differs from golden file; run `go test ./cmd/p4check -update` if intentional\ngot:\n%s", stdout.String())
+	}
+}
+
+// TestExitCodes pins the contract: 0 clean, 1 any findings (even
+// warn-only), 2 unloadable source.
+func TestExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+
+	// Embedded models are clean by construction (make analyze enforces it).
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Errorf("embedded models: exit = %d, want 0\n%s%s", code, out.String(), errb.String())
+	}
+
+	// A warn-only model must still exit 1: `make analyze` keys on this.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{filepath.Join("testdata", "P4C003.p4")}, &out, &errb); code != 1 {
+		t.Errorf("warn-only model: exit = %d, want 1", code)
+	}
+
+	// Unparseable source exits 2.
+	bad := filepath.Join(t.TempDir(), "bad.p4")
+	if err := os.WriteFile(bad, []byte("control c( {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{bad}, &out, &errb); code != 2 {
+		t.Errorf("bad source: exit = %d, want 2", code)
+	}
+
+	// Missing file exits 2.
+	if code := run([]string{filepath.Join(t.TempDir(), "nope.p4")}, &out, &errb); code != 2 {
+		t.Errorf("missing file: exit = %d, want 2", code)
+	}
+}

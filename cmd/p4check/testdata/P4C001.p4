@@ -1,0 +1,7 @@
+struct m_t { bit<8> a; bit<8> b; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t1 { key = { m.a : exact @refers_to(t2, b); } actions = { nop; } }
+  table t2 { key = { m.b : exact @refers_to(t1, a); } actions = { nop; } }
+  apply { t1.apply(); t2.apply(); }
+}

@@ -1,0 +1,7 @@
+struct m_t { bit<8> a; bit<16> b; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t1 { key = { m.b : exact; } actions = { nop; } }
+  table t2 { key = { m.a : exact @refers_to(t1, b); } actions = { nop; } }
+  apply { t1.apply(); t2.apply(); }
+}

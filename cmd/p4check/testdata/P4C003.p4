@@ -1,0 +1,9 @@
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t {
+    key = { m.a : exact @name("k1"); m.a : ternary @name("k2"); }
+    actions = { nop; }
+  }
+  apply { t.apply(); }
+}

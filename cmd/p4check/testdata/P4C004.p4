@@ -1,0 +1,11 @@
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  action other() { no_op(); }
+  table t {
+    key = { m.a : exact; }
+    actions = { nop; }
+    default_action = other;
+  }
+  apply { t.apply(); }
+}

@@ -1,0 +1,7 @@
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  action ghost() { no_op(); }
+  table t { key = { m.a : exact; } actions = { nop; } }
+  apply { t.apply(); }
+}

@@ -1,0 +1,7 @@
+struct m_t { bit<8> a; bit<8> b; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t1 { key = { m.a : exact; } actions = { nop; } }
+  table t2 { key = { m.b : exact; } actions = { nop; } }
+  apply { t1.apply(); }
+}

@@ -1,0 +1,7 @@
+const bit<8> MODE = 1;
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  apply {
+    if (MODE == 2) { m.a = 3; }
+  }
+}

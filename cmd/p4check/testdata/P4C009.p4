@@ -1,0 +1,8 @@
+struct m_t { bit<8> a; bit<8> b; }
+control c(inout m_t m) {
+  apply {
+    if (m.a < 4) {
+      if (m.a > 10) { m.b = 1; }
+    }
+  }
+}

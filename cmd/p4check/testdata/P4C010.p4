@@ -1,0 +1,7 @@
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  @entry_restriction("a == 1 && a == 2")
+  table t { key = { m.a : exact; } actions = { nop; } }
+  apply { t.apply(); }
+}

@@ -1,0 +1,8 @@
+struct m_t { bit<8> a; bit<8> b; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  action seta() { m.a = 5; }
+  table t1 { key = { m.a : exact; } actions = { nop; } }
+  table t2 { key = { m.b : exact; } actions = { seta; } }
+  apply { t1.apply(); t2.apply(); }
+}

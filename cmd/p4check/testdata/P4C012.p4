@@ -1,0 +1,6 @@
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t { key = { m.a : exact; } actions = { nop; } }
+  apply { m.a = 1; m.a = 2; t.apply(); }
+}

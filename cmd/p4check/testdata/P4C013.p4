@@ -1,0 +1,8 @@
+header ipv4_t { bit<8> ttl; }
+struct headers_t { ipv4_t ipv4; }
+struct m_t { bit<8> a; }
+control c(inout headers_t headers, inout m_t m) {
+  action nop() { no_op(); }
+  table t { key = { m.a : exact; } actions = { nop; } }
+  apply { headers.ipv4.setInvalid(); m.a = headers.ipv4.ttl; t.apply(); }
+}

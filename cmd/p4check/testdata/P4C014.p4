@@ -1,0 +1,8 @@
+header ipv4_t { bit<32> dst_addr; }
+struct headers_t { ipv4_t ipv4; }
+struct m_t { bit<8> a; }
+control c(inout headers_t headers, inout m_t m) {
+  action nop() { no_op(); }
+  table acl { key = { headers.ipv4.dst_addr : ternary; } actions = { nop; } }
+  apply { acl.apply(); }
+}

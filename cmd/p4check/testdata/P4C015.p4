@@ -1,0 +1,8 @@
+header probe_t { bit<8> kind; }
+struct headers_t { probe_t probe; }
+struct m_t { bit<8> a; }
+control c(inout headers_t headers, inout m_t m) {
+  action nop() { no_op(); }
+  table t { key = { headers.probe.kind : exact; } actions = { nop; } }
+  apply { t.apply(); }
+}

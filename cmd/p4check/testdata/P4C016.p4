@@ -1,0 +1,6 @@
+struct m_t { bit<8> a; bit<8> b; }
+control c(inout m_t m) {
+  action setb(bit<8> v) { m.b = v; m.b = 7; }
+  table t { key = { m.a : exact; } actions = { setb; } }
+  apply { t.apply(); }
+}

@@ -33,6 +33,7 @@ func main() {
 	precheck := flag.String("precheck", "on", "static model preflight: on (refuse on error findings), warn (report only), off (skip)")
 	engine := flag.String("engine", "compiled", "reference simulator engine for replaying generated packets: compiled (closure-tree) or interp (IR walker)")
 	witness := flag.Bool("witness", true, "solver-free witness synthesis pre-pass (parallel generator only)")
+	slice := flag.Bool("slice", true, "cone-of-influence slice restriction on per-goal checks (parallel generator only)")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON report instead of text")
 	flag.Parse()
 
@@ -86,7 +87,7 @@ func main() {
 		t0 := time.Now()
 		packets, rep, err = symbolic.GeneratePacketsParallel(prog, store, symbolic.Options{},
 			symbolic.GenOptions{Mode: mode, Workers: *dpWorkers, Shards: *dpShards,
-				UnreachableTables: dead, DisableWitness: !*witness})
+				UnreachableTables: dead, DisableWitness: !*witness, DisableSlicing: !*slice})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -116,6 +117,10 @@ func main() {
 			fmt.Printf("checks avoided: %d/%d (witness %d, cache %d, prune %d)\n",
 				rep.Goals-rep.SMTChecks, rep.Goals,
 				rep.Witnessed+rep.WitnessUnsat, rep.Cached, rep.Pruned+rep.Precheck)
+			if rep.SlicedAsserts > 0 || rep.SlicedBits > 0 {
+				fmt.Printf("slicing: %d assertions and %d input bits left outside per-goal cones\n",
+					rep.SlicedAsserts, rep.SlicedBits)
+			}
 		} else {
 			fmt.Printf("symbolic execution: %v (%d terms, %d clauses)\n", execTime.Round(time.Millisecond), rep.Terms, rep.Clauses)
 			fmt.Printf("generation: %v for %d goals (%d covered, %d unreachable)\n",

@@ -271,7 +271,7 @@ func (d *Daemon) Run() error {
 		last := cfg.Rounds > 0 && iter == cfg.Rounds-1
 		if cfg.Interval > 0 && !last {
 			select {
-			case <-time.After(cfg.Interval):
+			case <-time.After(cfg.Interval): //detlint:allow timeafter — round pacing; results are sealed before the wait
 			case <-d.stopCh:
 				return nil
 			}

@@ -283,7 +283,7 @@ func (d *Daemon) sleep(dur time.Duration) {
 		return
 	}
 	select {
-	case <-time.After(dur):
+	case <-time.After(dur): //detlint:allow timeafter — retry backoff; tests inject Backoff.Sleep instead
 	case <-d.stopCh:
 	}
 }

@@ -97,6 +97,31 @@ const (
 	// CodeUnsatRestriction: an @entry_restriction no entry can satisfy;
 	// the table is permanently empty.
 	CodeUnsatRestriction = "P4C010"
+	// CodeUninitializedRead: a metadata field is read before the first
+	// statement that could write it — the read always sees the zero
+	// initialization, so the later write is ordered wrong.
+	CodeUninitializedRead = "P4C011"
+	// CodeDeadWrite: a write in an apply block that is overwritten by a
+	// later write in the same straight-line block before anything could
+	// read it; the first value is lost.
+	CodeDeadWrite = "P4C012"
+	// CodeInvalidHeaderRead: a header field read at a point where the
+	// validity lattice proves the header invalid; the read yields zero,
+	// never packet data.
+	CodeInvalidHeaderRead = "P4C013"
+	// CodeValidityCoupledKey: a table matches on a header field whose
+	// validity is undetermined at the apply site, without also matching
+	// on the header's validity bit or a parser discriminator field —
+	// entries cannot tell an absent header from a zero-valued one.
+	CodeValidityCoupledKey = "P4C014"
+	// CodeUnparsedHeader: a header instance the parser can never produce
+	// (unknown to the parse chain, never setValid) is read; its fields
+	// are permanently zero.
+	CodeUnparsedHeader = "P4C015"
+	// CodeConflictingWrites: one action body writes the same field twice
+	// with no intervening read; the control plane supplies both values
+	// but only the last survives.
+	CodeConflictingWrites = "P4C016"
 )
 
 // Codes lists every diagnostic code with its fixed severity, in code
@@ -114,6 +139,12 @@ func Codes() map[string]Severity {
 		CodeUnreachableBranch: Warn,
 		CodeInfeasibleGuard:   Warn,
 		CodeUnsatRestriction:  Error,
+		CodeUninitializedRead: Warn,
+		CodeDeadWrite:         Warn,
+		CodeInvalidHeaderRead: Error,
+		CodeValidityCoupledKey: Warn,
+		CodeUnparsedHeader:     Error,
+		CodeConflictingWrites:  Error,
 	}
 }
 
@@ -217,6 +248,7 @@ func Check(prog *ir.Program) *Report {
 	checkDefaults(r, prog)
 	checkDeadActions(r, prog)
 	checkRestrictions(r, prog)
+	checkDataflow(r, prog)
 	checkReachability(r, prog)
 	sort.SliceStable(r.Findings, func(i, j int) bool {
 		a, b := r.Findings[i], r.Findings[j]

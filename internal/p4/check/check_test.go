@@ -150,6 +150,66 @@ control c(inout m_t m) {
   table t { key = { m.a : exact; } actions = { nop; } }
   apply { t.apply(); }
 }`,
+	// m.a is matched by t1 before t2's action — the only write — can run:
+	// the key always sees the zero initialization.
+	CodeUninitializedRead: `
+struct m_t { bit<8> a; bit<8> b; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  action seta() { m.a = 5; }
+  table t1 { key = { m.a : exact; } actions = { nop; } }
+  table t2 { key = { m.b : exact; } actions = { seta; } }
+  apply { t1.apply(); t2.apply(); }
+}`,
+	// The first write to m.a is clobbered before anything reads it.
+	CodeDeadWrite: `
+struct m_t { bit<8> a; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t { key = { m.a : exact; } actions = { nop; } }
+  apply { m.a = 1; m.a = 2; t.apply(); }
+}`,
+	// ttl is read right after the header was proved invalid.
+	CodeInvalidHeaderRead: `
+header ipv4_t { bit<8> ttl; }
+struct headers_t { ipv4_t ipv4; }
+struct m_t { bit<8> a; }
+control c(inout headers_t headers, inout m_t m) {
+  action nop() { no_op(); }
+  table t { key = { m.a : exact; } actions = { nop; } }
+  apply { headers.ipv4.setInvalid(); m.a = headers.ipv4.ttl; t.apply(); }
+}`,
+	// acl matches an ipv4 field with ipv4 validity open and no coupling
+	// key (no is_ipv4, no EtherType): absent and zero are conflated.
+	CodeValidityCoupledKey: `
+header ipv4_t { bit<32> dst_addr; }
+struct headers_t { ipv4_t ipv4; }
+struct m_t { bit<8> a; }
+control c(inout headers_t headers, inout m_t m) {
+  action nop() { no_op(); }
+  table acl { key = { headers.ipv4.dst_addr : ternary; } actions = { nop; } }
+  apply { acl.apply(); }
+}`,
+	// probe_t is unknown to the parse chain and never set valid, yet its
+	// field is matched.
+	CodeUnparsedHeader: `
+header probe_t { bit<8> kind; }
+struct headers_t { probe_t probe; }
+struct m_t { bit<8> a; }
+control c(inout headers_t headers, inout m_t m) {
+  action nop() { no_op(); }
+  table t { key = { headers.probe.kind : exact; } actions = { nop; } }
+  apply { t.apply(); }
+}`,
+	// setb writes m.b twice; the control plane supplies v but the
+	// constant always wins.
+	CodeConflictingWrites: `
+struct m_t { bit<8> a; bit<8> b; }
+control c(inout m_t m) {
+  action setb(bit<8> v) { m.b = v; m.b = 7; }
+  table t { key = { m.a : exact; } actions = { setb; } }
+  apply { t.apply(); }
+}`,
 }
 
 // TestDefectMatrix pins the seeded-defect -> diagnostic-code bijection:
@@ -233,6 +293,37 @@ control c(inout m_t m) {
 	}
 	if set := r.UnreachableSet(); !set["t"] {
 		t.Errorf("UnreachableSet = %v", set)
+	}
+}
+
+// TestRootCauseSuppressionShared: several tables applied inside ONE
+// infeasible guard produce a single root-cause finding (the guard), not
+// one per table — yet every table joins the unreachable set.
+func TestRootCauseSuppressionShared(t *testing.T) {
+	src := `
+struct m_t { bit<8> a; bit<8> b; }
+control c(inout m_t m) {
+  action nop() { no_op(); }
+  table t1 { key = { m.a : exact; } actions = { nop; } }
+  table t2 { key = { m.b : exact; } actions = { nop; } }
+  table t3 { key = { m.a : ternary; } actions = { nop; } }
+  apply {
+    if (m.a < 4) {
+      if (m.a > 10) { t1.apply(); t2.apply(); t3.apply(); }
+    }
+  }
+}`
+	r := Check(compile(t, src))
+	if len(r.Findings) != 1 || r.Findings[0].Code != CodeInfeasibleGuard {
+		t.Fatalf("want exactly one %s root-cause finding, got:\n%s", CodeInfeasibleGuard, r.Text())
+	}
+	if got := r.UnreachableTables(); len(got) != 3 || got[0] != "t1" || got[1] != "t2" || got[2] != "t3" {
+		t.Errorf("UnreachableTables = %v, want [t1 t2 t3]", got)
+	}
+	for _, name := range []string{"t1", "t2", "t3"} {
+		if !r.TableUnreachable(name) {
+			t.Errorf("%s not in unreachable set", name)
+		}
 	}
 }
 

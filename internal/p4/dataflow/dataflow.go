@@ -1,0 +1,568 @@
+// Package dataflow implements reusable static dataflow analyses over the
+// P4 IR: bit-granular def-use chains for header and metadata fields, a
+// header-validity lattice (valid / invalid / ⊤) propagated through
+// setValid/setInvalid and the semi-hardcoded parser transitions, and
+// per-table cone-of-influence slices (the transitive set of input field
+// bits — and upstream tables — that can affect whether and which entry of
+// a table fires).
+//
+// Three consumers ride on the same walk:
+//
+//   - internal/p4/check derives the P4C011–P4C016 findings from the
+//     def-use event stream and the validity lattice;
+//   - internal/symbolic restricts bit-blasting per goal to the assertion
+//     components reachable from the goal table's cone (slice-restricted
+//     solving);
+//   - internal/symbolic/witness uses the Parser model to couple validity
+//     key bits to their discriminator fields inside the per-table BDDs
+//     and to repair candidate models into parseable packets.
+//
+// Like the symbolic executor the analysis over-approximates: every
+// dependency it cannot rule out is kept, so a cone is always a superset
+// of the true support of the table's fire condition.
+package dataflow
+
+import (
+	"sort"
+	"sync"
+
+	"switchv/internal/p4/ir"
+	"switchv/internal/p4/value"
+)
+
+// Deps is a bit-granular dependency set: input field ID → mask of the
+// bits of that field that can influence the value in question.
+type Deps map[int]value.V
+
+// add unions mask into the entry for field id (widening the stored mask).
+func (d Deps) add(id int, mask value.V) {
+	if old, ok := d[id]; ok {
+		d[id] = old.Or(mask)
+	} else {
+		d[id] = mask
+	}
+}
+
+// union merges o into d.
+func (d Deps) union(o Deps) {
+	for id, m := range o {
+		d.add(id, m)
+	}
+}
+
+func (d Deps) clone() Deps {
+	c := make(Deps, len(d))
+	for id, m := range d {
+		c[id] = m
+	}
+	return c
+}
+
+// Bits returns the total number of set bits across all masks.
+func (d Deps) Bits() int {
+	n := 0
+	for _, m := range d {
+		for i := 0; i < m.Width; i++ {
+			if m.Bit(i) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// UseKind classifies where a field read occurs.
+type UseKind uint8
+
+const (
+	// UseRhs is a read on the right-hand side of an assignment.
+	UseRhs UseKind = iota
+	// UseGuard is a read inside a branch condition.
+	UseGuard
+	// UseKey is a read as a table match key.
+	UseKey
+)
+
+func (k UseKind) String() string {
+	switch k {
+	case UseRhs:
+		return "rhs"
+	case UseGuard:
+		return "guard"
+	case UseKey:
+		return "key"
+	default:
+		return "use?"
+	}
+}
+
+// Use is one field read, with the validity-lattice value of the enclosing
+// header at that program point (Top for metadata fields).
+type Use struct {
+	Ord      int // global program-order ordinal of the enclosing statement
+	Field    *ir.Field
+	Kind     UseKind
+	Control  string
+	Action   string // enclosing action ("" for apply-block code)
+	Table    string // table being applied (key reads and action-body code)
+	Validity Validity
+}
+
+// Def is one field write.
+type Def struct {
+	Ord     int
+	Field   *ir.Field
+	Control string
+	Action  string // enclosing action ("" for apply-block code)
+	Table   string
+	// Killed marks a write that is overwritten by a later write in the
+	// same straight-line block before any statement could read it: a dead
+	// store (apply-block code) or a conflicting write (action bodies).
+	Killed bool
+}
+
+// Cone is a table's cone of influence: everything that can affect whether
+// the table is reached and which of its entries fires.
+type Cone struct {
+	Table string
+	// Fields maps input field IDs to the bit mask that can influence the
+	// fire condition (guards dominating the apply sites, plus the
+	// transitive dependencies of every key field).
+	Fields Deps
+	// Tables names the tables (always including this one) whose entry or
+	// selector choice can influence the fire condition — the set whose
+	// solver-side assertions (selector range constraints) a sliced check
+	// must keep active.
+	Tables map[string]bool
+}
+
+// Analysis is the result of one dataflow pass over a program.
+type Analysis struct {
+	Prog   *ir.Program
+	Parser *Parser
+
+	// Uses and Defs are the def-use event streams in program order.
+	Uses []Use
+	Defs []Def
+
+	cones         map[string]*Cone
+	applyValidity map[string]map[string]Validity
+	firstDef      map[int]int
+	setValidAny   map[string]bool // header paths assigned $valid=1 anywhere
+	totalBits     int
+}
+
+var cached sync.Map // *ir.Program -> *Analysis
+
+// Cached returns the (possibly shared) analysis for the program,
+// computing it on first use. Programs are immutable after compilation, so
+// the cache is keyed on identity.
+func Cached(p *ir.Program) *Analysis {
+	if a, ok := cached.Load(p); ok {
+		return a.(*Analysis)
+	}
+	a := Analyze(p)
+	actual, _ := cached.LoadOrStore(p, a)
+	return actual.(*Analysis)
+}
+
+// Cone returns the cone of influence for the named table, or nil if the
+// table is never applied.
+func (a *Analysis) Cone(table string) *Cone { return a.cones[table] }
+
+// FirstDef returns the program-order ordinal of the field's first
+// reachable write (writes inside actions count at their apply site).
+func (a *Analysis) FirstDef(f *ir.Field) (int, bool) {
+	ord, ok := a.firstDef[f.ID]
+	return ord, ok
+}
+
+// ValidityAtApply returns the lattice value of a header at the table's
+// apply site(s), joined over sites.
+func (a *Analysis) ValidityAtApply(table, header string) Validity {
+	m := a.applyValidity[table]
+	if m == nil {
+		return Top
+	}
+	if v, ok := m[header]; ok {
+		return v
+	}
+	return Top
+}
+
+// SetValidAnywhere reports whether any reachable statement marks the
+// header valid (a locally constructed header, like a tunnel push).
+func (a *Analysis) SetValidAnywhere(header string) bool { return a.setValidAny[header] }
+
+// TotalInputBits is the width sum of every field in the program's flat
+// field space — the denominator for slice-size metrics.
+func (a *Analysis) TotalInputBits() int { return a.totalBits }
+
+// Analyze runs the dataflow pass.
+func Analyze(p *ir.Program) *Analysis {
+	a := &Analysis{
+		Prog:          p,
+		Parser:        ParserOf(p),
+		cones:         map[string]*Cone{},
+		applyValidity: map[string]map[string]Validity{},
+		firstDef:      map[int]int{},
+		setValidAny:   map[string]bool{},
+	}
+	for _, f := range p.Fields {
+		a.totalBits += f.Width
+	}
+	w := &walker{a: a, p: p}
+	// Every field's initial value is its own input bits (metadata inputs
+	// are constrained to zero by the executor, but the input variable
+	// still exists in the formula, so it stays in the dependency set).
+	w.deps = make([]Deps, len(p.Fields))
+	for _, f := range p.Fields {
+		w.deps[f.ID] = Deps{f.ID: value.Ones(f.Width)}
+	}
+	w.tableDeps = make([]map[string]bool, len(p.Fields))
+	env := map[string]Validity{}
+	for _, hi := range p.HeaderInstances {
+		env[hi.Path] = a.Parser.Initial(hi.Path)
+	}
+	for _, c := range p.Controls {
+		w.control = c.Name
+		env = w.walk(c.Body, env, Deps{}, map[string]bool{}, "", "")
+	}
+	sort.SliceStable(a.Uses, func(i, j int) bool { return a.Uses[i].Ord < a.Uses[j].Ord })
+	sort.SliceStable(a.Defs, func(i, j int) bool { return a.Defs[i].Ord < a.Defs[j].Ord })
+	return a
+}
+
+// walker carries the abstract state of the pass.
+type walker struct {
+	a *Analysis
+	p *ir.Program
+
+	ord     int
+	control string
+
+	// deps[f] = input bits the field's current value may depend on.
+	deps []Deps
+	// tableDeps[f] = tables whose entry choice may have influenced f.
+	tableDeps []map[string]bool
+}
+
+func (w *walker) fieldTables(id int) map[string]bool { return w.tableDeps[id] }
+
+func unionTables(dst map[string]bool, srcs ...map[string]bool) map[string]bool {
+	for _, s := range srcs {
+		for t := range s {
+			dst[t] = true
+		}
+	}
+	return dst
+}
+
+func cloneTables(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m))
+	for k := range m {
+		c[k] = true
+	}
+	return c
+}
+
+// validityOf returns the lattice value for the field's enclosing header
+// (Top for metadata and validity bits themselves).
+func validityOf(env map[string]Validity, f *ir.Field) Validity {
+	if f.Header == "" || f.IsValidity {
+		return Top
+	}
+	if v, ok := env[f.Header]; ok {
+		return v
+	}
+	return Top
+}
+
+// walk interprets a statement list under the given validity environment,
+// accumulated guard dependencies, and guard table set; it returns the
+// environment after the block. action/table name the enclosing action
+// context ("" for apply-block code).
+func (w *walker) walk(stmts []ir.Stmt, env map[string]Validity, guard Deps, guardTabs map[string]bool, action, table string) map[string]Validity {
+	// pending tracks the last unread write per field inside the current
+	// straight-line run of assignments, for dead/conflicting-write
+	// detection. Any branch, table apply, or control transfer clears it.
+	pending := map[int]*Def{}
+	for _, st := range stmts {
+		w.ord++
+		switch s := st.(type) {
+		case *ir.Assign:
+			// Reads in the RHS happen before the write.
+			rhs := Deps{}
+			w.expr(&s.Src, value.Ones(s.Src.Width), rhs, env, UseRhs, action, table, pending)
+			d := Deps{}
+			d.union(rhs)
+			d.union(guard)
+			d.union(w.deps[s.Dst.ID]) // guarded write: the old value may survive
+			w.deps[s.Dst.ID] = d
+			tabs := cloneTables(guardTabs)
+			unionTables(tabs, w.fieldTables(s.Dst.ID))
+			for id := range rhs {
+				unionTables(tabs, w.fieldTables(id))
+			}
+			if table != "" {
+				tabs[table] = true
+			}
+			w.tableDeps[s.Dst.ID] = tabs
+
+			if prev, ok := pending[s.Dst.ID]; ok {
+				prev.Killed = true
+			}
+			w.a.Defs = append(w.a.Defs, Def{Ord: w.ord, Field: s.Dst, Control: w.control, Action: action, Table: table})
+			def := &w.a.Defs[len(w.a.Defs)-1]
+			pending[s.Dst.ID] = def
+			if _, ok := w.a.firstDef[s.Dst.ID]; !ok {
+				w.a.firstDef[s.Dst.ID] = w.ord
+			}
+			// Track the validity lattice through setValid/setInvalid.
+			if s.Dst.IsValidity {
+				switch {
+				case s.Src.Op == ir.OpConst && s.Src.Value == 1:
+					env[s.Dst.Header] = Valid
+					w.a.setValidAny[s.Dst.Header] = true
+				case s.Src.Op == ir.OpConst && s.Src.Value == 0:
+					env[s.Dst.Header] = Invalid
+				default:
+					env[s.Dst.Header] = Top
+				}
+			}
+
+		case *ir.If:
+			cond := Deps{}
+			w.expr(&s.Cond, value.Ones(1), cond, env, UseGuard, action, table, pending)
+			pending = map[int]*Def{}
+			g2 := guard.clone()
+			g2.union(cond)
+			t2 := cloneTables(guardTabs)
+			for id := range cond {
+				unionTables(t2, w.fieldTables(id))
+			}
+			thenEnv := cloneValidity(env)
+			elseEnv := cloneValidity(env)
+			if h, v, ok := validityGuard(&s.Cond); ok {
+				thenEnv[h] = v
+				elseEnv[h] = v.negate()
+			}
+			thenEnv = w.walk(s.Then, thenEnv, g2, t2, action, table)
+			elseEnv = w.walk(s.Else, elseEnv, g2, t2, action, table)
+			env = joinValidity(thenEnv, elseEnv)
+
+		case *ir.ApplyTable:
+			pending = map[int]*Def{}
+			w.applyTable(s.Table, env, guard, guardTabs, action)
+
+		case *ir.Exit, *ir.Return:
+			pending = map[int]*Def{}
+		}
+	}
+	return env
+}
+
+// applyTable records the key uses, folds the table into every cone, and
+// abstracts the effect of its actions on the dependency state.
+func (w *walker) applyTable(t *ir.Table, env map[string]Validity, guard Deps, guardTabs map[string]bool, action string) {
+	a := w.a
+	// Key reads.
+	keyDeps := Deps{}
+	keyTabs := map[string]bool{}
+	for _, k := range t.Keys {
+		a.Uses = append(a.Uses, Use{Ord: w.ord, Field: k.Field, Kind: UseKey,
+			Control: w.control, Action: action, Table: t.Name, Validity: validityOf(env, k.Field)})
+		keyDeps.union(w.deps[k.Field.ID])
+		unionTables(keyTabs, w.fieldTables(k.Field.ID))
+	}
+
+	// The cone: guards dominating the site plus key dependencies, joined
+	// over apply sites.
+	cone := a.cones[t.Name]
+	if cone == nil {
+		cone = &Cone{Table: t.Name, Fields: Deps{}, Tables: map[string]bool{}}
+		a.cones[t.Name] = cone
+	}
+	cone.Fields.union(guard)
+	cone.Fields.union(keyDeps)
+	unionTables(cone.Tables, guardTabs, keyTabs)
+	cone.Tables[t.Name] = true
+
+	// Validity of each header at the apply site (for validity-coupled key
+	// analysis), joined over sites.
+	av := a.applyValidity[t.Name]
+	if av == nil {
+		av = cloneValidity(env)
+		a.applyValidity[t.Name] = av
+	} else {
+		for h, v := range env {
+			av[h] = Join(av[h], v)
+		}
+	}
+
+	// Abstract the actions: every action (and the default) may run, so
+	// every write lands guarded by the fire condition — which depends on
+	// the guards, the keys, and the table's own entry choice.
+	fireDeps := guard.clone()
+	fireDeps.union(keyDeps)
+	fireTabs := cloneTables(guardTabs)
+	unionTables(fireTabs, keyTabs)
+	fireTabs[t.Name] = true
+
+	acts := make([]*ir.Action, 0, len(t.Actions)+1)
+	acts = append(acts, t.Actions...)
+	if t.DefaultAction != nil && !t.HasAction(t.DefaultAction) {
+		acts = append(acts, t.DefaultAction)
+	}
+	for _, act := range acts {
+		actEnv := cloneValidity(env)
+		w.walk(act.Body, actEnv, fireDeps, fireTabs, act.Name, t.Name)
+		// Whatever validity the action establishes only holds if the
+		// entry fired: join back into the caller's environment.
+		for h, v := range actEnv {
+			env[h] = Join(env[h], v)
+		}
+	}
+}
+
+// expr accumulates the bit-granular dependencies of e (restricted to the
+// result bits in mask) into out, emitting Use events for field reads.
+func (w *walker) expr(e *ir.Expr, mask value.V, out Deps, env map[string]Validity, kind UseKind, action, table string, pending map[int]*Def) {
+	if mask.IsZero() {
+		return
+	}
+	switch e.Op {
+	case ir.OpConst, ir.OpParam:
+		// Constants and control-plane action arguments carry no input
+		// field dependencies.
+	case ir.OpField:
+		w.a.Uses = append(w.a.Uses, Use{Ord: w.ord, Field: e.Field, Kind: kind,
+			Control: w.control, Action: action, Table: table, Validity: validityOf(env, e.Field)})
+		delete(pending, e.Field.ID) // the pending write is observable now
+		d := w.deps[e.Field.ID]
+		if m, ok := d[e.Field.ID]; ok && len(d) == 1 && m.Equal(value.Ones(e.Field.Width)) {
+			// Unwritten field: the read depends on exactly the masked
+			// input bits.
+			out.add(e.Field.ID, mask.WithWidth(e.Field.Width))
+		} else {
+			out.union(d)
+		}
+	case ir.OpBitAnd:
+		// Masking with a constant narrows the interesting bits — the
+		// bit-granular payoff for `(x & 0x3F) == v`-style ACL guards.
+		l, r := e.Args[0], e.Args[1]
+		if r.Op == ir.OpConst {
+			w.expr(l, mask.And(value.New(r.Value, e.Width)), out, env, kind, action, table, pending)
+			return
+		}
+		if l.Op == ir.OpConst {
+			w.expr(r, mask.And(value.New(l.Value, e.Width)), out, env, kind, action, table, pending)
+			return
+		}
+		w.expr(l, mask, out, env, kind, action, table, pending)
+		w.expr(r, mask, out, env, kind, action, table, pending)
+	case ir.OpBitOr, ir.OpBitXor:
+		w.expr(e.Args[0], mask, out, env, kind, action, table, pending)
+		w.expr(e.Args[1], mask, out, env, kind, action, table, pending)
+	case ir.OpBitNot:
+		w.expr(e.Args[0], mask, out, env, kind, action, table, pending)
+	case ir.OpShl:
+		if e.Args[1].Op == ir.OpConst {
+			w.expr(e.Args[0], mask.Shr(int(e.Args[1].Value)), out, env, kind, action, table, pending)
+			return
+		}
+		w.expr(e.Args[0], value.Ones(e.Args[0].Width), out, env, kind, action, table, pending)
+		w.expr(e.Args[1], value.Ones(e.Args[1].Width), out, env, kind, action, table, pending)
+	case ir.OpShr:
+		if e.Args[1].Op == ir.OpConst {
+			w.expr(e.Args[0], mask.Shl(int(e.Args[1].Value)).WithWidth(e.Args[0].Width), out, env, kind, action, table, pending)
+			return
+		}
+		w.expr(e.Args[0], value.Ones(e.Args[0].Width), out, env, kind, action, table, pending)
+		w.expr(e.Args[1], value.Ones(e.Args[1].Width), out, env, kind, action, table, pending)
+	case ir.OpAdd, ir.OpSub:
+		// Carries flow upward: every bit at or below the highest
+		// requested bit matters.
+		m := fillLow(mask)
+		w.expr(e.Args[0], m, out, env, kind, action, table, pending)
+		w.expr(e.Args[1], m, out, env, kind, action, table, pending)
+	case ir.OpMux:
+		w.expr(e.Args[0], value.Ones(1), out, env, kind, action, table, pending)
+		w.expr(e.Args[1], mask, out, env, kind, action, table, pending)
+		w.expr(e.Args[2], mask, out, env, kind, action, table, pending)
+	default:
+		// Comparisons and logical connectives: every bit of every operand
+		// can flip the result.
+		for _, arg := range e.Args {
+			w.expr(arg, value.Ones(arg.Width), out, env, kind, action, table, pending)
+		}
+	}
+}
+
+// fillLow returns a mask with every bit at or below mask's highest set
+// bit.
+func fillLow(mask value.V) value.V {
+	for i := mask.Width - 1; i >= 0; i-- {
+		if mask.Bit(i) {
+			if i >= 127 {
+				return value.Ones(mask.Width)
+			}
+			one := value.New(1, mask.Width)
+			return one.Shl(i + 1).Sub(one)
+		}
+	}
+	return mask
+}
+
+// validityGuard recognizes `h.isValid()`-shaped branch conditions and
+// returns the header path plus the lattice value the then-branch
+// establishes.
+func validityGuard(e *ir.Expr) (header string, v Validity, ok bool) {
+	switch e.Op {
+	case ir.OpField:
+		if e.Field.IsValidity {
+			return e.Field.Header, Valid, true
+		}
+	case ir.OpNot:
+		if h, v, ok := validityGuard(e.Args[0]); ok {
+			return h, v.negate(), true
+		}
+	case ir.OpEq, ir.OpNe:
+		f, c := e.Args[0], e.Args[1]
+		if f.Op != ir.OpField {
+			f, c = c, f
+		}
+		if f.Op == ir.OpField && f.Field.IsValidity && c.Op == ir.OpConst {
+			v := Invalid
+			if c.Value == 1 {
+				v = Valid
+			}
+			if e.Op == ir.OpNe {
+				v = v.negate()
+			}
+			return f.Field.Header, v, true
+		}
+	}
+	return "", Top, false
+}
+
+func cloneValidity(env map[string]Validity) map[string]Validity {
+	c := make(map[string]Validity, len(env))
+	for k, v := range env {
+		c[k] = v
+	}
+	return c
+}
+
+func joinValidity(a, b map[string]Validity) map[string]Validity {
+	out := make(map[string]Validity, len(a))
+	for h, v := range a {
+		out[h] = Join(v, b[h])
+	}
+	for h, v := range b {
+		if _, ok := a[h]; !ok {
+			out[h] = Join(v, Top)
+		}
+	}
+	return out
+}

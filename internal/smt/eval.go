@@ -26,12 +26,47 @@ type Model struct {
 	memoB  map[*Term]bool
 }
 
+// NewModel builds a standalone model from explicit variable values;
+// every unlisted variable reads as zero, like an unconstrained solver
+// variable. Used for canonical background models (witness synthesis,
+// slice completion) that exist independently of any Check call.
+func NewModel(vars map[*Term]value.V) *Model {
+	m := &Model{
+		vars:   make(map[*Term]value.V, len(vars)),
+		memoBV: map[*Term]value.V{},
+		memoB:  map[*Term]bool{},
+	}
+	for t, v := range vars {
+		if t.op != OpBVVar {
+			panic("smt: NewModel on non-variable term")
+		}
+		if v.Width != t.width {
+			panic(fmt.Sprintf("smt: NewModel width mismatch: %d vs %d", v.Width, t.width))
+		}
+		m.vars[t] = v
+	}
+	return m
+}
+
 // Model captures the current model. It must only be called after a Sat
-// result from Check or CheckAssuming.
+// result from Check, CheckAssuming or CheckSliced. After a sliced check
+// the model is transparently completed: variables outside the slice
+// take their background values (see slice.go), so the result is a
+// genuine model of the full asserted formula.
 func (s *Solver) Model() *Model {
 	vars := make(map[*Term]value.V)
+	if s.lastSlice != nil {
+		for t, v := range s.bg.vars {
+			if !s.lastSlice[t] {
+				vars[t] = v
+			}
+		}
+	}
 	for t, bits := range s.bvBits {
 		if t.op != OpBVVar {
+			continue
+		}
+		if s.lastSlice != nil && !s.lastSlice[t] {
 			continue
 		}
 		v := value.Zero(t.width)

@@ -19,6 +19,13 @@ type Solver struct {
 	boolLits map[*Term]sat.Lit
 	asserted []*Term
 
+	// Slice-restricted solving state (see slice.go).
+	lazy        []lazyAssert
+	bg          *Model
+	eagerVars   map[*Term]bool // support of eager (always-active) assertions
+	varUniverse map[*Term]bool // support union of every assertion
+	lastSlice   map[*Term]bool // slice of the last Sat check (nil = full)
+
 	// NumClauses counts Tseitin clauses emitted (benchmark metric).
 	NumClauses int
 	// NumChecks counts Check/CheckAssuming calls (the per-goal solver
@@ -29,15 +36,23 @@ type Solver struct {
 	// Across goals that share a program prefix this is the incremental
 	// win — the shared prefix is blasted once and reused per goal.
 	CNFReuse int
+	// SlicedAsserts counts lazy assertions excluded from sliced checks
+	// (summed per check), and SlicedBits the input variable bits those
+	// checks left outside their slice — the work cone-of-influence
+	// slicing avoided CNF'ing or constraining.
+	SlicedAsserts int
+	SlicedBits    int
 }
 
 // NewSolver returns a solver sharing the builder's terms.
 func NewSolver(b *Builder) *Solver {
 	s := &Solver{
-		b:        b,
-		sat:      sat.New(),
-		bvBits:   map[*Term][]sat.Lit{},
-		boolLits: map[*Term]sat.Lit{},
+		b:           b,
+		sat:         sat.New(),
+		bvBits:      map[*Term][]sat.Lit{},
+		boolLits:    map[*Term]sat.Lit{},
+		eagerVars:   map[*Term]bool{},
+		varUniverse: map[*Term]bool{},
 	}
 	v := s.sat.NewVar()
 	s.trueLit = sat.MkLit(v, false)
@@ -296,9 +311,17 @@ func (s *Solver) blastBV(t *Term) []sat.Lit {
 	return bits
 }
 
-// Assert permanently constrains a boolean term to true.
+// Assert permanently constrains a boolean term to true. Eager
+// assertions are active in every check, sliced or not; their variables
+// therefore seed every slice (see slice.go).
 func (s *Solver) Assert(t *Term) {
 	s.asserted = append(s.asserted, t)
+	var vars []*Term
+	varSupport(t, map[*Term]bool{}, &vars)
+	for _, v := range vars {
+		s.eagerVars[v] = true
+		s.varUniverse[v] = true
+	}
 	s.addClause(s.BlastBool(t))
 }
 
@@ -311,16 +334,18 @@ func (s *Solver) AssertedTerms() []*Term { return s.asserted }
 // Check decides the asserted formula.
 func (s *Solver) Check() sat.Result {
 	s.NumChecks++
-	return s.sat.Solve()
+	s.lastSlice = nil
+	return s.sat.Solve(s.activateAll()...)
 }
 
 // CheckAssuming decides the asserted formula conjoined with the given
 // boolean terms, without making them permanent.
 func (s *Solver) CheckAssuming(terms ...*Term) sat.Result {
 	s.NumChecks++
-	lits := make([]sat.Lit, len(terms))
-	for i, t := range terms {
-		lits[i] = s.BlastBool(t)
+	s.lastSlice = nil
+	lits := s.activateAll()
+	for _, t := range terms {
+		lits = append(lits, s.BlastBool(t))
 	}
 	return s.sat.Solve(lits...)
 }
@@ -331,6 +356,9 @@ func (s *Solver) CheckAssuming(terms ...*Term) sat.Result {
 func (s *Solver) ValueBV(t *Term) value.V {
 	if t.op == OpBVConst {
 		return t.val
+	}
+	if v, ok := s.completeVar(t); ok {
+		return v
 	}
 	bits, ok := s.bvBits[t]
 	if !ok {

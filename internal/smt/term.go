@@ -69,6 +69,12 @@ func (t *Term) Name() string { return t.name }
 // Const returns the constant value of an OpBVConst term.
 func (t *Term) Const() value.V { return t.val }
 
+// NumKids returns the operand count.
+func (t *Term) NumKids() int { return len(t.kids) }
+
+// Kid returns the i-th operand.
+func (t *Term) Kid(i int) *Term { return t.kids[i] }
+
 func (t *Term) String() string {
 	switch t.op {
 	case OpBoolConst:

@@ -726,7 +726,7 @@ func (h *Harness) wipe() error {
 // drainPacketIns discards pending packet-ins (e.g. from punted test
 // packets) so packet-IO checks start from a quiet stream.
 func (h *Harness) drainPacketIns() {
-	deadline := time.After(50 * time.Millisecond)
+	deadline := time.After(50 * time.Millisecond) //detlint:allow timeafter — bounded drain of an async device stream
 	for {
 		select {
 		case _, ok := <-h.Dev.PacketIns():
@@ -753,7 +753,7 @@ func (h *Harness) checkPacketIO(store *pdpi.Store) []Incident {
 	case pin := <-h.Dev.PacketIns():
 		incidents = append(incidents, Incident{Tool: "p4-symbolic", Kind: "packet-out-punted-back",
 			Detail: fmt.Sprintf("direct packet-out echoed to the controller (%d bytes)", len(pin.Payload))})
-	case <-time.After(100 * time.Millisecond):
+	case <-time.After(100 * time.Millisecond): //detlint:allow timeafter — bounded wait for a device echo that must NOT arrive
 	}
 
 	// Submit-to-ingress: synthesize a packet the model punts and expect it
@@ -774,7 +774,7 @@ func (h *Harness) checkPacketIO(store *pdpi.Store) []Incident {
 	select {
 	case <-h.Dev.PacketIns():
 		// Punted back, as the model requires.
-	case <-time.After(time.Second):
+	case <-time.After(time.Second): //detlint:allow timeafter — generous bound on a punt the model guarantees
 		incidents = append(incidents, Incident{Tool: "p4-symbolic", Kind: "submit-to-ingress-lost",
 			Detail: "a submit-to-ingress packet the model punts never reached the controller"})
 	}

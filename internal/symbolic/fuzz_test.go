@@ -65,6 +65,62 @@ func FuzzWitnessVsSolver(f *testing.F) {
 	})
 }
 
+// FuzzSlicedVsFullBlast differentially tests cone-of-influence slice
+// restriction against full-formula solving: over fuzzed (entry count,
+// seed) workloads, the sliced and unsliced configurations must reach the
+// identical verdict for every goal — the same goal universe, the same
+// covered set, the same unreachable set. Slicing is only allowed to
+// shrink the assumption set handed to the SAT core (Unsat under a
+// subset implies Unsat in full; Sat models are completed from the
+// background assignment), never to flip an answer. Packet bytes may
+// legitimately differ between the two runs, so only verdicts and goal
+// keys are compared.
+func FuzzSlicedVsFullBlast(f *testing.F) {
+	f.Add(uint8(12), int64(42))
+	f.Add(uint8(40), int64(7))
+	f.Add(uint8(90), int64(1))
+	f.Add(uint8(1), int64(3))
+	prog := models.Middleblock()
+	coveredSet := func(pkts []TestPacket) string {
+		keys := make([]string, len(pkts))
+		for i, p := range pkts {
+			keys[i] = p.GoalKey
+		}
+		sort.Strings(keys)
+		return strings.Join(keys, "\n")
+	}
+	f.Fuzz(func(t *testing.T, n uint8, seed int64) {
+		entries := workload.MustEntries(prog, 1+int(n)%100, seed)
+		store := pdpi.NewStore()
+		for _, e := range entries {
+			if err := store.Insert(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run := func(disable bool) ([]TestPacket, Report) {
+			pkts, rep, err := GeneratePacketsParallel(prog, store, Options{},
+				GenOptions{Mode: CoverEntries, Enriched: true, DisableSlicing: disable})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pkts, rep
+		}
+		slPkts, slRep := run(false)
+		fbPkts, fbRep := run(true)
+		if slRep.Goals != fbRep.Goals || slRep.Covered != fbRep.Covered || slRep.Unreachable != fbRep.Unreachable {
+			t.Fatalf("verdict counts differ:\n  sliced: %+v\n  full:   %+v", slRep, fbRep)
+		}
+		if sl, fb := coveredSet(slPkts), coveredSet(fbPkts); sl != fb {
+			t.Fatalf("covered goal sets differ (sliced-only=%q, full-only=%q)",
+				diffSet(sl, fb), diffSet(fb, sl))
+		}
+		if fbRep.SlicedAsserts != 0 || fbRep.SlicedBits != 0 {
+			t.Fatalf("unsliced run reported slicing activity: %d asserts, %d bits",
+				fbRep.SlicedAsserts, fbRep.SlicedBits)
+		}
+	})
+}
+
 // diffSet returns the newline-separated elements of a not present in b.
 func diffSet(a, b string) string {
 	in := map[string]bool{}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"switchv/internal/p4/dataflow"
 	"switchv/internal/p4/ir"
 	"switchv/internal/p4/pdpi"
 	"switchv/internal/p4/value"
@@ -59,6 +60,51 @@ type TestPacket struct {
 // (nil, false, nil) when the goal is unreachable (UNSAT).
 func (ex *Executor) SolveGoal(g Goal) (*TestPacket, bool, error) {
 	switch ex.solver.CheckAssuming(g.Cond) {
+	case sat.Unsat:
+		return nil, false, nil
+	case sat.Sat:
+	default:
+		return nil, false, fmt.Errorf("symbolic: solver returned unknown for %s", g.Key)
+	}
+	pkt, err := ex.extractPacket(g.Key)
+	if err != nil {
+		return nil, false, err
+	}
+	return pkt, true, nil
+}
+
+// coneSeed returns the slice seed for a goal: the input variables of
+// the goal table's dataflow cone of influence. Branch and enriched
+// goals return nil — their conditions carry their own variable support,
+// which CheckSliced seeds the closure with anyway.
+func (ex *Executor) coneSeed(goalKey string) []*smt.Term {
+	table := goalTable(goalKey)
+	if table == "" {
+		return nil
+	}
+	cone := dataflow.Cached(ex.prog).Cone(table)
+	if cone == nil {
+		return nil
+	}
+	ids := make([]int, 0, len(cone.Fields))
+	for id := range cone.Fields {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	seed := make([]*smt.Term, len(ids))
+	for i, id := range ids {
+		seed[i] = ex.inputs[id]
+	}
+	return seed
+}
+
+// SolveGoalSliced is SolveGoal through the slice-restricted solver
+// path: only the assertions inside the goal's cone-of-influence closure
+// are activated (and CNF'd). Verdicts are identical to SolveGoal by
+// construction; only the synthesized packet may differ, since the model
+// is completed from the canonical background outside the slice.
+func (ex *Executor) SolveGoalSliced(g Goal) (*TestPacket, bool, error) {
+	switch ex.solver.CheckSliced(ex.coneSeed(g.Key), g.Cond) {
 	case sat.Unsat:
 		return nil, false, nil
 	case sat.Sat:
@@ -151,6 +197,12 @@ type Report struct {
 	// being rebuilt — the shared-program-prefix reuse of the
 	// incremental solving path.
 	CNFReuse int
+	// SlicedAsserts counts pipeline assertions excluded from sliced
+	// per-goal checks (summed per check across shard solvers), and
+	// SlicedBits the input bits those checks left outside their
+	// cone-of-influence slice — work never CNF'd or constrained.
+	SlicedAsserts int
+	SlicedBits    int
 }
 
 // GeneratePackets solves every goal of the mode sequentially, one SMT

@@ -82,6 +82,12 @@ type GenOptions struct {
 	// are identical either way; the flag exists for ablation and
 	// differential testing.
 	DisableWitness bool
+	// DisableSlicing turns off cone-of-influence slice restriction on
+	// per-goal checks (smt.CheckSliced), forcing full-formula checks.
+	// Verdicts are identical either way (slicing is sound by closure +
+	// background completion); synthesized packets and pruning cascades
+	// may differ, so only verdicts are comparable across this flag.
+	DisableSlicing bool
 }
 
 // Generator runs parallel, solve-avoiding packet generation. Build one
@@ -100,7 +106,7 @@ type Generator struct {
 // executor) and enumerates the goal universe: the mode's structural
 // goals followed by the enriched goals when requested.
 func NewGenerator(prog *ir.Program, store *pdpi.Store, opts Options, gopts GenOptions) (*Generator, error) {
-	ex0, err := New(prog, store, opts)
+	ex0, err := newExecutor(prog, store, opts, true)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +149,8 @@ type shardState struct {
 	conds  []*smt.Term // universe conditions in this executor's own DAG
 	queue  []int       // goal indices this shard owns, in canonical order
 	pos    int
-	checks int // NumChecks at construction
+	checks int  // NumChecks at construction
+	sliced bool // use the slice-restricted solver path
 }
 
 // roundResult is one shard's contribution to a round: the verdict on
@@ -248,7 +255,7 @@ func (g *Generator) Run() ([]TestPacket, Report, error) {
 				ex := g.ex0
 				if s != 0 {
 					var err error
-					if ex, err = New(g.prog, g.store, g.opts); err != nil {
+					if ex, err = newExecutor(g.prog, g.store, g.opts, true); err != nil {
 						errs[s] = fmt.Errorf("symbolic: shard %d executor: %w", s, err)
 						return
 					}
@@ -260,6 +267,7 @@ func (g *Generator) Run() ([]TestPacket, Report, error) {
 					conds:  condsFor(ex, g.goals),
 					queue:  missing[lo:hi],
 					checks: ex.solver.NumChecks,
+					sliced: !g.gopts.DisableSlicing,
 				}
 			}(s)
 		}
@@ -347,6 +355,8 @@ func (g *Generator) Run() ([]TestPacket, Report, error) {
 		rep.Clauses += st.ex.solver.NumClauses
 		rep.Vars += st.ex.solver.NumVars()
 		rep.CNFReuse += st.ex.solver.CNFReuse
+		rep.SlicedAsserts += st.ex.solver.SlicedAsserts
+		rep.SlicedBits += st.ex.solver.SlicedBits
 	}
 	if shards == 0 {
 		// Everything was decided before sharding (cache plus witness
@@ -355,6 +365,8 @@ func (g *Generator) Run() ([]TestPacket, Report, error) {
 		rep.Clauses = g.ex0.solver.NumClauses
 		rep.Vars = g.ex0.solver.NumVars()
 		rep.CNFReuse = g.ex0.solver.CNFReuse
+		rep.SlicedAsserts = g.ex0.solver.SlicedAsserts
+		rep.SlicedBits = g.ex0.solver.SlicedBits
 		rep.SATStats.Add(g.ex0.solver.Stats())
 	}
 
@@ -394,7 +406,11 @@ func (g *Generator) Run() ([]TestPacket, Report, error) {
 // the barrier.
 func solveRound(st *shardState, goal int, universe []Goal, undecided []int) *roundResult {
 	r := &roundResult{shard: -1, goal: goal}
-	pkt, ok, err := st.ex.SolveGoal(Goal{Key: universe[goal].Key, Cond: st.conds[goal]})
+	solve := st.ex.SolveGoal
+	if st.sliced {
+		solve = st.ex.SolveGoalSliced
+	}
+	pkt, ok, err := solve(Goal{Key: universe[goal].Key, Cond: st.conds[goal]})
 	if err != nil {
 		r.err = err
 		return r

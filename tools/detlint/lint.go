@@ -24,6 +24,7 @@ type finding struct {
 // //detlint:allow directives.
 var ruleNames = map[string]bool{
 	"timenow":    true,
+	"timeafter":  true,
 	"globalrand": true,
 	"maprange":   true,
 }
@@ -190,6 +191,9 @@ func (l *linter) run() {
 					l.report(call.Pos(), "timenow",
 						"time.%s outside elapsed-time measurement: results must not depend on wall-clock time", sel)
 				}
+			case "After", "Tick":
+				l.report(call.Pos(), "timeafter",
+					"time.%s races the scheduler against real time: use a context deadline or an injected clock", sel)
 			}
 		}
 		if randName != "" {

@@ -70,6 +70,58 @@ func f() int {
 	}
 }
 
+func TestTimeAfter(t *testing.T) {
+	fs := lintSource(t, `package p
+import "time"
+func wait(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second):
+		return -1
+	}
+}
+func tick() <-chan time.Time { return time.Tick(time.Second) }
+`)
+	if got := rules(fs); len(got) != 2 || got[0] != "timeafter" || got[1] != "timeafter" {
+		t.Fatalf("want timeafter findings for After and Tick, got %v", fs)
+	}
+	if !strings.Contains(fs[0].msg, "injected clock") {
+		t.Fatalf("message should name the remedy: %q", fs[0].msg)
+	}
+}
+
+func TestTimeAfterWaived(t *testing.T) {
+	fs := lintSource(t, `package p
+import "time"
+func wait(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second): //detlint:allow timeafter — shutdown path, result already sealed
+		return -1
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("waived time.After must not be flagged: %v", fs)
+	}
+}
+
+func TestTimeAfterShadowedPackage(t *testing.T) {
+	fs := lintSource(t, `package p
+type clock struct{}
+func (clock) After(d int) int { return d }
+func f() int {
+	var time clock
+	return time.After(1)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("a local variable named time is not the time package: %v", fs)
+	}
+}
+
 func TestGlobalRand(t *testing.T) {
 	fs := lintSource(t, `package p
 import "math/rand"
@@ -188,6 +240,9 @@ func TestRepoPackagesClean(t *testing.T) {
 		"../../internal/symbolic",
 		"../../internal/switchv",
 		"../../internal/coverage",
+		"../../internal/bugdb",
+		"../../internal/oracle",
+		"../../internal/packet",
 	} {
 		fs, err := lintDir(dir)
 		if err != nil {

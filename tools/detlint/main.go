@@ -14,6 +14,10 @@
 //	           (allowed when the result lands in a variable or field
 //	           whose name marks it as timing: start, begin, elapsed,
 //	           deadline, t0, t1)
+//	timeafter  time.After / time.Tick in result-path code — both race
+//	           the scheduler against real time, so select arms taken
+//	           under load differ from arms taken idle; use a context
+//	           deadline or an injected clock
 //	globalrand calls through the global math/rand source (rand.Intn,
 //	           rand.Shuffle, ...); seeded *rand.Rand instances and
 //	           rand.New/NewSource are fine
